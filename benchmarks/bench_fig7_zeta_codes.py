@@ -1,0 +1,62 @@
+"""Figure 7: timestamp size per zeta_k (k = 2..7) at two granularities.
+
+The paper sizes the timestamp representation (stream + its offset index)
+for every k and finds: aggregation shifts the optimum to smaller k, and
+long-lifetime graphs (Wiki-*) prefer larger k than short-lifetime ones
+(Yahoo).
+"""
+
+import dataclasses
+
+from repro.bench.harness import format_table, save_results
+from repro.core import ChronoGraphConfig, compress
+
+GRAPHS = ["wiki-edit", "wiki-links-sub", "yahoo-sub", "yahoo-full"]
+KS = list(range(2, 8))
+GRANULARITIES = [("second", 1), ("minute", 60)]
+
+
+def test_fig7_zeta_parameter_sweep(benchmark, datasets):
+    benchmark.pedantic(
+        lambda: compress(
+            datasets["yahoo-sub"],
+            ChronoGraphConfig(timestamp_zeta_k=4),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    results = {}
+    for name in GRAPHS:
+        graph = datasets[name]
+        for label, resolution in GRANULARITIES:
+            sizes = {}
+            for k in KS:
+                cfg = ChronoGraphConfig(timestamp_zeta_k=k, resolution=resolution)
+                cg = compress(graph, cfg)
+                sizes[k] = cg.timestamp_size_bits / cg.num_contacts
+            best_k = min(sizes, key=sizes.get)
+            results[f"{name}@{label}"] = {"sizes": sizes, "best_k": best_k}
+            rows.append([name, label]
+                        + [f"{sizes[k]:.2f}" for k in KS]
+                        + [str(best_k)])
+
+    # Aggregation shifts the optimal k down (or keeps it), per dataset.
+    for name in GRAPHS:
+        fine = results[f"{name}@second"]["best_k"]
+        coarse = results[f"{name}@minute"]["best_k"]
+        assert coarse <= fine, (name, fine, coarse)
+
+    # Long-lifetime graphs need at least as large a k as the short-lived
+    # Yahoo at the same (second) granularity.
+    assert (
+        results["wiki-links-sub@second"]["best_k"]
+        >= results["yahoo-sub@second"]["best_k"]
+    )
+
+    print(format_table(
+        ["Graph", "granularity"] + [f"zeta{k}" for k in KS] + ["best"],
+        rows,
+        title="\nFigure 7 -- timestamp bits/contact per zeta parameter",
+    ))
+    save_results("fig7_zeta_codes", results)

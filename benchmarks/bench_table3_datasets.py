@@ -1,0 +1,60 @@
+"""Table III: the dataset roster.
+
+Not a measurement in the paper but a table nonetheless: the eight graphs
+with their kinds, sizes, time steps, lifetimes and granularities.  This
+bench prints the same row layout for the stand-in datasets and asserts the
+structural facts the substitution promised to preserve (DESIGN.md §4).
+"""
+
+from repro.bench.harness import format_table, save_results
+from repro.graph.model import GraphKind
+from repro.graph.stats import TABLE3_HEADERS, summarize
+
+EXPECTED_KINDS = {
+    "flickr": GraphKind.INCREMENTAL,
+    "wiki-edit": GraphKind.POINT,
+    "wiki-links-sub": GraphKind.INTERVAL,
+    "wiki-links-full": GraphKind.INTERVAL,
+    "yahoo-sub": GraphKind.POINT,
+    "yahoo-full": GraphKind.POINT,
+    "comm-net": GraphKind.INTERVAL,
+    "powerlaw": GraphKind.INTERVAL,
+}
+
+
+def test_table3_dataset_roster(benchmark, datasets):
+    summaries = {name: summarize(g) for name, g in datasets.items()}
+    benchmark(lambda: summarize(datasets["flickr"]))
+
+    for name, kind in EXPECTED_KINDS.items():
+        assert datasets[name].kind is kind, name
+    # Sub/full pairs keep the paper's relative sizes (~3x).
+    assert (summaries["wiki-links-full"].num_contacts
+            > 2 * summaries["wiki-links-sub"].num_contacts)
+    assert (summaries["yahoo-full"].num_contacts
+            > 2 * summaries["yahoo-sub"].num_contacts)
+    # Comm.Net keeps its "unreal" density: by far the densest graph.
+    densities = {n: s.contacts_per_node for n, s in summaries.items()}
+    assert densities["comm-net"] == max(densities.values())
+    # Granularities per Table III.
+    assert datasets["flickr"].granularity == "day"
+    for name in ("wiki-edit", "wiki-links-sub", "yahoo-sub"):
+        assert datasets[name].granularity == "second"
+
+    print(format_table(
+        TABLE3_HEADERS,
+        [summaries[name].as_row() for name in EXPECTED_KINDS],
+        title="\nTable III -- datasets (scaled stand-ins, see DESIGN.md)",
+    ))
+    save_results("table3_datasets", {
+        name: {
+            "kind": s.kind,
+            "nodes": s.num_nodes,
+            "edges": s.num_edges,
+            "contacts": s.num_contacts,
+            "time_steps": s.time_steps,
+            "lifetime": s.lifetime,
+            "contacts_per_node": s.contacts_per_node,
+        }
+        for name, s in summaries.items()
+    })

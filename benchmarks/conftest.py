@@ -1,0 +1,37 @@
+"""Shared fixtures for the table/figure benchmark modules.
+
+Datasets and compressed representations are session-scoped so the Table IV
+(size), Table V (access/compress time) and figure benches share one build
+per (dataset, method) pair.  Set ``REPRO_BENCH_SCALE`` to shrink or grow
+every dataset (default 0.3 of the reproduction size keeps the full sweep in
+the minutes range on a laptop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import BENCH_METHODS, bench_scale, compress_all
+from repro.datasets import dataset_names, load
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def datasets(scale) -> Dict[str, object]:
+    """Every Table III dataset at the benchmark scale."""
+    return {name: load(name, scale=scale) for name in dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def compressed_all(datasets):
+    """dataset -> method -> (compressed graph, compression seconds)."""
+    return {
+        name: compress_all(graph, BENCH_METHODS)
+        for name, graph in datasets.items()
+    }

@@ -1,0 +1,66 @@
+"""Advanced analytics on one compressed trace: motifs, cores, entropy.
+
+Beyond the paper's headline queries, the library ships the analyses a
+temporal-graph practitioner reaches for next.  This example runs all of
+them against a single compressed netflow-like trace:
+
+* temporal motif counts (forwarding wedges, cyclic triangles),
+* k-core decomposition per window (who sits in the dense backbone),
+* burstiness and the entropy bound on the timestamp stream (how close the
+  ζ codes get to optimal for this data).
+
+Run with ``python examples/advanced_analytics.py``.
+"""
+
+from repro import compress
+from repro.algorithms import core_timeline, max_core, motif_profile, top_k
+from repro.analysis import (
+    code_efficiency,
+    mean_burstiness,
+    node_burstiness,
+)
+from repro.datasets import yahoo_like
+
+
+def main() -> None:
+    graph = yahoo_like(num_hosts=250, num_flows=4000, seed=23)
+    cg = compress(graph)
+    span = graph.lifetime
+    print(f"{graph.name}: {graph.num_contacts} flows, "
+          f"{cg.bits_per_contact:.2f} bits/contact\n")
+
+    # 1. Temporal motifs within 10-minute windows.
+    motifs = motif_profile(cg, delta=600)
+    print("== temporal motifs (delta = 600 s) ==")
+    print(f"forwarding wedges : {motifs['wedges']}")
+    print(f"cyclic triangles  : {motifs['cyclic_triangles']}\n")
+
+    # 2. The dense backbone over the whole trace and per 4-hour window.
+    k, members = max_core(cg, 0, span)
+    print(f"== k-core ==\ninnermost core: k={k} with {len(members)} hosts")
+    hub = members[0] if members else 0
+    timeline = core_timeline(cg, hub, window=4 * 3600, t_start=0, t_end=span)
+    print(f"host {hub} core number per 4h window: "
+          f"{[c for _, c in timeline]}\n")
+
+    # 3. Why this compresses: burstiness and entropy accounting.
+    burst = mean_burstiness(node_burstiness(graph))
+    eff = code_efficiency(graph)
+    print("== compressibility accounting ==")
+    print(f"mean node burstiness (B)        : {burst:+.3f}")
+    print(f"entropy bound on timestamp gaps : "
+          f"{eff['entropy_bound_bits_per_contact']:.2f} bits/contact")
+    print(f"achieved by zeta_{eff['zeta_k']}             : "
+          f"{eff['achieved_bits_per_contact']:.2f} bits/contact "
+          f"({eff['overhead_pct']:+.1f}% over the bound)")
+
+    # 4. Who matters: top hosts by windowed degree.
+    from repro.algorithms import degree_centrality
+
+    out_c, _ = degree_centrality(cg, 0, span)
+    print("\ntop-3 hosts by out-degree centrality:",
+          [f"#{u} ({s:.3f})" for u, s in top_k(out_c, 3)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Graph algorithms running directly on compressed temporal graphs.
+
+The paper motivates ChronoGraph with analyses that need fast neighbor
+queries on evolving networks (Section I): tracking communities over time,
+PageRank on historical snapshots, and anomaly detection.  These modules
+implement those analyses against the *query interface* of a compressed
+graph -- anything exposing ``num_nodes`` and ``neighbors(u, t1, t2)`` works,
+so they run equally on ChronoGraph and on every baseline.
+"""
+
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.communities import label_propagation, track_communities
+from repro.algorithms.reachability import (
+    earliest_arrival,
+    earliest_arrival_paths,
+    fastest_journey,
+    temporal_reachable,
+)
+from repro.algorithms.anomaly import degree_burst_scores, detect_bursts
+from repro.algorithms.centrality import degree_centrality, temporal_closeness, top_k
+from repro.algorithms.motifs import (
+    count_cyclic_triangles,
+    count_temporal_wedges,
+    motif_profile,
+)
+from repro.algorithms.kcore import core_numbers, core_timeline, max_core
+from repro.algorithms.similarity import (
+    common_neighbors,
+    jaccard_similarity,
+    similarity_timeline,
+    top_link_predictions,
+)
+
+__all__ = [
+    "count_cyclic_triangles",
+    "count_temporal_wedges",
+    "motif_profile",
+    "core_numbers",
+    "core_timeline",
+    "max_core",
+    "common_neighbors",
+    "jaccard_similarity",
+    "similarity_timeline",
+    "top_link_predictions",
+    "pagerank",
+    "label_propagation",
+    "track_communities",
+    "earliest_arrival",
+    "earliest_arrival_paths",
+    "fastest_journey",
+    "temporal_reachable",
+    "degree_burst_scores",
+    "detect_bursts",
+    "degree_centrality",
+    "temporal_closeness",
+    "top_k",
+]

@@ -1,0 +1,80 @@
+"""k-core decomposition of time-window snapshots.
+
+The k-core (maximal subgraph with minimum degree k) is a standard lens on
+community structure and influence; tracking a node's core number across
+windows is another "evolution of the groups a person belongs to" analysis
+in the spirit of the paper's Section I.  Implemented with the classic
+Batagelj-Zaversnik peeling over the undirected window snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def core_numbers(graph, t_start: int, t_end: int) -> List[int]:
+    """Core number per node for the undirected snapshot of the window."""
+    n = graph.num_nodes
+    adjacency: List[set] = [set() for _ in range(n)]
+    for u in range(n):
+        for v in graph.neighbors(u, t_start, t_end):
+            if v != u:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    if n == 0:
+        return []
+    degree = [len(adjacency[u]) for u in range(n)]
+    max_degree = max(degree)
+    # Batagelj-Zaversnik bucket queue: vert holds vertices sorted by current
+    # degree, pos[v] its index, bin_start[d] where degree-d vertices begin.
+    counts = [0] * (max_degree + 1)
+    for d in degree:
+        counts[d] += 1
+    bin_start = [0] * (max_degree + 1)
+    acc = 0
+    for d in range(max_degree + 1):
+        bin_start[d] = acc
+        acc += counts[d]
+    vert = [0] * n
+    pos = [0] * n
+    fill = list(bin_start)
+    for v in range(n):
+        pos[v] = fill[degree[v]]
+        vert[pos[v]] = v
+        fill[degree[v]] += 1
+    core = list(degree)
+    for i in range(n):
+        u = vert[i]
+        for v in adjacency[u]:
+            if core[v] > core[u]:
+                dv = core[v]
+                # Swap v with the first vertex of its bin, then shrink it.
+                first = bin_start[dv]
+                w = vert[first]
+                if v != w:
+                    vert[pos[v]], vert[first] = w, v
+                    pos[w], pos[v] = pos[v], first
+                bin_start[dv] += 1
+                core[v] -= 1
+    return core
+
+
+def max_core(graph, t_start: int, t_end: int) -> Tuple[int, List[int]]:
+    """(k, members) of the innermost core of the window snapshot."""
+    core = core_numbers(graph, t_start, t_end)
+    if not core:
+        return 0, []
+    k = max(core)
+    return k, [u for u, c in enumerate(core) if c == k and k > 0]
+
+
+def core_timeline(
+    graph, node: int, window: int, *, t_start: int, t_end: int
+) -> List[Tuple[int, int]]:
+    """(window start, core number of ``node``) per tumbling window."""
+    from repro.graph.windows import sliding_windows
+
+    out: List[Tuple[int, int]] = []
+    for w_start, w_end in sliding_windows(t_start, t_end, window):
+        out.append((w_start, core_numbers(graph, w_start, w_end)[node]))
+    return out

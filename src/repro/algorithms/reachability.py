@@ -1,0 +1,119 @@
+"""Time-respecting reachability on a compressed ChronoGraph.
+
+A temporal path must traverse contacts in non-decreasing time order; the
+earliest-arrival computation below is the standard one-pass algorithm over
+time-ordered contacts, reading each node's contacts straight from the
+compressed representation (``contacts_of`` is ChronoGraph-specific -- the
+baselines only expose window queries).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.model import GraphKind
+
+_INF = float("inf")
+
+
+def earliest_arrival(graph, source: int, t_depart: int = 0) -> Dict[int, int]:
+    """Earliest arrival time at every reachable node, leaving at ``t_depart``.
+
+    ``graph`` must expose ``num_nodes``, ``kind`` and ``contacts_of(u)``
+    (both :class:`repro.graph.model.TemporalGraph` and
+    :class:`repro.core.CompressedChronoGraph` do).  A contact (u, v, t, d)
+    can be taken if the walker is at ``u`` by time ``t`` (for interval
+    contacts, by ``t + d - 1`` at the latest, boarding no earlier than its
+    own arrival); incremental contacts are usable any time from ``t`` on.
+    """
+    arrivals: Dict[int, float] = {source: t_depart}
+    heap = [(t_depart, source)]
+    while heap:
+        at, u = heapq.heappop(heap)
+        if at > arrivals.get(u, _INF):
+            continue
+        for c in graph.contacts_of(u):
+            if graph.kind is GraphKind.INCREMENTAL:
+                board = max(at, c.time)
+            elif graph.kind is GraphKind.INTERVAL:
+                if c.duration == 0 or at > c.end - 1:
+                    continue
+                board = max(at, c.time)
+            else:  # POINT: the contact happens exactly at c.time
+                if at > c.time:
+                    continue
+                board = c.time
+            if board < arrivals.get(c.v, _INF):
+                arrivals[c.v] = board
+                heapq.heappush(heap, (board, c.v))
+    return {node: int(t) for node, t in arrivals.items()}
+
+
+def temporal_reachable(graph, source: int, t_depart: int = 0) -> List[int]:
+    """Sorted nodes reachable from ``source`` via a time-respecting path."""
+    return sorted(earliest_arrival(graph, source, t_depart))
+
+
+def earliest_arrival_paths(
+    graph, source: int, t_depart: int = 0
+) -> Dict[int, List[int]]:
+    """Earliest-arrival *paths*: node -> the node sequence reaching it.
+
+    Same traversal as :func:`earliest_arrival`, additionally keeping the
+    predecessor of each improvement, so the witness journey itself can be
+    reported (the "how did the information reach v" question).
+    """
+    arrivals: Dict[int, float] = {source: t_depart}
+    predecessor: Dict[int, int] = {}
+    heap = [(t_depart, source)]
+    while heap:
+        at, u = heapq.heappop(heap)
+        if at > arrivals.get(u, _INF):
+            continue
+        for c in graph.contacts_of(u):
+            if graph.kind is GraphKind.INCREMENTAL:
+                board = max(at, c.time)
+            elif graph.kind is GraphKind.INTERVAL:
+                if c.duration == 0 or at > c.end - 1:
+                    continue
+                board = max(at, c.time)
+            else:
+                if at > c.time:
+                    continue
+                board = c.time
+            if board < arrivals.get(c.v, _INF):
+                arrivals[c.v] = board
+                predecessor[c.v] = u
+                heapq.heappush(heap, (board, c.v))
+    paths: Dict[int, List[int]] = {}
+    for node in arrivals:
+        chain = [node]
+        while chain[-1] != source:
+            chain.append(predecessor[chain[-1]])
+        paths[node] = list(reversed(chain))
+    return paths
+
+
+def fastest_journey(
+    graph, source: int, target: int
+) -> Optional[Tuple[int, int]]:
+    """The (departure, arrival) pair minimising a journey's elapsed time.
+
+    A journey may wait at nodes; its duration is ``arrival − departure``.
+    Implemented by running the earliest-arrival scan from every candidate
+    departure time (the times of the source's own contacts), the standard
+    reduction; returns None when ``target`` is unreachable.
+    """
+    if source == target:
+        return None
+    departures = sorted({c.time for c in graph.contacts_of(source)})
+    best: Optional[Tuple[int, int]] = None
+    for depart in departures:
+        arrivals = earliest_arrival(graph, source, depart)
+        arrival = arrivals.get(target)
+        if arrival is None:
+            continue
+        if best is None or arrival - depart < best[1] - best[0]:
+            best = (depart, arrival)
+    return best

@@ -1,0 +1,43 @@
+"""Timestamp-gap analysis reproducing the empirical study of Section IV-A.
+
+Figures 2-4 of the paper characterise the distribution of timestamp gaps
+under three orderings ("gap strategies") and several aggregation levels.
+This subpackage computes exactly those statistics from any temporal graph.
+"""
+
+from repro.analysis.gapstats import (
+    GAP_STRATEGIES,
+    cumulative_frequency,
+    gap_sequence,
+    log_binned_distribution,
+    natural_gaps,
+)
+from repro.analysis.powerlawfit import fit_discrete_power_law, PowerLawFit
+from repro.analysis.burstiness import (
+    burstiness_coefficient,
+    edge_burstiness,
+    mean_burstiness,
+    node_burstiness,
+)
+from repro.analysis.entropy import (
+    code_efficiency,
+    empirical_entropy,
+    timestamp_entropy_bound,
+)
+
+__all__ = [
+    "code_efficiency",
+    "empirical_entropy",
+    "timestamp_entropy_bound",
+    "burstiness_coefficient",
+    "edge_burstiness",
+    "mean_burstiness",
+    "node_burstiness",
+    "GAP_STRATEGIES",
+    "cumulative_frequency",
+    "gap_sequence",
+    "log_binned_distribution",
+    "natural_gaps",
+    "fit_discrete_power_law",
+    "PowerLawFit",
+]

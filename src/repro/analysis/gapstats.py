@@ -1,0 +1,110 @@
+"""Gap strategies and distributions (Figures 2, 3 and 4).
+
+Section IV-A examines three ways of turning a node's timestamp list (in the
+(neighbor label, time) storage order) into gaps:
+
+* ``minimum``  -- gap of each timestamp from the smallest in the list;
+* ``frequent`` -- gap from the most frequent timestamp in the list;
+* ``previous`` -- gap from the previous timestamp (what ChronoGraph uses).
+
+``frequent`` and ``previous`` can produce negative gaps, so distributions
+are computed over the Eq. (1) naturals, exactly as the paper's figures map
+"integers to natural numbers".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bits.zigzag import to_natural
+from repro.graph.model import TemporalGraph
+
+GAP_STRATEGIES = ("minimum", "frequent", "previous")
+
+
+def gap_sequence(timestamps: Sequence[int], strategy: str) -> List[int]:
+    """Integer gaps of one node's timestamp list under a strategy."""
+    if not timestamps:
+        return []
+    if strategy == "minimum":
+        base = min(timestamps)
+        return [t - base for t in timestamps]
+    if strategy == "frequent":
+        base = Counter(timestamps).most_common(1)[0][0]
+        return [t - base for t in timestamps]
+    if strategy == "previous":
+        out = [0]
+        for prev, t in zip(timestamps, timestamps[1:]):
+            out.append(t - prev)
+        return out
+    raise ValueError(f"unknown gap strategy {strategy!r}; use {GAP_STRATEGIES}")
+
+
+def natural_gaps(
+    graph: TemporalGraph, strategy: str, resolution: int = 1
+) -> List[int]:
+    """All per-node gaps of the graph, Eq. (1)-mapped, at a resolution."""
+    if resolution < 1:
+        raise ValueError(f"resolution must be >= 1, got {resolution}")
+    out: List[int] = []
+    for u in graph.active_nodes():
+        times = [c.time // resolution for c in graph.contacts_of(u)]
+        out.extend(to_natural(g) for g in gap_sequence(times, strategy))
+    return out
+
+
+def cumulative_frequency(values: Iterable[int]) -> List[Tuple[int, float]]:
+    """(value, fraction of samples <= value) pairs, ascending (Figure 2)."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    out: List[Tuple[int, float]] = []
+    acc = 0
+    for value in sorted(counts):
+        acc += counts[value]
+        out.append((value, acc / total))
+    return out
+
+
+def fraction_below(values: Sequence[int], threshold: int) -> float:
+    """Share of samples strictly below a threshold (e.g. gaps < 100 s)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v < threshold) / len(values)
+
+
+def log_binned_distribution(
+    values: Sequence[int], bins_per_decade: int = 4
+) -> List[Tuple[float, float]]:
+    """Log-binned empirical pdf (Figures 3/4 are log-log frequency plots).
+
+    Returns (bin geometric center, density) pairs over the positive values;
+    zeros are excluded as on a log axis.
+    """
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return []
+    top = max(positive)
+    edges: List[float] = [1.0]
+    step = 10.0 ** (1.0 / bins_per_decade)
+    while edges[-1] <= top:
+        edges.append(edges[-1] * step)
+    counts: Dict[int, int] = {}
+    for v in positive:
+        lo, hi = 0, len(edges) - 1
+        while lo < hi - 1:
+            mid = (lo + hi) // 2
+            if edges[mid] <= v:
+                lo = mid
+            else:
+                hi = mid
+        counts[lo] = counts.get(lo, 0) + 1
+    total = len(positive)
+    out: List[Tuple[float, float]] = []
+    for b in sorted(counts):
+        width = edges[b + 1] - edges[b]
+        center = (edges[b] * edges[b + 1]) ** 0.5
+        out.append((center, counts[b] / (total * width)))
+    return out

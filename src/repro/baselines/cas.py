@@ -1,0 +1,151 @@
+"""CAS (Compact Adjacency Sequence, Caro et al.).
+
+CAS stores the event log sorted *by source vertex* (then by time): the
+target vertices of all events form one global sequence held in a wavelet
+tree, a boundary index gives each vertex's slice of that sequence, and each
+vertex's event times are gap-encoded.  Activation/deactivation parity gives
+the activity state for interval graphs, exactly as in CET.
+
+Queries locate the vertex's slice through the boundary index, scan its time
+list to find the sub-range matching the query window, and use wavelet-tree
+range counting / range listing inside that sub-range.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.baselines.events import edge_events
+from repro.baselines.interface import (
+    CompressedTemporalGraph,
+    CompressorFeatures,
+    TemporalGraphCompressor,
+    register,
+)
+from repro.bits import codes
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.eliasfano import EliasFano
+from repro.graph.model import GraphKind, TemporalGraph
+from repro.structures.wavelet import WaveletTree
+
+
+class CompressedCAS(CompressedTemporalGraph):
+    """Queryable CAS representation."""
+
+    def __init__(self, graph: TemporalGraph) -> None:
+        self.kind = graph.kind
+        self.num_nodes = graph.num_nodes
+        self.num_contacts = graph.num_contacts
+        self._t_min = graph.t_min
+
+        events = edge_events(graph)  # (t, u, v), time-sorted
+        by_vertex = sorted(events, key=lambda e: (e[1], e[0]))
+        targets = [v for _, _, v in by_vertex]
+        self._tree = WaveletTree(targets, sigma=max(1, graph.num_nodes))
+
+        boundaries: List[int] = []
+        position = 0
+        for u in range(graph.num_nodes + 1):
+            while position < len(by_vertex) and by_vertex[position][1] < u:
+                position += 1
+            boundaries.append(position)
+        self._boundaries = EliasFano(boundaries, universe=len(by_vertex) + 1)
+
+        times_writer = BitWriter()
+        time_offsets: List[int] = []
+        start = 0
+        for u in range(graph.num_nodes):
+            end = boundaries[u + 1]
+            start = boundaries[u]
+            time_offsets.append(len(times_writer))
+            prev: Optional[int] = None
+            for t, _, _ in by_vertex[start:end]:
+                gap = t - self._t_min if prev is None else t - prev
+                codes.write_gamma_natural(times_writer, gap)
+                prev = t
+        self._times_data = times_writer.to_bytes()
+        self._times_bits = len(times_writer)
+        self._time_offsets = EliasFano(time_offsets, universe=self._times_bits + 1)
+
+    @property
+    def size_in_bits(self) -> int:
+        return (
+            self._tree.size_in_bits()
+            + self._boundaries.size_in_bits()
+            + self._times_bits
+            + self._time_offsets.size_in_bits()
+        )
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ValueError(f"node {u} outside [0, {self.num_nodes})")
+
+    def _slice_of(self, u: int) -> Tuple[int, int]:
+        return self._boundaries.access(u), self._boundaries.access(u + 1)
+
+    def _decode_times(self, u: int, count: int) -> List[int]:
+        reader = BitReader(self._times_data, self._times_bits)
+        reader.seek(self._time_offsets.access(u))
+        out: List[int] = []
+        prev: Optional[int] = None
+        for _ in range(count):
+            gap = codes.read_gamma_natural(reader)
+            t = self._t_min + gap if prev is None else prev + gap
+            out.append(t)
+            prev = t
+        return out
+
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        self._check_node(u)
+        if t_end < t_start:
+            return False
+        start, end = self._slice_of(u)
+        times = self._decode_times(u, end - start)
+        if self.kind is GraphKind.POINT:
+            lo = start + bisect.bisect_left(times, t_start)
+            hi = start + bisect.bisect_right(times, t_end)
+            return self._tree.count_range(v, lo, hi) > 0
+        if self.kind is GraphKind.INCREMENTAL:
+            hi = start + bisect.bisect_right(times, t_end)
+            return self._tree.count_range(v, start, hi) > 0
+        upto = start + bisect.bisect_right(times, t_start)
+        if self._tree.count_range(v, start, upto) % 2 == 1:
+            return True
+        hi = start + bisect.bisect_right(times, t_end)
+        return self._tree.count_range(v, upto, hi) > 0
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        self._check_node(u)
+        if t_end < t_start:
+            return []
+        start, end = self._slice_of(u)
+        times = self._decode_times(u, end - start)
+        if self.kind is GraphKind.POINT:
+            lo = start + bisect.bisect_left(times, t_start)
+            hi = start + bisect.bisect_right(times, t_end)
+            return [v for v, _ in self._tree.range_distinct(lo, hi)]
+        if self.kind is GraphKind.INCREMENTAL:
+            hi = start + bisect.bisect_right(times, t_end)
+            return [v for v, _ in self._tree.range_distinct(start, hi)]
+        upto = start + bisect.bisect_right(times, t_start)
+        active = {
+            v
+            for v, count in self._tree.range_distinct(start, upto)
+            if count % 2 == 1
+        }
+        hi = start + bisect.bisect_right(times, t_end)
+        active.update(v for v, _ in self._tree.range_distinct(upto, hi))
+        return sorted(active)
+
+
+@register
+class CASCompressor(TemporalGraphCompressor):
+    """Compact Adjacency Sequence (CAS) baseline."""
+
+    name = "CAS"
+    features = CompressorFeatures()
+
+    def compress(self, graph: TemporalGraph) -> CompressedCAS:
+        self.check_supported(graph)
+        return CompressedCAS(graph)

@@ -1,0 +1,111 @@
+"""CET (Compact Events ordered by Time, Caro et al.).
+
+CET stores the graph as one global chronological log of events whose
+(u, v) pairs live in an *interleaved wavelet tree*; the log positions are
+time-ordered, so a time interval maps to a position range by binary search
+over the (monotone, hence Elias-Fano-compressible) event time sequence.
+
+* point / incremental: one event per contact; an edge is active in a window
+  iff it has an event in the corresponding position range.
+* interval: activation/deactivation event pairs; an edge is active at ``t``
+  iff the number of its events in positions ``[0, pos(t)]`` is odd (the
+  parity convention), and active in a window iff active at its start or it
+  has any event inside the window.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+from repro.baselines.events import edge_events
+from repro.baselines.interface import (
+    CompressedTemporalGraph,
+    CompressorFeatures,
+    TemporalGraphCompressor,
+    register,
+)
+from repro.bits.eliasfano import EliasFano
+from repro.graph.model import GraphKind, TemporalGraph
+from repro.structures.interleaved import InterleavedWaveletTree
+
+
+class CompressedCET(CompressedTemporalGraph):
+    """Queryable CET representation."""
+
+    def __init__(self, graph: TemporalGraph) -> None:
+        self.kind = graph.kind
+        self.num_nodes = graph.num_nodes
+        self.num_contacts = graph.num_contacts
+        events = edge_events(graph)
+        self._times = [t for t, _, _ in events]
+        self._tree = InterleavedWaveletTree(
+            [(u, v) for _, u, v in events], num_nodes=max(1, graph.num_nodes)
+        )
+        self._time_index = EliasFano(
+            self._times, universe=(self._times[-1] + 1) if self._times else None
+        )
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._tree.size_in_bits() + self._time_index.size_in_bits()
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ValueError(f"node {u} outside [0, {self.num_nodes})")
+
+    def _position_range(self, t_start: int, t_end: int) -> tuple:
+        """Log positions with time in the inclusive interval."""
+        lo = bisect.bisect_left(self._times, t_start)
+        hi = bisect.bisect_right(self._times, t_end)
+        return lo, hi
+
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        self._check_node(u)
+        if t_end < t_start:
+            return False
+        if self.kind is GraphKind.POINT:
+            lo, hi = self._position_range(t_start, t_end)
+            return self._tree.count_edge(u, v, lo, hi) > 0
+        if self.kind is GraphKind.INCREMENTAL:
+            hi = bisect.bisect_right(self._times, t_end)
+            return self._tree.count_edge(u, v, 0, hi) > 0
+        # Interval: active at t_start (odd parity of events up to and
+        # including t_start), or some event strictly after t_start and up to
+        # t_end -- activations there start an overlap, deactivations there
+        # imply activity right before them, inside the window either way.
+        upto = bisect.bisect_right(self._times, t_start)
+        if self._tree.count_edge(u, v, 0, upto) % 2 == 1:
+            return True
+        hi = bisect.bisect_right(self._times, t_end)
+        return self._tree.count_edge(u, v, upto, hi) > 0
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        self._check_node(u)
+        if t_end < t_start:
+            return []
+        if self.kind is GraphKind.POINT:
+            lo, hi = self._position_range(t_start, t_end)
+            return sorted(v for v, _ in self._tree.neighbors_of(u, lo, hi))
+        if self.kind is GraphKind.INCREMENTAL:
+            hi = bisect.bisect_right(self._times, t_end)
+            return sorted(v for v, _ in self._tree.neighbors_of(u, 0, hi))
+        upto = bisect.bisect_right(self._times, t_start)
+        active = {
+            v for v, count in self._tree.neighbors_of(u, 0, upto) if count % 2 == 1
+        }
+        hi = bisect.bisect_right(self._times, t_end)
+        active.update(v for v, _ in self._tree.neighbors_of(u, upto, hi))
+        return sorted(active)
+
+
+@register
+class CETCompressor(TemporalGraphCompressor):
+    """Compact Events ordered by Time (CET) baseline."""
+
+    name = "CET"
+    features = CompressorFeatures()
+
+    def compress(self, graph: TemporalGraph) -> CompressedCET:
+        self.check_supported(graph)
+        return CompressedCET(graph)

@@ -1,0 +1,60 @@
+"""Shared event-normalisation helpers for the event-log baselines.
+
+CET, CAS and T-ABT model interval graphs through *activation /
+deactivation events* whose parity determines whether an edge is active.
+Parity breaks down when the same edge carries overlapping contacts, so --
+exactly like the original implementations, which ingest event streams --
+these baselines first normalise each edge's contacts to the *union* of its
+activity intervals.  The union preserves the activity semantics every query
+is defined over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.model import GraphKind, TemporalGraph
+
+Edge = Tuple[int, int]
+
+
+def merged_intervals(graph: TemporalGraph) -> Dict[Edge, List[Tuple[int, int]]]:
+    """Edge -> sorted disjoint half-open activity intervals (interval graphs)."""
+    if graph.kind is not GraphKind.INTERVAL:
+        raise ValueError("merged_intervals is only meaningful for interval graphs")
+    spans: Dict[Edge, List[Tuple[int, int]]] = {}
+    for c in graph.contacts:
+        if c.duration > 0:
+            spans.setdefault((c.u, c.v), []).append((c.time, c.end))
+    merged: Dict[Edge, List[Tuple[int, int]]] = {}
+    for edge, intervals in spans.items():
+        intervals.sort()
+        out: List[Tuple[int, int]] = []
+        for s, e in intervals:
+            if out and s <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], e))
+            else:
+                out.append((s, e))
+        merged[edge] = out
+    return merged
+
+
+def edge_events(graph: TemporalGraph) -> List[Tuple[int, int, int]]:
+    """The chronological event log: (time, u, v) tuples, time-sorted.
+
+    Point and incremental graphs emit one event per contact.  Interval
+    graphs emit one activation and one deactivation event per merged
+    activity interval (even parity of preceding events for an edge means
+    "inactive", odd means "active" -- the CET/CAS convention).
+    """
+    events: List[Tuple[int, int, int]] = []
+    if graph.kind is GraphKind.INTERVAL:
+        for (u, v), intervals in merged_intervals(graph).items():
+            for start, end in intervals:
+                events.append((start, u, v))
+                events.append((end, u, v))
+    else:
+        for c in graph.contacts:
+            events.append((c.time, c.u, c.v))
+    events.sort()
+    return events

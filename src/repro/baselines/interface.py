@@ -1,0 +1,123 @@
+"""Common interface for every temporal graph compressor in the evaluation.
+
+A compressor turns a :class:`repro.graph.model.TemporalGraph` into a
+:class:`CompressedTemporalGraph` exposing the two query primitives the paper
+measures (Table V) and the size accounting of Table IV.  The feature flags
+of Table I are declared per compressor via :class:`CompressorFeatures`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List, Type
+
+from repro.graph.model import GraphKind, TemporalGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class CompressorFeatures:
+    """The capability matrix of Table I."""
+
+    incremental: bool = True
+    point: bool = True
+    interval: bool = True
+    time_steps: bool = True
+    timestamps: bool = False
+    aggregations: bool = False
+
+    def supports_kind(self, kind: GraphKind) -> bool:
+        """Whether the compressor handles a graph of this kind."""
+        return {
+            GraphKind.INCREMENTAL: self.incremental,
+            GraphKind.POINT: self.point,
+            GraphKind.INTERVAL: self.interval,
+        }[kind]
+
+
+class CompressedTemporalGraph(abc.ABC):
+    """A queryable compressed representation."""
+
+    kind: GraphKind
+    num_nodes: int
+    num_contacts: int
+
+    @property
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Total representation size charged by Table IV."""
+
+    @property
+    def bits_per_contact(self) -> float:
+        """The paper's headline compression metric."""
+        if self.num_contacts == 0:
+            return 0.0
+        return self.size_in_bits / self.num_contacts
+
+    @abc.abstractmethod
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        """Sorted distinct neighbors of ``u`` active within [t_start, t_end]."""
+
+    @abc.abstractmethod
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        """Whether edge (u, v) is active anywhere within [t_start, t_end]."""
+
+    def snapshot(self, t_start: int, t_end: int) -> List[tuple]:
+        """All distinct edges active within the interval, sorted.
+
+        Default implementation sweeps the neighbor query across all nodes,
+        matching Section IV-F: "to obtain a snapshot of the graph we simply
+        retrieve the neighbors of all nodes during the time interval".
+        """
+        edges: List[tuple] = []
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u, t_start, t_end):
+                edges.append((u, v))
+        return edges
+
+
+class TemporalGraphCompressor(abc.ABC):
+    """A named compression method."""
+
+    #: Display name used in benchmark tables.
+    name: str = "unnamed"
+    #: Table I feature flags.
+    features: CompressorFeatures = CompressorFeatures()
+
+    @abc.abstractmethod
+    def compress(self, graph: TemporalGraph) -> CompressedTemporalGraph:
+        """Build the compressed representation of ``graph``."""
+
+    def check_supported(self, graph: TemporalGraph) -> None:
+        """Raise if the graph kind is outside this method's feature set."""
+        if not self.features.supports_kind(graph.kind):
+            raise ValueError(
+                f"{self.name} does not support {graph.kind.value} graphs"
+            )
+
+
+_REGISTRY: Dict[str, Type[TemporalGraphCompressor]] = {}
+
+
+def register(cls: Type[TemporalGraphCompressor]) -> Type[TemporalGraphCompressor]:
+    """Class decorator adding a compressor to the benchmark registry."""
+    key = cls.name.lower()
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"duplicate compressor name {cls.name!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_compressor(name: str, **kwargs) -> TemporalGraphCompressor:
+    """Instantiate a registered compressor by (case-insensitive) name."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown compressor {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+def all_compressors() -> Dict[str, Type[TemporalGraphCompressor]]:
+    """Name -> class for every registered compressor."""
+    return dict(_REGISTRY)

@@ -1,0 +1,71 @@
+"""The Raw and Gzip reference points of Table IV.
+
+*Raw* measures the plain-text contact list exactly as distributed (one
+``u v t [dt]`` line per contact); *Gzip* measures its zlib-compressed size.
+Both delegate queries to the uncompressed reference implementation -- they
+are size baselines, not competitive query structures (the paper reports no
+access times for them either).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+from repro.baselines.interface import (
+    CompressedTemporalGraph,
+    CompressorFeatures,
+    TemporalGraphCompressor,
+    register,
+)
+from repro.graph.io import contacts_as_text
+from repro.graph.model import TemporalGraph
+
+
+class _DelegatingGraph(CompressedTemporalGraph):
+    """Size wrapper that answers queries through the reference graph."""
+
+    def __init__(self, graph: TemporalGraph, size_bits: int) -> None:
+        self.kind = graph.kind
+        self.num_nodes = graph.num_nodes
+        self.num_contacts = graph.num_contacts
+        self._graph = graph
+        self._size_bits = size_bits
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._size_bits
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        return self._graph.ref_neighbors(u, t_start, t_end)
+
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        return self._graph.ref_has_edge(u, v, t_start, t_end)
+
+
+@register
+class RawCompressor(TemporalGraphCompressor):
+    """The uncompressed plain-text contact list."""
+
+    name = "Raw"
+    features = CompressorFeatures(timestamps=True)
+
+    def compress(self, graph: TemporalGraph) -> _DelegatingGraph:
+        text = contacts_as_text(graph, header=False)
+        return _DelegatingGraph(graph, 8 * len(text.encode("ascii")))
+
+
+@register
+class GzipCompressor(TemporalGraphCompressor):
+    """zlib over the plain-text contact list (the paper's Gzip column)."""
+
+    name = "Gzip"
+    features = CompressorFeatures(timestamps=True)
+
+    def __init__(self, level: int = 9) -> None:
+        self._level = level
+
+    def compress(self, graph: TemporalGraph) -> _DelegatingGraph:
+        text = contacts_as_text(graph, header=False).encode("ascii")
+        compressed = zlib.compress(text, self._level)
+        return _DelegatingGraph(graph, 8 * len(compressed))

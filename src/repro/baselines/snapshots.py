@@ -1,0 +1,160 @@
+"""The snapshot-per-time-step strawman the paper's introduction argues against.
+
+Section II-C: temporal compression approaches "overcome the overhead of
+representing a snapshot of the graph for each time step".  To quantify that
+overhead, this baseline stores exactly that: for every distinct time step,
+the gamma-gap-coded adjacency lists of the edges active at that step.
+Recurring edges are stored once *per step they are active in*, which is the
+whole problem -- an interval contact of length L costs L snapshots.
+
+Kept out of the default Table IV sweep (the paper does not chart it); the
+``bench_snapshot_overhead`` module uses it to reproduce the motivating
+claim.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List
+
+from repro.baselines.interface import (
+    CompressedTemporalGraph,
+    CompressorFeatures,
+    TemporalGraphCompressor,
+    register,
+)
+from repro.bits import codes
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.eliasfano import EliasFano
+from repro.graph.model import GraphKind, TemporalGraph
+
+
+#: Refuse to materialise more snapshot slots than this -- the strawman is
+#: for demonstrating overhead on bounded-step graphs, not for second-
+#: granularity interval graphs whose contacts span years.
+MAX_ACTIVE_STEPS = 2_000_000
+
+
+class CompressedSnapshots(CompressedTemporalGraph):
+    """One gamma-coded edge list per distinct active time step."""
+
+    def __init__(self, graph: TemporalGraph) -> None:
+        self.kind = graph.kind
+        self.num_nodes = graph.num_nodes
+        self.num_contacts = graph.num_contacts
+
+        if graph.kind is GraphKind.INTERVAL:
+            total = sum(c.duration for c in graph.contacts)
+            if total > MAX_ACTIVE_STEPS:
+                raise ValueError(
+                    f"snapshot-per-step baseline would materialise {total} "
+                    f"step slots (> {MAX_ACTIVE_STEPS}); aggregate the graph "
+                    "first -- this blow-up is the point of the baseline"
+                )
+        steps = sorted(self._active_steps(graph))
+        self._steps = steps
+        writer = BitWriter()
+        offsets: List[int] = []
+        for t in steps:
+            offsets.append(len(writer))
+            self._encode_snapshot(writer, graph.ref_snapshot(t, t))
+        self._data = writer.to_bytes()
+        self._nbits = len(writer)
+        self._offsets = EliasFano(offsets, universe=self._nbits + 1)
+        self._step_index = EliasFano(
+            steps, universe=(steps[-1] + 1) if steps else None
+        )
+
+    @staticmethod
+    def _active_steps(graph: TemporalGraph) -> set:
+        steps = set()
+        if graph.kind is GraphKind.INTERVAL:
+            for c in graph.contacts:
+                steps.update(range(c.time, c.end))
+        elif graph.kind is GraphKind.INCREMENTAL:
+            if graph.contacts:
+                top = max(c.time for c in graph.contacts)
+                steps.update(c.time for c in graph.contacts)
+                steps.add(top)
+        else:
+            steps.update(c.time for c in graph.contacts)
+        return steps
+
+    @staticmethod
+    def _encode_snapshot(writer: BitWriter, edges: List[tuple]) -> None:
+        codes.write_gamma_natural(writer, len(edges))
+        prev_u = prev_v = 0
+        for u, v in edges:  # edges sorted by (u, v)
+            if u != prev_u:
+                codes.write_gamma_natural(writer, u - prev_u)
+                prev_v = 0
+                codes.write_gamma_natural(writer, v)
+            else:
+                codes.write_gamma_natural(writer, 0)
+                codes.write_gamma_natural(writer, v - prev_v)
+            prev_u, prev_v = u, v
+
+    def _decode_snapshot(self, index: int) -> List[tuple]:
+        reader = BitReader(self._data, self._nbits)
+        reader.seek(self._offsets.access(index))
+        count = codes.read_gamma_natural(reader)
+        edges: List[tuple] = []
+        u = v = 0
+        for _ in range(count):
+            du = codes.read_gamma_natural(reader)
+            if du or not edges:
+                u += du
+                v = codes.read_gamma_natural(reader)
+            else:
+                v += codes.read_gamma_natural(reader)
+            edges.append((u, v))
+        return edges
+
+    @property
+    def size_in_bits(self) -> int:
+        return (
+            self._nbits
+            + self._offsets.size_in_bits()
+            + self._step_index.size_in_bits()
+        )
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ValueError(f"node {u} outside [0, {self.num_nodes})")
+
+    def _step_range(self, t_start: int, t_end: int) -> range:
+        lo = bisect.bisect_left(self._steps, t_start)
+        if self.kind is GraphKind.INCREMENTAL:
+            # Edges persist: the last stored step at or before t_end decides.
+            hi = bisect.bisect_right(self._steps, t_end)
+            return range(max(0, hi - 1), hi)
+        hi = bisect.bisect_right(self._steps, t_end)
+        return range(lo, hi)
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        self._check_node(u)
+        out = set()
+        for index in self._step_range(t_start, t_end):
+            for a, b in self._decode_snapshot(index):
+                if a == u:
+                    out.add(b)
+        return sorted(out)
+
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        self._check_node(u)
+        for index in self._step_range(t_start, t_end):
+            if (u, v) in self._decode_snapshot(index):
+                return True
+        return False
+
+
+@register
+class SnapshotsCompressor(TemporalGraphCompressor):
+    """Per-time-step snapshots: the overhead the field moved away from."""
+
+    name = "Snapshots"
+    features = CompressorFeatures()
+
+    def compress(self, graph: TemporalGraph) -> CompressedSnapshots:
+        self.check_supported(graph)
+        return CompressedSnapshots(graph)

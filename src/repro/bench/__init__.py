@@ -1,0 +1,25 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+The ``benchmarks/`` directory at the repository root contains one
+pytest-benchmark module per table/figure; this subpackage holds the shared
+machinery they use: method sweeps, query workload generation, row
+formatting and JSON result persistence (consumed by EXPERIMENTS.md).
+"""
+
+from repro.bench.harness import (
+    BENCH_METHODS,
+    compress_all,
+    format_table,
+    random_edge_queries,
+    random_neighbor_queries,
+    save_results,
+)
+
+__all__ = [
+    "BENCH_METHODS",
+    "compress_all",
+    "format_table",
+    "random_edge_queries",
+    "random_neighbor_queries",
+    "save_results",
+]

@@ -1,0 +1,84 @@
+"""Export benchmark figure series as CSV for external plotting.
+
+The figure benches persist their series as JSON under ``benchmarks/out/``;
+this module flattens them into tidy CSV files (one observation per row)
+that gnuplot / pandas / spreadsheets ingest directly, so the paper's plots
+can be redrawn from a reproduction run without touching Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.report import load_results
+
+
+def _rows_fig2(data: Dict) -> Tuple[List[str], List[List]]:
+    header = ["strategy", "gap_below", "cumulative_fraction"]
+    rows = []
+    for strategy, points in data.items():
+        for threshold, fraction in sorted(
+            (int(k), v) for k, v in points.items()
+        ):
+            rows.append([strategy, threshold, fraction])
+    return header, rows
+
+
+def _rows_fig6(data: Dict) -> Tuple[List[str], List[List]]:
+    header = ["dataset", "aggregation", "bits_per_contact"]
+    rows = []
+    for dataset, series in data.items():
+        for level, bits in series.items():
+            rows.append([dataset, level, bits])
+    return header, rows
+
+
+def _rows_fig7(data: Dict) -> Tuple[List[str], List[List]]:
+    header = ["dataset_granularity", "zeta_k", "timestamp_bits_per_contact"]
+    rows = []
+    for key, entry in data.items():
+        for k, bits in sorted((int(k), v) for k, v in entry["sizes"].items()):
+            rows.append([key, k, bits])
+    return header, rows
+
+
+def _rows_fig3(data: Dict) -> Tuple[List[str], List[List]]:
+    header = ["dataset", "gap_bin_center", "density"]
+    rows = []
+    for dataset, entry in data.items():
+        for center, density in entry.get("distribution", []):
+            rows.append([dataset, center, density])
+    return header, rows
+
+
+_EXPORTERS = {
+    "fig2_gap_strategies": _rows_fig2,
+    "fig3_gap_distributions": _rows_fig3,
+    "fig6_aggregation_levels": _rows_fig6,
+    "fig7_zeta_codes": _rows_fig7,
+}
+
+
+def export_figures(
+    out_dir: pathlib.Path,
+    results_dir: Optional[pathlib.Path] = None,
+) -> List[pathlib.Path]:
+    """Write one CSV per available figure series; returns the paths."""
+    results = load_results(results_dir)
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for name, exporter in _EXPORTERS.items():
+        data = results.get(name)
+        if not data:
+            continue
+        header, rows = exporter(data)
+        path = out_dir / f"{name}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        written.append(path)
+    return written

@@ -1,0 +1,129 @@
+"""Shared benchmark machinery: sweeps, workloads, formatting, persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines import get_compressor
+from repro.baselines.interface import CompressedTemporalGraph
+from repro.graph.model import TemporalGraph
+
+#: Method sweep order of Tables IV and V.
+BENCH_METHODS = (
+    "Raw",
+    "Gzip",
+    "EveLog",
+    "EdgeLog",
+    "CET",
+    "CAS",
+    "ckd-trees",
+    "T-ABT",
+    "ChronoGraph",
+)
+
+#: Environment knob scaling every dataset in the benches (1.0 = defaults).
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def bench_scale(default: float = 0.3) -> float:
+    """Dataset scale used by the benchmark modules."""
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if raw is None:
+        return default
+    scale = float(raw)
+    if scale <= 0:
+        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {raw}")
+    return scale
+
+
+def compress_all(
+    graph: TemporalGraph, methods: Sequence[str] = BENCH_METHODS
+) -> Dict[str, Tuple[CompressedTemporalGraph, float]]:
+    """Compress ``graph`` with every method; returns name -> (result, seconds)."""
+    out: Dict[str, Tuple[CompressedTemporalGraph, float]] = {}
+    for name in methods:
+        compressor = get_compressor(name)
+        start = time.perf_counter()
+        compressed = compressor.compress(graph)
+        out[name] = (compressed, time.perf_counter() - start)
+    return out
+
+
+def random_neighbor_queries(
+    graph: TemporalGraph, count: int, seed: int = 0
+) -> List[Tuple[int, int, int]]:
+    """(u, t_start, t_end) tuples mimicking the paper's random accesses."""
+    rng = random.Random(seed)
+    span = max(1, graph.lifetime)
+    t0 = graph.t_min
+    out: List[Tuple[int, int, int]] = []
+    for _ in range(count):
+        t1 = t0 + rng.randrange(span)
+        out.append(
+            (
+                rng.randrange(max(1, graph.num_nodes)),
+                t1,
+                t1 + rng.randrange(span // 10 + 1),
+            )
+        )
+    return out
+
+
+def random_edge_queries(
+    graph: TemporalGraph, count: int, seed: int = 0
+) -> List[Tuple[int, int, int, int]]:
+    """(u, v, t_start, t_end) tuples; half target existing edges."""
+    rng = random.Random(seed)
+    span = max(1, graph.lifetime)
+    t0 = graph.t_min
+    contacts = graph.contacts
+    out: List[Tuple[int, int, int, int]] = []
+    for i in range(count):
+        if contacts and i % 2 == 0:
+            c = contacts[rng.randrange(len(contacts))]
+            u, v = c.u, c.v
+        else:
+            u = rng.randrange(max(1, graph.num_nodes))
+            v = rng.randrange(max(1, graph.num_nodes))
+        t1 = t0 + rng.randrange(span)
+        out.append((u, v, t1, t1 + rng.randrange(span // 10 + 1)))
+    return out
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width text table matching the paper's row/column layout."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def results_dir() -> pathlib.Path:
+    """Where benchmark modules drop machine-readable results."""
+    path = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "out"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_results(name: str, payload: object) -> pathlib.Path:
+    """Persist a benchmark's results as JSON under ``benchmarks/out/``."""
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

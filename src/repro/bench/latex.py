@@ -1,0 +1,97 @@
+"""LaTeX export of the headline tables.
+
+A reproduction repository's results end up back in papers; this module
+renders the Table IV matrix and the Table V access-time matrix from
+``benchmarks/out/`` as LaTeX tabulars, with the winner per row bolded the
+way the original typesets it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.bench.harness import BENCH_METHODS
+from repro.bench.report import load_results
+
+_COMPETITORS = [m for m in BENCH_METHODS if m not in ("Raw", "Gzip")]
+
+
+def _escape(text: str) -> str:
+    return text.replace("_", r"\_").replace("%", r"\%").replace("#", r"\#")
+
+
+def latex_table4(results: Dict[str, object]) -> Optional[str]:
+    """Table IV as a LaTeX tabular (bits/contact, best method bolded)."""
+    data = results.get("table4_compression_ratio")
+    if not data:
+        return None
+    lines: List[str] = []
+    columns = "l" + "r" * len(BENCH_METHODS) + "r"
+    lines.append(r"\begin{tabular}{" + columns + "}")
+    lines.append(r"\toprule")
+    header = ["Graph"] + [_escape(m) for m in BENCH_METHODS] + ["Impr."]
+    lines.append(" & ".join(header) + r" \\")
+    lines.append(r"\midrule")
+    for dataset in sorted(data):
+        entry = data[dataset]
+        ratios = entry["ratios"]
+        best = min(ratios[m] for m in _COMPETITORS)
+        cells = [_escape(dataset)]
+        for method in BENCH_METHODS:
+            value = f"{ratios[method]:.2f}"
+            if method in _COMPETITORS and ratios[method] == best:
+                value = r"\textbf{" + value + "}"
+            cells.append(value)
+        cells.append(f"{entry['improvement_over_second_best_pct']:+.1f}\\%")
+        lines.append(" & ".join(cells) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    return "\n".join(lines)
+
+
+def latex_access_times(results: Dict[str, object]) -> Optional[str]:
+    """Table V (neighbor queries) as a LaTeX tabular in microseconds."""
+    data = results.get("table5_access_time")
+    if not data:
+        return None
+    methods = sorted(next(iter(data.values())))
+    lines: List[str] = []
+    lines.append(r"\begin{tabular}{l" + "r" * len(methods) + "}")
+    lines.append(r"\toprule")
+    lines.append(" & ".join(["Graph"] + [_escape(m) for m in methods]) + r" \\")
+    lines.append(r"\midrule")
+    for dataset in sorted(data):
+        row = data[dataset]
+        fastest = min(row[m]["neighbors_us"] for m in methods)
+        cells = [_escape(dataset)]
+        for method in methods:
+            value = f"{row[method]['neighbors_us']:.1f}"
+            if row[method]["neighbors_us"] == fastest:
+                value = r"\textbf{" + value + "}"
+            cells.append(value)
+        lines.append(" & ".join(cells) + r" \\")
+    lines.append(r"\bottomrule")
+    lines.append(r"\end{tabular}")
+    return "\n".join(lines)
+
+
+def export_latex(
+    out_dir: pathlib.Path,
+    results_dir: Optional[pathlib.Path] = None,
+) -> List[pathlib.Path]:
+    """Write the available LaTeX tables; returns the paths written."""
+    results = load_results(results_dir)
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for name, renderer in (
+        ("table4_compression_ratio.tex", latex_table4),
+        ("table5_access_time.tex", latex_access_times),
+    ):
+        block = renderer(results)
+        if block:
+            path = out_dir / name
+            path.write_text(block + "\n")
+            written.append(path)
+    return written

@@ -1,0 +1,94 @@
+"""Render a human-readable summary from the benchmark JSON results.
+
+`pytest benchmarks/ --benchmark-only` drops one JSON file per table/figure
+under ``benchmarks/out/``; this module folds them into the summary the CLI
+``report`` command prints and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.bench.harness import BENCH_METHODS, format_table, results_dir
+
+
+def load_results(directory: Optional[pathlib.Path] = None) -> Dict[str, object]:
+    """All available result payloads, keyed by benchmark name."""
+    directory = directory or results_dir()
+    out: Dict[str, object] = {}
+    for path in sorted(directory.glob("*.json")):
+        out[path.stem] = json.loads(path.read_text())
+    return out
+
+
+def render_table4(results: Dict[str, object]) -> Optional[str]:
+    """The compression-ratio matrix, if the bench has run."""
+    data = results.get("table4_compression_ratio")
+    if not data:
+        return None
+    rows: List[List[str]] = []
+    for dataset in sorted(data):
+        entry = data[dataset]
+        ratios = entry["ratios"]
+        rows.append(
+            [dataset]
+            + [f"{ratios[m]:.2f}" for m in BENCH_METHODS]
+            + [f"{entry['improvement_over_second_best_pct']:+.1f}%"]
+        )
+    return format_table(
+        ["dataset"] + list(BENCH_METHODS) + ["impr."],
+        rows,
+        title="Table IV -- bits/contact",
+    )
+
+
+def render_access_times(results: Dict[str, object]) -> Optional[str]:
+    """Neighbor-query latency matrix, if the bench has run."""
+    data = results.get("table5_access_time")
+    if not data:
+        return None
+    methods = sorted(next(iter(data.values())))
+    rows = [
+        [dataset] + [f"{data[dataset][m]['neighbors_us']:.1f}" for m in methods]
+        for dataset in sorted(data)
+    ]
+    return format_table(
+        ["dataset"] + methods,
+        rows,
+        title="Table V -- neighbor queries (microseconds)",
+    )
+
+
+def render_best_zeta(results: Dict[str, object]) -> Optional[str]:
+    """Figure 7 optima, if the bench has run."""
+    data = results.get("fig7_zeta_codes")
+    if not data:
+        return None
+    rows = [[key, str(entry["best_k"])] for key, entry in sorted(data.items())]
+    return format_table(
+        ["graph@granularity", "best zeta k"],
+        rows,
+        title="Figure 7 -- optimal zeta parameters",
+    )
+
+
+def render_summary(directory: Optional[pathlib.Path] = None) -> str:
+    """Everything available, concatenated; explains how to produce the rest."""
+    results = load_results(directory)
+    if not results:
+        return (
+            "no benchmark results found; run\n"
+            "  pytest benchmarks/ --benchmark-only\n"
+            "to produce them"
+        )
+    sections = [
+        f"benchmark results: {len(results)} artefacts "
+        f"({', '.join(sorted(results))})"
+    ]
+    for renderer in (render_table4, render_access_times, render_best_zeta):
+        block = renderer(results)
+        if block:
+            sections.append(block)
+    return "\n\n".join(sections)

@@ -1,0 +1,170 @@
+"""MSB-first bit streams.
+
+All compressed representations in this package are serialised as contiguous
+bit strings. ``BitWriter`` accumulates bits most-significant-bit first into a
+``bytearray``; ``BitReader`` consumes them in the same order and additionally
+supports random repositioning, which the offset indexes rely on.
+
+The MSB-first convention matches the WebGraph framework the paper builds on:
+the first bit written is the highest bit of the first byte.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates an MSB-first bit string.
+
+    Bits are buffered in an integer accumulator and flushed to a
+    ``bytearray`` one byte at a time.  ``len(writer)`` is the number of bits
+    written so far, which callers use to record stream offsets.
+    """
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0          # bits not yet flushed, MSB-aligned in `_nacc`
+        self._nacc = 0         # number of valid bits in `_acc`
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return 8 * len(self._bytes) + self._nacc
+
+    @property
+    def bit_length(self) -> int:
+        """Alias for ``len(self)``; the current write position in bits."""
+        return len(self)
+
+    def write_bit(self, bit: int) -> int:
+        """Append a single bit (0 or 1). Returns the number of bits written."""
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nacc += 1
+        if self._nacc == 8:
+            self._bytes.append(self._acc)
+            self._acc = 0
+            self._nacc = 0
+        return 1
+
+    def write_bits(self, value: int, width: int) -> int:
+        """Append ``width`` bits holding ``value`` (MSB first).
+
+        ``value`` must satisfy ``0 <= value < 2**width``.  Returns ``width``.
+        """
+        if width < 0:
+            raise ValueError(f"negative width: {width}")
+        if value < 0 or (value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._acc = (self._acc << width) | value
+        self._nacc += width
+        while self._nacc >= 8:
+            self._nacc -= 8
+            self._bytes.append((self._acc >> self._nacc) & 0xFF)
+        # Keep only the unflushed low bits to stop `_acc` growing unboundedly.
+        self._acc &= (1 << self._nacc) - 1
+        return width
+
+    def extend(self, other: "BitWriter") -> int:
+        """Append the full contents of another writer. Returns bits appended."""
+        nbits = len(other)
+        data, tail_bits, tail = other._bytes, other._nacc, other._acc
+        for byte in data:
+            self.write_bits(byte, 8)
+        if tail_bits:
+            self.write_bits(tail, tail_bits)
+        return nbits
+
+    def to_bytes(self) -> bytes:
+        """Return the stream padded with zero bits to a whole byte."""
+        out = bytearray(self._bytes)
+        if self._nacc:
+            out.append((self._acc << (8 - self._nacc)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads an MSB-first bit string produced by :class:`BitWriter`.
+
+    Supports ``seek`` to an absolute bit position, which is what makes the
+    Elias-Fano offset indexes useful: a node's record can be decoded by
+    jumping straight to its first bit.
+    """
+
+    def __init__(self, data: bytes, nbits: int | None = None) -> None:
+        self._data = data
+        self._nbits = 8 * len(data) if nbits is None else nbits
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read position, in bits from the start of the stream."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._nbits - self._pos
+
+    def seek(self, bit_position: int) -> None:
+        """Reposition the cursor to an absolute bit offset."""
+        if not 0 <= bit_position <= self._nbits:
+            raise ValueError(
+                f"seek to {bit_position} outside stream of {self._nbits} bits"
+            )
+        self._pos = bit_position
+
+    def read_bit(self) -> int:
+        """Read and return the next bit."""
+        if self._pos >= self._nbits:
+            raise EOFError("read past end of bit stream")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise ValueError(f"negative width: {width}")
+        if self._pos + width > self._nbits:
+            raise EOFError(
+                f"read of {width} bits at {self._pos} exceeds {self._nbits}"
+            )
+        end = self._pos + width
+        first_byte = self._pos >> 3
+        last_byte = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[first_byte:last_byte], "big")
+        chunk_bits = 8 * (last_byte - first_byte)
+        chunk >>= chunk_bits - (end - 8 * first_byte)
+        self._pos = end
+        return chunk & ((1 << width) - 1)
+
+    def read_unary_run(self) -> int:
+        """Count zero bits up to and including the terminating 1 bit.
+
+        Returns the number of zeros seen (so the unary code of ``x`` yields
+        ``x - 1``). Provided here because it is the hot inner loop of every
+        decoder; scanning byte-at-a-time is markedly faster than bit-at-a-time.
+        """
+        zeros = 0
+        pos = self._pos
+        data = self._data
+        nbits = self._nbits
+        while pos < nbits:
+            byte = data[pos >> 3]
+            offset = pos & 7
+            # Remaining bits of the current byte, left-aligned in 8 bits.
+            window = (byte << offset) & 0xFF
+            avail = min(8 - offset, nbits - pos)
+            if window == 0:
+                zeros += avail
+                pos += avail
+                continue
+            lead = 8 - window.bit_length()  # leading zeros within window
+            if lead >= avail:
+                zeros += avail
+                pos += avail
+                continue
+            zeros += lead
+            pos += lead + 1  # consume the 1 bit as well
+            self._pos = pos
+            return zeros
+        raise EOFError("unary run hit end of bit stream")

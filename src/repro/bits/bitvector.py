@@ -1,0 +1,159 @@
+"""A plain bitvector with constant-time rank and fast select.
+
+Substrate for the wavelet trees (CET/CAS baselines) and for the Elias-Fano
+upper-bits array.  Rank uses per-block popcount prefix sums; select keeps a
+sampled directory of every ``SELECT_SAMPLE``-th set (or unset) bit and scans
+at most one sample interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+_BLOCK = 64
+_SELECT_SAMPLE = 64
+
+
+class BitVector:
+    """An immutable sequence of bits supporting ``rank`` and ``select``.
+
+    ``rank1(i)`` counts ones in positions ``[0, i)``; ``select1(j)`` returns
+    the position of the j-th one (0-based), mirroring the conventions of the
+    succinct data-structure literature the paper's substrates come from.
+    """
+
+    def __init__(self, bits: Iterable[int]) -> None:
+        words: List[int] = []
+        length = 0
+        acc = 0
+        for bit in bits:
+            if bit:
+                acc |= 1 << (length % _BLOCK)
+            length += 1
+            if length % _BLOCK == 0:
+                words.append(acc)
+                acc = 0
+        if length % _BLOCK:
+            words.append(acc)
+        self._words = words
+        self._length = length
+        self._build_rank_index()
+        self._build_select_index()
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int], length: int) -> "BitVector":
+        """Build a bitvector of ``length`` bits with ones at ``indices``."""
+        marks = bytearray(length)
+        for i in indices:
+            if not 0 <= i < length:
+                raise ValueError(f"index {i} outside [0, {length})")
+            marks[i] = 1
+        return cls(marks)
+
+    def _build_rank_index(self) -> None:
+        ranks = [0]
+        total = 0
+        for word in self._words:
+            total += bin(word).count("1")
+            ranks.append(total)
+        self._ranks = ranks
+        self._ones = total
+
+    def _build_select_index(self) -> None:
+        # Sampled positions of every _SELECT_SAMPLE-th one / zero.
+        ones_samples: List[int] = []
+        zeros_samples: List[int] = []
+        seen1 = 0
+        seen0 = 0
+        for pos in range(self._length):
+            if self[pos]:
+                if seen1 % _SELECT_SAMPLE == 0:
+                    ones_samples.append(pos)
+                seen1 += 1
+            else:
+                if seen0 % _SELECT_SAMPLE == 0:
+                    zeros_samples.append(pos)
+                seen0 += 1
+        self._select1_samples = ones_samples
+        self._select0_samples = zeros_samples
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._length:
+            raise IndexError(i)
+        return (self._words[i // _BLOCK] >> (i % _BLOCK)) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self[i]
+
+    @property
+    def count_ones(self) -> int:
+        """Total number of set bits."""
+        return self._ones
+
+    @property
+    def count_zeros(self) -> int:
+        """Total number of unset bits."""
+        return self._length - self._ones
+
+    def size_in_bits(self) -> int:
+        """Size of the payload (excluding indexes), used for size accounting."""
+        return self._length
+
+    def rank1(self, i: int) -> int:
+        """Number of ones in positions ``[0, i)``."""
+        if not 0 <= i <= self._length:
+            raise IndexError(i)
+        word_index, offset = divmod(i, _BLOCK)
+        count = self._ranks[word_index]
+        if offset:
+            mask = (1 << offset) - 1
+            count += bin(self._words[word_index] & mask).count("1")
+        return count
+
+    def rank0(self, i: int) -> int:
+        """Number of zeros in positions ``[0, i)``."""
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the j-th one (0-based)."""
+        if not 0 <= j < self._ones:
+            raise IndexError(f"select1({j}) with only {self._ones} ones")
+        pos = self._select1_samples[j // _SELECT_SAMPLE]
+        seen = (j // _SELECT_SAMPLE) * _SELECT_SAMPLE
+        # Scan forward word by word from the sampled position.
+        word_index = pos // _BLOCK
+        offset = pos % _BLOCK
+        word = self._words[word_index] >> offset
+        while True:
+            ones_here = bin(word).count("1")
+            if seen + ones_here > j:
+                # The answer is inside this word fragment.
+                while True:
+                    if word & 1:
+                        if seen == j:
+                            return word_index * _BLOCK + offset
+                        seen += 1
+                    word >>= 1
+                    offset += 1
+            seen += ones_here
+            word_index += 1
+            offset = 0
+            word = self._words[word_index]
+
+    def select0(self, j: int) -> int:
+        """Position of the j-th zero (0-based)."""
+        zeros = self._length - self._ones
+        if not 0 <= j < zeros:
+            raise IndexError(f"select0({j}) with only {zeros} zeros")
+        pos = self._select0_samples[j // _SELECT_SAMPLE]
+        seen = (j // _SELECT_SAMPLE) * _SELECT_SAMPLE
+        for p in range(pos, self._length):
+            if not self[p]:
+                if seen == j:
+                    return p
+                seen += 1
+        raise AssertionError("select0 scan fell off the end")  # pragma: no cover

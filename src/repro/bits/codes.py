@@ -1,0 +1,410 @@
+"""Instantaneous codes used by ChronoGraph and the baselines.
+
+All codes operate on *positive* integers (x >= 1), following Boldi & Vigna,
+"Codes for the World Wide Web".  Natural numbers (>= 0) are coded through the
+``*_natural`` wrappers which shift by one.  The worked examples from the
+paper hold exactly:
+
+* unary(2) = ``01``
+* minimal binary of 8 over [0, 55] = ``010000``
+* zeta_3(16) = ``01010000``
+
+The module exposes, per code, a writer (``write_*``), a reader (``read_*``)
+and a length function (``*_length``) used when sizing candidate encodings
+without materialising them (e.g. reference selection and the Figure 7 sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.zigzag import to_integer, to_natural
+
+__all__ = [
+    "write_unary", "read_unary", "unary_length",
+    "write_minimal_binary", "read_minimal_binary", "minimal_binary_length",
+    "write_gamma", "read_gamma", "gamma_length",
+    "write_gamma_natural", "read_gamma_natural",
+    "write_gamma_integer", "read_gamma_integer",
+    "write_delta", "read_delta", "delta_length",
+    "write_zeta", "read_zeta", "zeta_length",
+    "write_zeta_natural", "read_zeta_natural",
+    "write_zeta_integer", "read_zeta_integer",
+    "write_golomb", "read_golomb", "golomb_length",
+    "write_rice", "read_rice", "rice_length",
+    "write_vbyte", "read_vbyte", "vbyte_length",
+    "encode_simple16", "decode_simple16",
+]
+
+
+# --------------------------------------------------------------------------
+# Unary
+# --------------------------------------------------------------------------
+
+def write_unary(writer: BitWriter, x: int) -> int:
+    """Write ``x >= 1`` as ``x - 1`` zeros followed by a one."""
+    if x < 1:
+        raise ValueError(f"unary undefined for {x}")
+    # A single write keeps long runs cheap: the value 1 in `x` bits.
+    return writer.write_bits(1, x)
+
+
+def read_unary(reader: BitReader) -> int:
+    """Read a unary code; inverse of :func:`write_unary`."""
+    return reader.read_unary_run() + 1
+
+
+def unary_length(x: int) -> int:
+    """Bit length of the unary code of ``x``."""
+    if x < 1:
+        raise ValueError(f"unary undefined for {x}")
+    return x
+
+
+# --------------------------------------------------------------------------
+# Minimal binary over an interval [0, z - 1]
+# --------------------------------------------------------------------------
+
+def _ceil_log2(z: int) -> int:
+    if z <= 0:
+        raise ValueError(f"ceil log2 undefined for {z}")
+    return (z - 1).bit_length()
+
+
+def write_minimal_binary(writer: BitWriter, x: int, z: int) -> int:
+    """Write ``x`` minimally over the interval ``[0, z - 1]``.
+
+    With ``s = ceil(log2 z)`` and ``m = 2**s - z``: values below ``m`` take
+    ``s - 1`` bits, the rest take ``s`` bits (offset by ``m``).
+    """
+    if not 0 <= x < z:
+        raise ValueError(f"{x} outside [0, {z - 1}]")
+    if z == 1:
+        return 0  # the singleton interval needs no bits
+    s = _ceil_log2(z)
+    m = (1 << s) - z
+    if x < m:
+        return writer.write_bits(x, s - 1)
+    return writer.write_bits(x + m, s)
+
+
+def read_minimal_binary(reader: BitReader, z: int) -> int:
+    """Read a minimal binary code over ``[0, z - 1]``."""
+    if z <= 0:
+        raise ValueError(f"empty interval: z={z}")
+    if z == 1:
+        return 0
+    s = _ceil_log2(z)
+    m = (1 << s) - z
+    if s == 1:
+        # m == 0 here (z == 2); one full-width bit.
+        return reader.read_bits(1)
+    value = reader.read_bits(s - 1)
+    if value < m:
+        return value
+    value = (value << 1) | reader.read_bit()
+    return value - m
+
+
+def minimal_binary_length(x: int, z: int) -> int:
+    """Bit length of the minimal binary code of ``x`` over ``[0, z - 1]``."""
+    if not 0 <= x < z:
+        raise ValueError(f"{x} outside [0, {z - 1}]")
+    if z == 1:
+        return 0
+    s = _ceil_log2(z)
+    m = (1 << s) - z
+    return s - 1 if x < m else s
+
+
+# --------------------------------------------------------------------------
+# Elias gamma / delta
+# --------------------------------------------------------------------------
+
+def write_gamma(writer: BitWriter, x: int) -> int:
+    """Write Elias gamma: unary(|x| bits) then the low bits of ``x``."""
+    if x < 1:
+        raise ValueError(f"gamma undefined for {x}")
+    l = x.bit_length() - 1
+    n = write_unary(writer, l + 1)
+    if l:
+        n += writer.write_bits(x - (1 << l), l)
+    return n
+
+
+def read_gamma(reader: BitReader) -> int:
+    """Read an Elias gamma code."""
+    # Calls read_unary_run directly: gamma decoding is the hottest loop of
+    # every structure-record decode, so the wrapper hop matters.
+    l = reader.read_unary_run()
+    if l == 0:
+        return 1
+    return (1 << l) | reader.read_bits(l)
+
+
+def gamma_length(x: int) -> int:
+    """Bit length of the Elias gamma code of ``x``."""
+    if x < 1:
+        raise ValueError(f"gamma undefined for {x}")
+    return 2 * (x.bit_length() - 1) + 1
+
+
+def write_gamma_natural(writer: BitWriter, n: int) -> int:
+    """Gamma-code a natural number (``n >= 0``) as ``gamma(n + 1)``."""
+    return write_gamma(writer, n + 1)
+
+
+def read_gamma_natural(reader: BitReader) -> int:
+    """Inverse of :func:`write_gamma_natural`."""
+    return read_gamma(reader) - 1
+
+
+def write_gamma_integer(writer: BitWriter, x: int) -> int:
+    """Gamma-code a possibly-negative integer via Eq. (1)."""
+    return write_gamma_natural(writer, to_natural(x))
+
+
+def read_gamma_integer(reader: BitReader) -> int:
+    """Inverse of :func:`write_gamma_integer`."""
+    return to_integer(read_gamma_natural(reader))
+
+
+def write_delta(writer: BitWriter, x: int) -> int:
+    """Write Elias delta: gamma(|x| bits) then the low bits of ``x``."""
+    if x < 1:
+        raise ValueError(f"delta undefined for {x}")
+    l = x.bit_length() - 1
+    n = write_gamma(writer, l + 1)
+    if l:
+        n += writer.write_bits(x - (1 << l), l)
+    return n
+
+
+def read_delta(reader: BitReader) -> int:
+    """Read an Elias delta code."""
+    l = read_gamma(reader) - 1
+    if l == 0:
+        return 1
+    return (1 << l) | reader.read_bits(l)
+
+
+def delta_length(x: int) -> int:
+    """Bit length of the Elias delta code of ``x``."""
+    if x < 1:
+        raise ValueError(f"delta undefined for {x}")
+    l = x.bit_length() - 1
+    return gamma_length(l + 1) + l
+
+
+# --------------------------------------------------------------------------
+# Boldi-Vigna zeta_k
+# --------------------------------------------------------------------------
+
+def write_zeta(writer: BitWriter, x: int, k: int) -> int:
+    """Write the Boldi-Vigna zeta_k code of ``x >= 1``.
+
+    With ``x`` in ``[2**(h*k), 2**((h+1)*k) - 1]``: unary(h + 1) followed by
+    the minimal binary code of ``x - 2**(h*k)`` over an interval of size
+    ``2**((h+1)*k) - 2**(h*k)``.  zeta_1 coincides with Elias gamma.
+    """
+    if x < 1:
+        raise ValueError(f"zeta undefined for {x}")
+    if k < 1:
+        raise ValueError(f"invalid zeta shrinking parameter k={k}")
+    h = (x.bit_length() - 1) // k
+    n = write_unary(writer, h + 1)
+    low = 1 << (h * k)
+    n += write_minimal_binary(writer, x - low, (low << k) - low)
+    return n
+
+
+def read_zeta(reader: BitReader, k: int) -> int:
+    """Read a zeta_k code."""
+    h = read_unary(reader) - 1
+    low = 1 << (h * k)
+    return low + read_minimal_binary(reader, (low << k) - low)
+
+
+def zeta_length(x: int, k: int) -> int:
+    """Bit length of the zeta_k code of ``x``."""
+    if x < 1:
+        raise ValueError(f"zeta undefined for {x}")
+    h = (x.bit_length() - 1) // k
+    low = 1 << (h * k)
+    return (h + 1) + minimal_binary_length(x - low, (low << k) - low)
+
+
+def write_zeta_natural(writer: BitWriter, n: int, k: int) -> int:
+    """zeta_k-code a natural number as ``zeta_k(n + 1)``."""
+    return write_zeta(writer, n + 1, k)
+
+
+def read_zeta_natural(reader: BitReader, k: int) -> int:
+    """Inverse of :func:`write_zeta_natural`."""
+    return read_zeta(reader, k) - 1
+
+
+def write_zeta_integer(writer: BitWriter, x: int, k: int) -> int:
+    """zeta_k-code a possibly-negative integer via Eq. (1)."""
+    return write_zeta_natural(writer, to_natural(x), k)
+
+
+def read_zeta_integer(reader: BitReader, k: int) -> int:
+    """Inverse of :func:`write_zeta_integer`."""
+    return to_integer(read_zeta_natural(reader, k))
+
+
+# --------------------------------------------------------------------------
+# Golomb / Rice
+# --------------------------------------------------------------------------
+
+def write_golomb(writer: BitWriter, x: int, m: int) -> int:
+    """Write the Golomb code of ``x >= 0`` with modulus ``m >= 1``."""
+    if x < 0:
+        raise ValueError(f"golomb undefined for {x}")
+    if m < 1:
+        raise ValueError(f"invalid golomb modulus m={m}")
+    q, r = divmod(x, m)
+    n = write_unary(writer, q + 1)
+    n += write_minimal_binary(writer, r, m)
+    return n
+
+
+def read_golomb(reader: BitReader, m: int) -> int:
+    """Read a Golomb code with modulus ``m``."""
+    q = read_unary(reader) - 1
+    return q * m + read_minimal_binary(reader, m)
+
+
+def golomb_length(x: int, m: int) -> int:
+    """Bit length of the Golomb code of ``x`` with modulus ``m``."""
+    q, r = divmod(x, m)
+    return (q + 1) + minimal_binary_length(r, m)
+
+
+def write_rice(writer: BitWriter, x: int, b: int) -> int:
+    """Write the Rice code of ``x >= 0``: Golomb with ``m = 2**b``."""
+    return write_golomb(writer, x, 1 << b)
+
+
+def read_rice(reader: BitReader, b: int) -> int:
+    """Read a Rice code with parameter ``b``."""
+    return read_golomb(reader, 1 << b)
+
+
+def rice_length(x: int, b: int) -> int:
+    """Bit length of the Rice code of ``x`` with parameter ``b``."""
+    return golomb_length(x, 1 << b)
+
+
+# --------------------------------------------------------------------------
+# Variable byte
+# --------------------------------------------------------------------------
+
+def write_vbyte(writer: BitWriter, x: int) -> int:
+    """Write ``x >= 0`` in 7-bit groups, high continuation bit per byte."""
+    if x < 0:
+        raise ValueError(f"vbyte undefined for {x}")
+    groups = []
+    while True:
+        groups.append(x & 0x7F)
+        x >>= 7
+        if not x:
+            break
+    n = 0
+    for i in range(len(groups) - 1, 0, -1):
+        n += writer.write_bits(0x80 | groups[i], 8)
+    n += writer.write_bits(groups[0], 8)
+    return n
+
+
+def read_vbyte(reader: BitReader) -> int:
+    """Read a variable-byte code."""
+    value = 0
+    while True:
+        byte = reader.read_bits(8)
+        value = (value << 7) | (byte & 0x7F)
+        if not byte & 0x80:
+            return value
+
+
+def vbyte_length(x: int) -> int:
+    """Bit length of the variable-byte code of ``x``."""
+    if x < 0:
+        raise ValueError(f"vbyte undefined for {x}")
+    return 8 * max(1, (x.bit_length() + 6) // 7)
+
+
+# --------------------------------------------------------------------------
+# Simple16
+# --------------------------------------------------------------------------
+
+# Each selector lists the bit widths of the slots packed into one 28-bit
+# payload (the 4 selector bits make a 32-bit word).  This is the canonical
+# Simple16 table used by inverted-index codecs such as the one EdgeLog cites.
+_SIMPLE16_MODES: List[List[int]] = [
+    [1] * 28,
+    [2] * 7 + [1] * 14,
+    [1] * 7 + [2] * 7 + [1] * 7,
+    [1] * 14 + [2] * 7,
+    [2] * 14,
+    [4] * 1 + [3] * 8,
+    [3] * 1 + [4] * 4 + [3] * 3,
+    [4] * 7,
+    [5] * 4 + [4] * 2,
+    [4] * 2 + [5] * 4,
+    [6] * 3 + [5] * 2,
+    [5] * 2 + [6] * 3,
+    [7] * 4,
+    [10] * 1 + [9] * 2,
+    [14] * 2,
+    [28] * 1,
+]
+
+
+def encode_simple16(writer: BitWriter, values: Sequence[int]) -> int:
+    """Pack naturals ``< 2**28`` into 32-bit Simple16 words.
+
+    The count is *not* stored; callers record it separately.  Returns the
+    number of bits written.
+    """
+    for v in values:
+        if v < 0 or v >= (1 << 28):
+            raise ValueError(f"simple16 requires 0 <= value < 2**28, got {v}")
+    n = 0
+    i = 0
+    total = len(values)
+    while i < total:
+        for selector, widths in enumerate(_SIMPLE16_MODES):
+            # Trailing slots of a partial final block are zero-filled, so a
+            # selector fits as soon as every value present fits its slot.
+            take = min(len(widths), total - i)
+            fits = all(
+                values[i + j].bit_length() <= widths[j] for j in range(take)
+            )
+            if fits:
+                n += writer.write_bits(selector, 4)
+                for j, width in enumerate(widths):
+                    v = values[i + j] if i + j < total else 0
+                    n += writer.write_bits(v, width)
+                i += take
+                break
+        else:  # pragma: no cover - mode 15 always fits
+            raise AssertionError("no simple16 mode fits")
+    return n
+
+
+def decode_simple16(reader: BitReader, count: int) -> List[int]:
+    """Decode ``count`` naturals written by :func:`encode_simple16`."""
+    out: List[int] = []
+    while len(out) < count:
+        selector = reader.read_bits(4)
+        for width in _SIMPLE16_MODES[selector]:
+            out.append(reader.read_bits(width))
+    return out[:count]
+
+
+def iter_code_lengths(values: Iterable[int], k: int) -> int:
+    """Total zeta_k bit length of an iterable of naturals (for sizing)."""
+    return sum(zeta_length(v + 1, k) for v in values)

@@ -1,0 +1,85 @@
+"""PForDelta (Patched Frame-of-Reference) block codec.
+
+The third of the inverted-list codecs EdgeLog's description offers
+("PForDelta, Simple16, Rice codes").  Values are packed in fixed-width
+frames chosen so that ~90% of a block fits; the outliers ("exceptions") are
+patched in afterwards from a verbatim list.
+
+Layout per block (up to ``BLOCK`` values):
+
+* 6 bits: frame width ``b``
+* 8 bits: exception count ``e``
+* ``count * b`` bits: low ``b`` bits of every value
+* per exception: 8 bits position + 32 bits of the bits above the frame
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bits.bitio import BitReader, BitWriter
+
+BLOCK = 128
+_WIDTH_BITS = 6
+_COUNT_BITS = 8
+_POS_BITS = 8
+_HIGH_BITS = 32
+
+
+def _choose_width(values: Sequence[int]) -> int:
+    """Smallest frame width leaving at most 10% exceptions."""
+    if not values:
+        return 0
+    widths = sorted(v.bit_length() for v in values)
+    cutoff = widths[min(len(widths) - 1, (len(widths) * 9) // 10)]
+    return min(cutoff, 32)
+
+
+def encode_pfordelta(writer: BitWriter, values: Sequence[int]) -> int:
+    """Append blocks for all ``values`` (naturals < 2**38); returns bits."""
+    total = 0
+    for start in range(0, len(values), BLOCK):
+        block = values[start : start + BLOCK]
+        total += _encode_block(writer, block)
+    return total
+
+
+def _encode_block(writer: BitWriter, block: Sequence[int]) -> int:
+    for v in block:
+        if v < 0:
+            raise ValueError(f"pfordelta requires naturals, got {v}")
+        if v.bit_length() > _HIGH_BITS + 6:
+            raise ValueError(f"value {v} too wide for pfordelta")
+    b = _choose_width(block)
+    exceptions = [
+        (i, v >> b) for i, v in enumerate(block) if v.bit_length() > b
+    ]
+    if len(exceptions) >= 1 << _COUNT_BITS:
+        raise AssertionError("exception count exceeds the 8-bit field")
+    n = writer.write_bits(b, _WIDTH_BITS)
+    n += writer.write_bits(len(exceptions), _COUNT_BITS)
+    mask = (1 << b) - 1
+    for v in block:
+        n += writer.write_bits(v & mask, b)
+    for position, high in exceptions:
+        n += writer.write_bits(position, _POS_BITS)
+        n += writer.write_bits(high, _HIGH_BITS)
+    return n
+
+
+def decode_pfordelta(reader: BitReader, count: int) -> List[int]:
+    """Decode ``count`` values written by :func:`encode_pfordelta`."""
+    out: List[int] = []
+    remaining = count
+    while remaining > 0:
+        take = min(BLOCK, remaining)
+        b = reader.read_bits(_WIDTH_BITS)
+        num_exceptions = reader.read_bits(_COUNT_BITS)
+        block = [reader.read_bits(b) for _ in range(take)]
+        for _ in range(num_exceptions):
+            position = reader.read_bits(_POS_BITS)
+            high = reader.read_bits(_HIGH_BITS)
+            block[position] |= high << b
+        out.extend(block)
+        remaining -= take
+    return out

@@ -1,0 +1,27 @@
+"""The integer-to-natural mapping of the paper's Eq. (1).
+
+The gap sequences ChronoGraph produces (timestamp gaps under the *previous*
+strategy, first gaps of dedup/interval/extra blocks) may be negative, while
+the instantaneous codes only handle naturals.  Eq. (1) of the paper folds the
+integers onto the naturals so that small absolute values stay small::
+
+    f(x) = 2x        if x >= 0
+    f(x) = 2|x| - 1  otherwise
+
+e.g. 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, 2 -> 4 ...  (Table II of the paper:
+161 -> 322, -143 -> 285, -4 -> 7.)
+"""
+
+from __future__ import annotations
+
+
+def to_natural(x: int) -> int:
+    """Map an integer to a natural number per Eq. (1) of the paper."""
+    return 2 * x if x >= 0 else 2 * (-x) - 1
+
+
+def to_integer(n: int) -> int:
+    """Invert :func:`to_natural`."""
+    if n < 0:
+        raise ValueError(f"not a natural number: {n}")
+    return n // 2 if n % 2 == 0 else -((n + 1) // 2)

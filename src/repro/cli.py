@@ -1,0 +1,309 @@
+"""Command-line interface: generate, compress, inspect, query, sweep.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro generate yahoo-sub --scale 0.2 --out flows.txt
+    python -m repro compress flows.txt --out flows.chrono --resolution 60
+    python -m repro inspect flows.chrono
+    python -m repro query flows.chrono neighbors 17 100 200
+    python -m repro query flows.chrono edge 17 44 100 200
+    python -m repro sweep yahoo-sub --scale 0.2
+    python -m repro gapstats flows.txt --strategy previous
+
+Every subcommand is a thin shell over the library API so scripted use and
+programmatic use stay equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.gapstats import GAP_STRATEGIES, fraction_below, natural_gaps
+from repro.analysis.powerlawfit import fit_discrete_power_law
+from repro.baselines import get_compressor
+from repro.bench.harness import BENCH_METHODS, format_table
+from repro.core import ChronoGraphConfig, compress
+from repro.core.serialize import load_compressed, save_compressed
+from repro.datasets import dataset_names, load
+from repro.graph.io import read_contact_text, write_contact_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChronoGraph temporal graph compression toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a named dataset as a contact list")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", required=True)
+
+    p = sub.add_parser("compress", help="compress a contact list to .chrono")
+    p.add_argument("input")
+    p.add_argument("--out", required=True)
+    p.add_argument("--resolution", type=int, default=1,
+                   help="time aggregation divisor (Section IV-C)")
+    p.add_argument("--zeta", type=int, default=None,
+                   help="timestamp zeta parameter; default auto-tunes")
+    p.add_argument("--window", type=int, default=7,
+                   help="reference window (Section IV-D2)")
+
+    p = sub.add_parser("inspect", help="print a .chrono file's statistics")
+    p.add_argument("input")
+
+    p = sub.add_parser("query", help="run a neighbor or edge query")
+    p.add_argument("input", help=".chrono file")
+    p.add_argument("kind", choices=["neighbors", "edge", "timestamps"])
+    p.add_argument("args", nargs="+", type=int,
+                   help="neighbors: u t1 t2 | edge: u v t1 t2 | timestamps: u v")
+
+    p = sub.add_parser("sweep", help="Table IV row: every method on one dataset")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--methods", nargs="*", default=list(BENCH_METHODS))
+
+    p = sub.add_parser("gapstats", help="timestamp gap analysis (Figures 2-4)")
+    p.add_argument("input", help="contact list file")
+    p.add_argument("--strategy", choices=GAP_STRATEGIES, default="previous")
+    p.add_argument("--resolution", type=int, default=1)
+
+    p = sub.add_parser("stats", help="Table III-style summary of a contact list")
+    p.add_argument("input", help="contact list file")
+
+    p = sub.add_parser(
+        "report", help="summarise benchmarks/out/ results (run the benches first)"
+    )
+    p.add_argument("--dir", default=None, help="alternative results directory")
+
+    p = sub.add_parser("verify", help="validate a .chrono file's integrity")
+    p.add_argument("input", help=".chrono file")
+    p.add_argument("--against", default=None,
+                   help="contact list to diff the decoded graph against")
+
+    p = sub.add_parser(
+        "figures", help="export figure series (CSV) and tables (LaTeX)"
+    )
+    p.add_argument("--out", required=True, help="directory for the output files")
+    p.add_argument("--dir", default=None, help="alternative results directory")
+    p.add_argument("--latex", action="store_true",
+                   help="also write LaTeX tabulars for Tables IV and V")
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    graph = load(args.dataset, scale=args.scale)
+    write_contact_text(graph, args.out)
+    print(f"{args.dataset}: wrote {graph.num_contacts} contacts "
+          f"({graph.num_nodes} nodes, kind={graph.kind.value}) to {args.out}")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    graph = read_contact_text(args.input)
+    config = ChronoGraphConfig(
+        resolution=args.resolution,
+        timestamp_zeta_k=args.zeta,
+        window=args.window,
+    )
+    start = time.perf_counter()
+    cg = compress(graph, config)
+    elapsed = time.perf_counter() - start
+    nbytes = save_compressed(cg, args.out)
+    print(f"compressed {graph.num_contacts} contacts in {elapsed:.2f}s")
+    print(f"  {cg.bits_per_contact:.2f} bits/contact "
+          f"(timestamps {cg.timestamp_bits_per_contact:.2f}), "
+          f"zeta k={cg.config.timestamp_zeta_k}")
+    print(f"  wrote {nbytes} bytes to {args.out}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    cg = load_compressed(args.input)
+    rows = [
+        ["name", cg.name],
+        ["kind", cg.kind.value],
+        ["nodes", f"{cg.num_nodes:,}"],
+        ["contacts", f"{cg.num_contacts:,}"],
+        ["t_min", str(cg.t_min)],
+        ["bits/contact", f"{cg.bits_per_contact:.2f}"],
+        ["structure bits", f"{cg.structure_size_bits:,}"],
+        ["timestamp bits", f"{cg.timestamp_size_bits:,}"],
+        ["zeta k (gaps)", str(cg.config.timestamp_zeta_k)],
+        ["zeta k (durations)", str(cg.config.duration_zeta_k)],
+        ["resolution", str(cg.config.resolution)],
+        ["reference window", str(cg.config.window)],
+    ]
+    print(format_table(["field", "value"], rows, title=args.input))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    cg = load_compressed(args.input)
+    if args.kind == "neighbors":
+        if len(args.args) != 3:
+            print("neighbors query needs: u t_start t_end", file=sys.stderr)
+            return 2
+        u, t1, t2 = args.args
+        result = cg.neighbors(u, t1, t2)
+        print(" ".join(map(str, result)) if result else "(none)")
+    elif args.kind == "edge":
+        if len(args.args) != 4:
+            print("edge query needs: u v t_start t_end", file=sys.stderr)
+            return 2
+        u, v, t1, t2 = args.args
+        print("active" if cg.has_edge(u, v, t1, t2) else "inactive")
+    else:
+        if len(args.args) != 2:
+            print("timestamps query needs: u v", file=sys.stderr)
+            return 2
+        u, v = args.args
+        result = cg.edge_timestamps(u, v)
+        print(" ".join(map(str, result)) if result else "(none)")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    graph = load(args.dataset, scale=args.scale)
+    rows = []
+    for method in args.methods:
+        compressor = get_compressor(method)
+        start = time.perf_counter()
+        compressed = compressor.compress(graph)
+        elapsed = time.perf_counter() - start
+        rows.append([
+            method,
+            f"{compressed.bits_per_contact:.2f}",
+            f"{elapsed:.3f}",
+        ])
+    print(format_table(
+        ["method", "bits/contact", "compress s"],
+        rows,
+        title=f"{args.dataset} (scale {args.scale}, "
+              f"{graph.num_contacts} contacts)",
+    ))
+    return 0
+
+
+def _cmd_gapstats(args) -> int:
+    graph = read_contact_text(args.input)
+    gaps = natural_gaps(graph, args.strategy, resolution=args.resolution)
+    if not gaps:
+        print("no contacts")
+        return 0
+    rows = [
+        ["samples", f"{len(gaps):,}"],
+        ["mean", f"{sum(gaps)/len(gaps):,.1f}"],
+        ["max", f"{max(gaps):,}"],
+        ["< 100", f"{fraction_below(gaps, 100)*100:.1f}%"],
+        ["< 10000", f"{fraction_below(gaps, 10_000)*100:.1f}%"],
+    ]
+    try:
+        fit = fit_discrete_power_law(gaps)
+        rows.append(["power-law alpha", f"{fit.alpha:.2f}"])
+    except ValueError:
+        rows.append(["power-law alpha", "n/a (too few tail samples)"])
+    print(format_table(
+        ["statistic", "value"], rows,
+        title=f"{args.input} -- {args.strategy} strategy, "
+              f"resolution {args.resolution}",
+    ))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.analysis.burstiness import mean_burstiness, node_burstiness
+    from repro.graph.stats import TABLE3_HEADERS, summarize
+
+    graph = read_contact_text(args.input)
+    summary = summarize(graph)
+    print(format_table(TABLE3_HEADERS, [summary.as_row()], title=args.input))
+    burst = mean_burstiness(node_burstiness(graph))
+    print(f"max out-degree: {summary.max_out_degree}")
+    print(f"mean node burstiness (Goh-Barabasi B): {burst:+.3f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import pathlib
+
+    from repro.bench.report import render_summary
+
+    directory = pathlib.Path(args.dir) if args.dir else None
+    print(render_summary(directory))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.validate import validate_compressed
+
+    compressed = load_compressed(args.input)
+    reference = read_contact_text(args.against) if args.against else None
+    report = validate_compressed(compressed, reference)
+    print(f"checked {report.nodes_checked} nodes / "
+          f"{report.contacts_checked} contacts")
+    if report.ok:
+        print("OK")
+        return 0
+    for error in report.errors:
+        print(f"ERROR: {error}")
+    return 1
+
+
+def _cmd_figures(args) -> int:
+    import pathlib
+
+    from repro.bench.export import export_figures
+
+    results_dir = pathlib.Path(args.dir) if args.dir else None
+    written = export_figures(pathlib.Path(args.out), results_dir)
+    if args.latex:
+        from repro.bench.latex import export_latex
+
+        written += export_latex(pathlib.Path(args.out), results_dir)
+    if not written:
+        print("no figure results found; run: pytest benchmarks/ --benchmark-only")
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "compress": _cmd_compress,
+    "inspect": _cmd_inspect,
+    "query": _cmd_query,
+    "sweep": _cmd_sweep,
+    "gapstats": _cmd_gapstats,
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+    "verify": _cmd_verify,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code.
+
+    User-input failures (missing files, malformed containers, bad values)
+    print one diagnostic line and return 2; programming errors propagate.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,343 @@
+"""The in-memory compressed temporal graph and its query surface.
+
+A :class:`CompressedChronoGraph` owns four artefacts (Section IV-F):
+
+* the compressed structure stream and the compressed timestamp stream,
+* one Elias-Fano offset index per stream.
+
+Every query seeks straight to a node's records through the offset indexes,
+decodes only what it needs, and never touches the rest of the graph -- this
+is why the paper's access times depend on the average degree, not the graph
+size (Section V-D).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.bits import codes
+from repro.bits.bitio import BitReader
+from repro.bits.eliasfano import EliasFano
+from repro.core.config import ChronoGraphConfig
+from repro.core.structure import decode_node_structure, multiset_from_parts
+from repro.core.timestamps import decode_node_timestamps
+from repro.graph.model import Contact, GraphKind
+
+#: Fixed metadata charged to every compressed graph: kind, node count,
+#: global minimum timestamp, configuration and stream lengths.
+HEADER_BITS = 5 * 64
+
+_DISTINCT_CACHE_CAP = 4096
+
+
+class CompressedChronoGraph:
+    """Queryable compressed representation produced by :func:`repro.core.compress`."""
+
+    def __init__(
+        self,
+        *,
+        kind: GraphKind,
+        num_nodes: int,
+        num_contacts: int,
+        t_min: int,
+        config: ChronoGraphConfig,
+        structure_bytes: bytes,
+        structure_bits: int,
+        timestamp_bytes: bytes,
+        timestamp_bits: int,
+        structure_offsets: EliasFano,
+        timestamp_offsets: EliasFano,
+        name: str = "unnamed",
+    ) -> None:
+        self.kind = kind
+        self.num_nodes = num_nodes
+        self.num_contacts = num_contacts
+        self.t_min = t_min
+        self.config = config
+        self.name = name
+        self._sbytes = structure_bytes
+        self._sbits = structure_bits
+        self._tbytes = timestamp_bytes
+        self._tbits = timestamp_bits
+        self._soffsets = structure_offsets
+        self._toffsets = timestamp_offsets
+        self._distinct_cache: "OrderedDict[int, List[int]]" = OrderedDict()
+
+    # -- size accounting -----------------------------------------------------
+
+    @property
+    def structure_size_bits(self) -> int:
+        """Structure stream plus its offset index."""
+        return self._sbits + self._soffsets.size_in_bits()
+
+    @property
+    def timestamp_size_bits(self) -> int:
+        """Timestamp stream plus its offset index (the Table IV parenthesis)."""
+        return self._tbits + self._toffsets.size_in_bits()
+
+    @property
+    def size_in_bits(self) -> int:
+        """Total in-memory footprint charged by the evaluation."""
+        return self.structure_size_bits + self.timestamp_size_bits + HEADER_BITS
+
+    @property
+    def bits_per_contact(self) -> float:
+        """The paper's headline metric."""
+        if self.num_contacts == 0:
+            return 0.0
+        return self.size_in_bits / self.num_contacts
+
+    @property
+    def timestamp_bits_per_contact(self) -> float:
+        """Timestamp share of the footprint, per contact."""
+        if self.num_contacts == 0:
+            return 0.0
+        return self.timestamp_size_bits / self.num_contacts
+
+    # -- decoding ------------------------------------------------------------
+
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ValueError(f"node {u} outside [0, {self.num_nodes})")
+
+    def _structure_reader(self, u: int) -> BitReader:
+        reader = BitReader(self._sbytes, self._sbits)
+        reader.seek(self._soffsets.access(u))
+        return reader
+
+    def _decode_structure(self, u: int):
+        reader = self._structure_reader(u)
+        return decode_node_structure(reader, u, self._resolve_distinct, self.config)
+
+    def _reference_of(self, u: int) -> int:
+        """The reference target of ``u``'s record (-1 when none).
+
+        Scans only the dedup block and the reference field; used to resolve
+        reference chains iteratively so that unbounded chains
+        (``max_ref_chain=None``) cannot exhaust the Python stack.
+        """
+        reader = self._structure_reader(u)
+        dedup_count = codes.read_gamma_natural(reader)
+        for i in range(dedup_count):
+            if i == 0:
+                codes.read_gamma_integer(reader)
+            else:
+                codes.read_gamma_natural(reader)
+            codes.read_gamma_natural(reader)
+        r = codes.read_gamma_natural(reader)
+        return u - r if r else -1
+
+    def _resolve_distinct(self, v: int) -> List[int]:
+        cached = self._distinct_cache.get(v)
+        if cached is not None:
+            self._distinct_cache.move_to_end(v)
+            return cached
+        # Walk the reference chain down to a cached or reference-free record,
+        # then decode upward so every recursive lookup is a cache hit.
+        chain = [v]
+        target = self._reference_of(v)
+        while target >= 0 and target not in self._distinct_cache:
+            chain.append(target)
+            target = self._reference_of(target)
+        for node in reversed(chain):
+            dedup, singles = self._decode_structure(node)
+            distinct = sorted({*(label for label, _ in dedup), *singles})
+            self._distinct_cache[node] = distinct
+            if len(self._distinct_cache) > _DISTINCT_CACHE_CAP:
+                self._distinct_cache.popitem(last=False)
+        self._distinct_cache.move_to_end(v)
+        return self._distinct_cache[v]
+
+    def decode_multiset(self, u: int) -> List[int]:
+        """The label-sorted neighbor multiset of ``u`` (Figure 5(a) order)."""
+        self._check_node(u)
+        dedup, singles = self._decode_structure(u)
+        return multiset_from_parts(dedup, singles)
+
+    def _decode_timestamps(
+        self, u: int, count: int
+    ) -> Tuple[List[int], Optional[List[int]]]:
+        reader = BitReader(self._tbytes, self._tbits)
+        reader.seek(self._toffsets.access(u))
+        return decode_node_timestamps(
+            reader,
+            count,
+            self.kind is GraphKind.INTERVAL,
+            self.t_min,
+            self.config.timestamp_zeta_k,
+            self.config.duration_zeta_k,
+        )
+
+    def contacts_of(self, u: int) -> List[Contact]:
+        """All contacts of ``u``, decoded, in (label, time) order."""
+        multiset = self.decode_multiset(u)
+        times, durations = self._decode_timestamps(u, len(multiset))
+        if durations is None:
+            return [Contact(u, v, t) for v, t in zip(multiset, times)]
+        return [
+            Contact(u, v, t, d) for v, t, d in zip(multiset, times, durations)
+        ]
+
+    def distinct_neighbors(self, u: int) -> List[int]:
+        """Sorted distinct neighbor labels over the whole lifetime."""
+        self._check_node(u)
+        return self._resolve_distinct(u)
+
+    # -- temporal queries (Section IV-F) --------------------------------------
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        """Sorted distinct neighbors of ``u`` active within [t_start, t_end]."""
+        multiset = self.decode_multiset(u)
+        times, durations = self._decode_timestamps(u, len(multiset))
+        out: List[int] = []
+        kind = self.kind
+        # Inline the per-kind activity predicate: this is the hot loop of
+        # every neighbor query and of the graph algorithms built on it.
+        if t_end < t_start:
+            return out
+        if kind is GraphKind.POINT:
+            for v, t in zip(multiset, times):
+                if t_start <= t <= t_end and (not out or out[-1] != v):
+                    out.append(v)
+        elif kind is GraphKind.INCREMENTAL:
+            for v, t in zip(multiset, times):
+                if t <= t_end and (not out or out[-1] != v):
+                    out.append(v)
+        else:
+            for v, t, d in zip(multiset, times, durations):
+                if d > 0 and t <= t_end and t + d > t_start:
+                    if not out or out[-1] != v:
+                        out.append(v)
+        return out
+
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        """Algorithm 1: is ``v`` a neighbor of ``u`` during [t_start, t_end]?
+
+        Scans the label-sorted multiset with early exit; timestamps are only
+        decoded when the neighbor is present at all.
+        """
+        self._check_node(u)
+        multiset = self.decode_multiset(u)
+        start = end = -1
+        for i, label in enumerate(multiset):
+            if label == v:
+                if start < 0:
+                    start = i
+                end = i
+            elif label > v:
+                break
+        if start < 0:
+            return False
+        times, durations = self._decode_timestamps(u, end + 1)
+        for i in range(start, end + 1):
+            duration = durations[i] if durations is not None else 0
+            c = Contact(u, v, times[i], duration)
+            if c.is_active(t_start, t_end, self.kind):
+                return True
+        return False
+
+    def edge_timestamps(self, u: int, v: int) -> List[int]:
+        """All activation timestamps of the edge (u, v), ascending."""
+        self._check_node(u)
+        multiset = self.decode_multiset(u)
+        positions = [i for i, label in enumerate(multiset) if label == v]
+        if not positions:
+            return []
+        times, _ = self._decode_timestamps(u, positions[-1] + 1)
+        return [times[i] for i in positions]
+
+    def neighbors_before(self, u: int, t: int) -> List[int]:
+        """Neighbors active strictly before ``t`` (Section IV-F).
+
+        For point and incremental graphs: a contact before ``t``.  For
+        interval graphs: activity starting before ``t``.
+        """
+        if t <= self.t_min:
+            return []
+        return self.neighbors(u, self.t_min, t - 1)
+
+    def neighbors_after(self, u: int, t: int) -> List[int]:
+        """Neighbors active at or after ``t`` (Section IV-F).
+
+        Incremental edges never deactivate, so any edge is "after" every
+        ``t`` at or past its creation; interval contacts count when their
+        activity reaches ``t`` or later.
+        """
+        out: List[int] = []
+        for c in self.contacts_of(u):
+            if self.kind is GraphKind.POINT:
+                active = c.time >= t
+            elif self.kind is GraphKind.INCREMENTAL:
+                active = True
+            else:
+                active = c.duration > 0 and c.end > t
+            if active and (not out or out[-1] != c.v):
+                out.append(c.v)
+        return sorted(set(out))
+
+    def edge_activity(self, u: int, v: int) -> List[Tuple[int, int]]:
+        """(start, end-exclusive) activity spans of edge (u, v), sorted.
+
+        Point and incremental contacts yield unit spans at their
+        timestamps; interval contacts yield their full span.
+        """
+        spans: List[Tuple[int, int]] = []
+        for c in self.contacts_of(u):
+            if c.v != v:
+                continue
+            if self.kind is GraphKind.INTERVAL:
+                if c.duration > 0:
+                    spans.append((c.time, c.end))
+            else:
+                spans.append((c.time, c.time + 1))
+        return spans
+
+    def to_static_graph(self) -> List[Tuple[int, int]]:
+        """The "flattened" aggregated view of Figure 1(a): distinct edges."""
+        edges: List[Tuple[int, int]] = []
+        for u in range(self.num_nodes):
+            for v in self.distinct_neighbors(u):
+                edges.append((u, v))
+        return edges
+
+    def snapshot(self, t_start: int, t_end: int) -> List[Tuple[int, int]]:
+        """All distinct edges active within the interval, sorted."""
+        edges: List[Tuple[int, int]] = []
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u, t_start, t_end):
+                edges.append((u, v))
+        return edges
+
+    def iter_contacts(self):
+        """Yield every contact in (u, v, time) storage order, lazily.
+
+        Decodes one node at a time, so full-graph passes (exports, motif
+        counters, bulk loads) never hold more than one node's contacts
+        beyond the output itself.
+        """
+        for u in range(self.num_nodes):
+            yield from self.contacts_of(u)
+
+    def to_temporal_graph(self) -> "object":
+        """Full decompression back to a :class:`repro.graph.model.TemporalGraph`."""
+        from repro.graph.model import TemporalGraph
+
+        contacts: List[Contact] = []
+        for u in range(self.num_nodes):
+            contacts.extend(self.contacts_of(u))
+        return TemporalGraph(
+            self.kind,
+            self.num_nodes,
+            contacts,
+            name=self.name,
+            granularity="stored",
+            sort=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompressedChronoGraph({self.name!r}, nodes={self.num_nodes}, "
+            f"contacts={self.num_contacts}, "
+            f"bits/contact={self.bits_per_contact:.2f})"
+        )

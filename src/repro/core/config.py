@@ -1,0 +1,62 @@
+"""Configuration knobs of the ChronoGraph compressor.
+
+Defaults follow the paper: reference window of 7 and minimum interval
+length of 4 "as in [WebGraph]" (Section IV-D), zeta codes for timestamp gaps
+and structure residuals with the k values Section V-F found to work well.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ChronoGraphConfig:
+    """Immutable compressor configuration.
+
+    Attributes:
+        window: how many preceding nodes are tried as reference candidates
+            (Section IV-D2; 0 disables reference compression).
+        min_interval_length: minimum run length extracted by intervalisation
+            (Section IV-D3).
+        max_ref_chain: longest allowed chain of references; bounds decode
+            recursion depth. ``None`` means unbounded.
+        timestamp_zeta_k: shrinking parameter of the zeta code for timestamp
+            gaps (Figure 7 sweeps this; small k suits short-lifetime or
+            aggregated graphs, 5-6 long-lifetime ones).  ``None`` selects
+            the best k in [2, 7] by sizing the timestamp stream for each --
+            the per-dataset choice the paper's evaluation makes.
+        duration_zeta_k: zeta parameter for interval-contact durations,
+            which are unrelated in magnitude to the timestamp gaps.  ``None``
+            auto-selects independently of ``timestamp_zeta_k``; ignored for
+            point and incremental graphs.
+        structure_zeta_k: zeta parameter for residual ("extra") neighbor gaps.
+        resolution: time aggregation divisor applied before encoding
+            (Section IV-C); 1 keeps the source granularity.
+    """
+
+    window: int = 7
+    min_interval_length: int = 4
+    max_ref_chain: int | None = 3
+    timestamp_zeta_k: int | None = None
+    duration_zeta_k: int | None = None
+    structure_zeta_k: int = 3
+    resolution: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ValueError(f"negative window: {self.window}")
+        if self.min_interval_length < 2:
+            raise ValueError(
+                f"min_interval_length must be >= 2, got {self.min_interval_length}"
+            )
+        if self.max_ref_chain is not None and self.max_ref_chain < 0:
+            raise ValueError(f"negative max_ref_chain: {self.max_ref_chain}")
+        if self.timestamp_zeta_k is not None and not 1 <= self.timestamp_zeta_k <= 16:
+            raise ValueError(f"timestamp_zeta_k out of range: {self.timestamp_zeta_k}")
+        if self.duration_zeta_k is not None and not 1 <= self.duration_zeta_k <= 16:
+            raise ValueError(f"duration_zeta_k out of range: {self.duration_zeta_k}")
+        if not 1 <= self.structure_zeta_k <= 16:
+            raise ValueError(f"structure_zeta_k out of range: {self.structure_zeta_k}")
+        if self.resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {self.resolution}")

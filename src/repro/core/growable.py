@@ -1,0 +1,235 @@
+"""A growable temporal graph: compressed base plus an uncompressed delta.
+
+ChronoGraph, like the static-graph frameworks it builds on, compresses an
+immutable contact list.  Real deployments (the streaming setting of Nelson
+et al.) keep receiving contacts; the standard architecture is exactly what
+this module provides:
+
+* a **base**: the bulk of the history, ChronoGraph-compressed;
+* a **delta**: recent contacts in a plain in-memory buffer;
+* unified queries over both;
+* ``checkpoint()``: fold the delta into a freshly compressed base.
+
+The delta is charged at the raw in-memory rate (three/four 64-bit words per
+contact) so ``size_in_bits`` stays honest about the trade-off, and
+``checkpoint_due`` suggests folding once the delta stops being negligible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.compressed import CompressedChronoGraph
+from repro.core.config import ChronoGraphConfig
+from repro.core.encoder import compress
+from repro.graph.model import Contact, GraphKind, TemporalGraph
+
+#: Raw in-memory cost charged per buffered delta contact.
+_DELTA_BITS_PER_CONTACT = {True: 4 * 64, False: 3 * 64}
+
+
+class GrowableChronoGraph:
+    """Append-friendly wrapper around :class:`CompressedChronoGraph`."""
+
+    def __init__(
+        self,
+        kind: GraphKind,
+        *,
+        num_nodes: int = 0,
+        config: Optional[ChronoGraphConfig] = None,
+        name: str = "growable",
+    ) -> None:
+        self.kind = kind
+        self.config = config or ChronoGraphConfig()
+        self.name = name
+        self._num_nodes = num_nodes
+        self._base: Optional[CompressedChronoGraph] = None
+        self._delta: Dict[int, List[Contact]] = {}
+        self._delta_count = 0
+        # Aggregation happens once, at ingestion: contacts are bucketed as
+        # they arrive so base, delta and queries share one time unit and
+        # repeated checkpoints never re-aggregate.  The checkpoint config
+        # therefore compresses at resolution 1.
+        self._resolution = self.config.resolution
+        if self._resolution > 1:
+            import dataclasses
+
+            self._checkpoint_config = dataclasses.replace(
+                self.config, resolution=1
+            )
+        else:
+            self._checkpoint_config = self.config
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: TemporalGraph,
+        config: Optional[ChronoGraphConfig] = None,
+    ) -> "GrowableChronoGraph":
+        """Start from an existing history, compressed immediately."""
+        grown = cls(
+            graph.kind,
+            num_nodes=graph.num_nodes,
+            config=config,
+            name=graph.name,
+        )
+        grown._base = compress(graph, grown.config)
+        return grown
+
+    # -- growth ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Current node-label space (grows as contacts mention new labels)."""
+        return self._num_nodes
+
+    @property
+    def num_contacts(self) -> int:
+        """Contacts in the base plus the delta."""
+        base = self._base.num_contacts if self._base else 0
+        return base + self._delta_count
+
+    @property
+    def delta_contacts(self) -> int:
+        """Contacts buffered since the last checkpoint."""
+        return self._delta_count
+
+    def add_contact(self, u: int, v: int, time: int, duration: int = 0) -> None:
+        """Append one contact in *source* time units; node labels may grow.
+
+        With an aggregating config the contact is bucketed here, once.
+        """
+        if u < 0 or v < 0:
+            raise ValueError(f"negative node label in ({u}, {v})")
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        if self.kind is not GraphKind.INTERVAL and duration:
+            raise ValueError(f"{self.kind.value} graphs cannot carry durations")
+        if self._resolution > 1:
+            from repro.graph.aggregate import _aggregate_duration
+
+            bucketed_duration = (
+                _aggregate_duration(time, duration, self._resolution)
+                if self.kind is GraphKind.INTERVAL
+                else 0
+            )
+            time, duration = time // self._resolution, bucketed_duration
+        self._num_nodes = max(self._num_nodes, u + 1, v + 1)
+        self._delta.setdefault(u, []).append(Contact(u, v, time, duration))
+        self._delta_count += 1
+
+    def extend(self, contacts) -> None:
+        """Append many contacts ((u, v, t) or (u, v, t, d) tuples)."""
+        for row in contacts:
+            self.add_contact(*row)
+
+    # -- size accounting --------------------------------------------------------
+
+    @property
+    def size_in_bits(self) -> int:
+        """Compressed base plus raw delta buffer."""
+        base = self._base.size_in_bits if self._base else 0
+        per = _DELTA_BITS_PER_CONTACT[self.kind is GraphKind.INTERVAL]
+        return base + self._delta_count * per
+
+    def checkpoint_due(self, delta_share: float = 0.1) -> bool:
+        """Whether the delta exceeds ``delta_share`` of all contacts."""
+        if self.num_contacts == 0:
+            return False
+        return self._delta_count / self.num_contacts > delta_share
+
+    # -- folding ----------------------------------------------------------------
+
+    def to_temporal_graph(self) -> TemporalGraph:
+        """Materialise the full history (base decoded plus delta)."""
+        contacts: List[Contact] = []
+        if self._base:
+            for u in range(self._base.num_nodes):
+                contacts.extend(self._base.contacts_of(u))
+        for bucket in self._delta.values():
+            contacts.extend(bucket)
+        return TemporalGraph(
+            self.kind, self._num_nodes, contacts, name=self.name,
+            granularity="stored",
+        )
+
+    def checkpoint(self) -> CompressedChronoGraph:
+        """Fold the delta into a freshly compressed base and return it.
+
+        All stored contacts are already in bucket units (see
+        :meth:`add_contact`), so compression runs at resolution 1.
+        """
+        self._base = compress(self.to_temporal_graph(), self._checkpoint_config)
+        if self._resolution > 1:
+            # Stamp the provenance resolution (stored units per source unit)
+            # so persisted sessions resume with the same bucketing.
+            import dataclasses
+
+            self._base.config = dataclasses.replace(
+                self._base.config, resolution=self._resolution
+            )
+        self._delta = {}
+        self._delta_count = 0
+        return self._base
+
+    # -- queries ------------------------------------------------------------------
+
+    def _delta_contacts_of(self, u: int) -> List[Contact]:
+        return sorted(self._delta.get(u, ()))
+
+    def contacts_of(self, u: int) -> List[Contact]:
+        """All contacts of ``u`` across base and delta, (label, time) order."""
+        if not 0 <= u < max(1, self._num_nodes):
+            raise ValueError(f"node {u} outside [0, {self._num_nodes})")
+        merged: List[Contact] = []
+        if self._base and u < self._base.num_nodes:
+            merged.extend(self._base.contacts_of(u))
+        merged.extend(self._delta.get(u, ()))
+        merged.sort()
+        return merged
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        """Sorted distinct neighbors active within [t_start, t_end]."""
+        out = set()
+        for c in self.contacts_of(u):
+            if c.is_active(t_start, t_end, self.kind):
+                out.add(c.v)
+        return sorted(out)
+
+    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+        """Whether (u, v) is active within [t_start, t_end]."""
+        if self._base and u < self._base.num_nodes:
+            if self._base.has_edge(u, v, t_start, t_end):
+                return True
+        return any(
+            c.v == v and c.is_active(t_start, t_end, self.kind)
+            for c in self._delta.get(u, ())
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, base_path) -> None:
+        """Persist the session: compressed base plus the raw delta.
+
+        Writes ``<base_path>`` (a ``.chrono`` container; the delta is folded
+        in via :meth:`checkpoint` first, which is what a shutdown wants --
+        the buffered contacts must not be lost).
+        """
+        from repro.core.serialize import save_compressed
+
+        save_compressed(self.checkpoint(), base_path)
+
+    @classmethod
+    def load(cls, base_path, config: Optional[ChronoGraphConfig] = None) -> "GrowableChronoGraph":
+        """Resume a session from a ``.chrono`` file written by :meth:`save`."""
+        from repro.core.serialize import load_compressed
+
+        base = load_compressed(base_path)
+        grown = cls(
+            base.kind,
+            num_nodes=base.num_nodes,
+            config=config or base.config,
+            name=base.name,
+        )
+        grown._base = base
+        return grown

@@ -1,0 +1,164 @@
+"""Binary on-disk format for compressed ChronoGraphs.
+
+A compressed graph is an in-memory artefact in the paper; persisting it
+makes the compression reusable across processes (compress once with the
+CLI, query from anywhere).  The format mirrors the in-memory layout:
+
+* fixed header (magic, version, kind, counts, t_min, config),
+* the structure and timestamp bit streams verbatim,
+* the two offset sequences as VByte-coded deltas (the Elias-Fano indexes
+  are rebuilt on load -- they are derived structures, and rebuilding keeps
+  the format independent of index-internals).
+
+All integers are little-endian; streams are length-prefixed.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import struct
+from typing import BinaryIO, List, Union
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.codes import read_vbyte, write_vbyte
+from repro.bits.eliasfano import EliasFano
+from repro.core.compressed import CompressedChronoGraph
+from repro.core.config import ChronoGraphConfig
+from repro.graph.model import GraphKind
+
+MAGIC = b"CHRG"
+VERSION = 1
+
+_KIND_CODES = {GraphKind.POINT: 0, GraphKind.INTERVAL: 1, GraphKind.INCREMENTAL: 2}
+_KIND_FROM_CODE = {v: k for k, v in _KIND_CODES.items()}
+
+PathLike = Union[str, pathlib.Path]
+
+
+class FormatError(ValueError):
+    """Raised when a file is not a valid ChronoGraph container."""
+
+
+def _read_exact(data: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`FormatError`."""
+    chunk = data.read(n)
+    if len(chunk) != n:
+        raise FormatError(
+            f"truncated container: wanted {n} bytes, got {len(chunk)}"
+        )
+    return chunk
+
+
+def _write_offsets(out: BinaryIO, offsets: List[int]) -> None:
+    writer = BitWriter()
+    prev = 0
+    for value in offsets:
+        write_vbyte(writer, value - prev)
+        prev = value
+    data = writer.to_bytes()
+    out.write(struct.pack("<QQ", len(offsets), len(data)))
+    out.write(data)
+
+
+def _read_offsets(data: BinaryIO) -> List[int]:
+    count, nbytes = struct.unpack("<QQ", _read_exact(data, 16))
+    reader = BitReader(_read_exact(data, nbytes))
+    offsets: List[int] = []
+    value = 0
+    for _ in range(count):
+        value += read_vbyte(reader)
+        offsets.append(value)
+    return offsets
+
+
+def _config_tuple(config: ChronoGraphConfig) -> tuple:
+    return (
+        config.window,
+        config.min_interval_length,
+        0xFFFF if config.max_ref_chain is None else config.max_ref_chain,
+        config.timestamp_zeta_k or 0,
+        config.duration_zeta_k or 0,
+        config.structure_zeta_k,
+        config.resolution,
+    )
+
+
+def save_compressed(graph: CompressedChronoGraph, path: PathLike) -> int:
+    """Write the compressed graph to ``path``; returns bytes written."""
+    if graph.config.timestamp_zeta_k is None:  # pragma: no cover - encoder sets it
+        raise ValueError("cannot serialise a graph with unresolved zeta parameters")
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    buffer.write(struct.pack("<B", VERSION))
+    buffer.write(struct.pack("<B", _KIND_CODES[graph.kind]))
+    buffer.write(struct.pack("<QQq", graph.num_nodes, graph.num_contacts, graph.t_min))
+    buffer.write(struct.pack("<7I", *_config_tuple(graph.config)))
+    name_bytes = graph.name.encode("utf-8")[:255]
+    buffer.write(struct.pack("<B", len(name_bytes)))
+    buffer.write(name_bytes)
+
+    for nbits, data in (
+        (graph._sbits, graph._sbytes),
+        (graph._tbits, graph._tbytes),
+    ):
+        buffer.write(struct.pack("<QQ", nbits, len(data)))
+        buffer.write(data)
+    _write_offsets(buffer, list(graph._soffsets))
+    _write_offsets(buffer, list(graph._toffsets))
+
+    payload = buffer.getvalue()
+    pathlib.Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def load_compressed(path: PathLike) -> CompressedChronoGraph:
+    """Read a compressed graph written by :func:`save_compressed`."""
+    data = io.BytesIO(pathlib.Path(path).read_bytes())
+    if data.read(4) != MAGIC:
+        raise FormatError(f"{path}: not a ChronoGraph file (bad magic)")
+    (version,) = struct.unpack("<B", _read_exact(data, 1))
+    if version != VERSION:
+        raise FormatError(f"{path}: unsupported version {version}")
+    (kind_code,) = struct.unpack("<B", _read_exact(data, 1))
+    try:
+        kind = _KIND_FROM_CODE[kind_code]
+    except KeyError:
+        raise FormatError(f"{path}: unknown graph kind code {kind_code}") from None
+    num_nodes, num_contacts, t_min = struct.unpack("<QQq", _read_exact(data, 24))
+    (window, min_interval, max_ref, ts_k, dur_k, struct_k, resolution) = (
+        struct.unpack("<7I", _read_exact(data, 28))
+    )
+    (name_len,) = struct.unpack("<B", _read_exact(data, 1))
+    name = _read_exact(data, name_len).decode("utf-8")
+    config = ChronoGraphConfig(
+        window=window,
+        min_interval_length=min_interval,
+        max_ref_chain=None if max_ref == 0xFFFF else max_ref,
+        timestamp_zeta_k=ts_k or None,
+        duration_zeta_k=dur_k or None,
+        structure_zeta_k=struct_k,
+        resolution=resolution,
+    )
+
+    sbits, snbytes = struct.unpack("<QQ", _read_exact(data, 16))
+    sbytes = _read_exact(data, snbytes)
+    tbits, tnbytes = struct.unpack("<QQ", _read_exact(data, 16))
+    tbytes = _read_exact(data, tnbytes)
+    soffsets = _read_offsets(data)
+    toffsets = _read_offsets(data)
+
+    return CompressedChronoGraph(
+        kind=kind,
+        num_nodes=num_nodes,
+        num_contacts=num_contacts,
+        t_min=t_min,
+        config=config,
+        structure_bytes=sbytes,
+        structure_bits=sbits,
+        timestamp_bytes=tbytes,
+        timestamp_bits=tbits,
+        structure_offsets=EliasFano(soffsets, universe=sbits + 1),
+        timestamp_offsets=EliasFano(toffsets, universe=tbits + 1),
+        name=name,
+    )

@@ -1,0 +1,33 @@
+"""Datasets: the paper's synthetic graphs and stand-ins for its real traces.
+
+Table III lists eight graphs.  Comm.Net and Powerlaw are synthetic in the
+paper itself (Erdos-Renyi and Barabasi-Albert respectively, built "according
+to the instructions provided in [6]") and are generated here the same way.
+The six real-world traces (Flickr, Wiki-Edit, Wiki-Links-sub/full,
+Yahoo-sub/full) cannot be redistributed and span up to 3x10^9 contacts; per
+DESIGN.md they are replaced by parameterised *stand-ins* that reproduce the
+properties the paper's techniques exploit -- graph kind, granularity,
+power-law degrees, label locality and bursty (power-law gap) timestamps --
+at a scale a pure-Python codec can sweep.
+"""
+
+from repro.datasets.registry import DATASETS, dataset_names, load
+from repro.datasets.synthetic import comm_net, powerlaw_graph
+from repro.datasets.realworldlike import (
+    flickr_like,
+    wiki_edit_like,
+    wiki_links_like,
+    yahoo_like,
+)
+
+__all__ = [
+    "DATASETS",
+    "dataset_names",
+    "load",
+    "comm_net",
+    "powerlaw_graph",
+    "flickr_like",
+    "wiki_edit_like",
+    "wiki_links_like",
+    "yahoo_like",
+]

@@ -1,0 +1,85 @@
+"""The paper's two synthetic datasets: Comm.Net and Powerlaw (Table III).
+
+Both are *interval* graphs built "in the context of the work in [9] ...
+according to the instructions provided in [6]":
+
+* **Comm.Net** -- an Erdos-Renyi random network whose nodes establish
+  short-life communications: at every time step a random set of node pairs
+  opens a contact lasting a handful of steps.  The paper's instance has an
+  "unreal" 1,906 average contacts per node; ours keeps the same
+  dense-per-node character at laptop scale.
+* **Powerlaw** -- a Barabasi-Albert preferential-attachment network; each
+  attachment edge becomes a contact with a short activity interval, giving
+  the power-law degree distribution the dataset is named after.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind, TemporalGraph
+
+
+def comm_net(
+    num_nodes: int = 200,
+    time_steps: int = 300,
+    contacts_per_step: int = 40,
+    max_duration: int = 5,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Erdos-Renyi style random short-life communication network."""
+    if num_nodes < 2:
+        raise ValueError("comm_net needs at least two nodes")
+    rng = random.Random(seed)
+    contacts: List[Tuple[int, int, int, int]] = []
+    for t in range(time_steps):
+        for _ in range(contacts_per_step):
+            u = rng.randrange(num_nodes)
+            v = rng.randrange(num_nodes)
+            while v == u:
+                v = rng.randrange(num_nodes)
+            duration = rng.randint(1, max_duration)
+            contacts.append((u, v, t, duration))
+    return graph_from_contacts(
+        GraphKind.INTERVAL,
+        contacts,
+        num_nodes=num_nodes,
+        name="comm-net",
+        granularity="step",
+    )
+
+
+def powerlaw_graph(
+    num_nodes: int = 2000,
+    edges_per_node: int = 8,
+    time_steps: int = 1000,
+    max_duration: int = 20,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Barabasi-Albert preferential-attachment interval graph."""
+    if num_nodes <= edges_per_node:
+        raise ValueError("num_nodes must exceed edges_per_node")
+    rng = random.Random(seed)
+    # Repeated-nodes list implements preferential attachment in O(1) a draw.
+    repeated: List[int] = list(range(edges_per_node))
+    contacts: List[Tuple[int, int, int, int]] = []
+    for u in range(edges_per_node, num_nodes):
+        targets = set()
+        while len(targets) < edges_per_node:
+            targets.add(rng.choice(repeated) if repeated else rng.randrange(u))
+        birth = (u * time_steps) // num_nodes  # nodes arrive over the lifetime
+        for v in sorted(targets):
+            t = min(time_steps - 1, birth + rng.randrange(0, 3))
+            duration = rng.randint(1, max_duration)
+            contacts.append((u, v, t, duration))
+            repeated.append(v)
+        repeated.extend([u] * edges_per_node)
+    return graph_from_contacts(
+        GraphKind.INTERVAL,
+        contacts,
+        num_nodes=num_nodes,
+        name="powerlaw",
+        granularity="step",
+    )

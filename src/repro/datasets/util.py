@@ -1,0 +1,63 @@
+"""Shared random-generation primitives for the dataset builders.
+
+The key temporal property the paper uncovers (Section IV-A) is that
+inter-contact gaps under the *previous* ordering follow a power law with a
+heavy tail.  :func:`pareto_gap` draws such gaps; :func:`zipf_index` draws
+power-law-distributed node picks, giving both the degree skew and the label
+locality real traces exhibit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def pareto_gap(rng: random.Random, alpha: float = 1.5, x_min: int = 1,
+               cap: int = 10**7) -> int:
+    """A discrete Pareto-distributed gap >= x_min (heavy-tailed)."""
+    u = rng.random()
+    gap = int(x_min * (1.0 - u) ** (-1.0 / alpha))
+    return min(max(x_min, gap), cap)
+
+
+def zipf_index(rng: random.Random, n: int, skew: float = 1.1) -> int:
+    """An index in [0, n) with approximately Zipfian popularity.
+
+    Uses the inverse-CDF of the continuous bounded Pareto as a fast
+    approximation, which is plenty for workload shaping.
+    """
+    if n <= 1:
+        return 0
+    u = rng.random()
+    if skew == 1.0:
+        skew = 1.0001
+    h = 1.0 - skew
+    # Inverse of F(x) ~ (x^h - 1) / (n^h - 1) over [1, n].
+    x = ((n ** h - 1.0) * u + 1.0) ** (1.0 / h)
+    return min(n - 1, max(0, int(x) - 1))
+
+
+def bursty_timestamps(
+    rng: random.Random,
+    count: int,
+    start: int,
+    alpha: float = 1.3,
+    x_min: int = 1,
+    cap: int = 10**6,
+) -> List[int]:
+    """``count`` ascending timestamps with power-law inter-event gaps."""
+    out: List[int] = []
+    t = start
+    for _ in range(count):
+        out.append(t)
+        t += pareto_gap(rng, alpha=alpha, x_min=x_min, cap=cap)
+    return out
+
+
+def local_neighbor(rng: random.Random, u: int, n: int, spread: int = 32) -> int:
+    """A neighbor near ``u`` in label space (locality of reference)."""
+    offset = pareto_gap(rng, alpha=1.2, x_min=1, cap=max(2, spread))
+    if rng.random() < 0.5:
+        offset = -offset
+    return min(n - 1, max(0, u + offset))

@@ -1,0 +1,49 @@
+"""Temporal graph model, builders, IO and time aggregation.
+
+The model follows Section III-A of the paper:
+
+* **point graphs** -- each contact is a triplet ``(u, v, t)``;
+* **interval ("contact") graphs** -- each contact is ``(u, v, t, dt)``,
+  active during ``[t, t + dt)``;
+* **incremental graphs** -- edges are only ever added; a contact at ``t``
+  means the edge exists from ``t`` onwards.
+"""
+
+from repro.graph.model import Contact, GraphKind, TemporalGraph
+from repro.graph.builders import TemporalGraphBuilder
+from repro.graph.aggregate import aggregate
+from repro.graph.io import read_contact_text, write_contact_text, contacts_as_text
+from repro.graph.reorder import apply_relabeling, bfs_order, degree_order
+from repro.graph.stats import GraphSummary, summarize
+from repro.graph.windows import activity_series, sliding_windows
+from repro.graph.slicing import induced_subgraph, sample_contacts, slice_time
+from repro.graph.compose import concatenate_epochs, disjoint_union, shift_time, union
+from repro.graph.degrees import degree_ccdf, degree_sequences, gini_coefficient
+
+__all__ = [
+    "Contact",
+    "GraphKind",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "aggregate",
+    "read_contact_text",
+    "write_contact_text",
+    "contacts_as_text",
+    "apply_relabeling",
+    "bfs_order",
+    "degree_order",
+    "GraphSummary",
+    "summarize",
+    "activity_series",
+    "sliding_windows",
+    "induced_subgraph",
+    "sample_contacts",
+    "slice_time",
+    "concatenate_epochs",
+    "disjoint_union",
+    "shift_time",
+    "union",
+    "degree_ccdf",
+    "degree_sequences",
+    "gini_coefficient",
+]

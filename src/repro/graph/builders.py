@@ -1,0 +1,80 @@
+"""Incremental construction of temporal graphs from contact streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.graph.model import Contact, GraphKind, TemporalGraph, max_label
+
+ContactLike = Union[Contact, Tuple[int, ...]]
+
+
+class TemporalGraphBuilder:
+    """Accumulates contacts and produces a validated :class:`TemporalGraph`.
+
+    The builder accepts bare tuples ``(u, v, t)`` or ``(u, v, t, duration)``
+    as well as :class:`Contact` instances, infers the node count when not
+    given, and sorts everything into the canonical (u, v, time) order.
+    """
+
+    def __init__(
+        self,
+        kind: GraphKind,
+        *,
+        num_nodes: Optional[int] = None,
+        name: str = "unnamed",
+        granularity: str = "step",
+    ) -> None:
+        self.kind = kind
+        self._num_nodes = num_nodes
+        self._name = name
+        self._granularity = granularity
+        self._contacts: List[Contact] = []
+
+    def add(self, u: int, v: int, time: int, duration: int = 0) -> "TemporalGraphBuilder":
+        """Append one contact; returns self for chaining."""
+        self._contacts.append(Contact(u, v, time, duration))
+        return self
+
+    def add_all(self, contacts: Iterable[ContactLike]) -> "TemporalGraphBuilder":
+        """Append contacts given as Contact objects or plain tuples."""
+        for c in contacts:
+            if isinstance(c, Contact):
+                self._contacts.append(c)
+            else:
+                self._contacts.append(Contact(*c))
+        return self
+
+    @property
+    def num_pending(self) -> int:
+        """Contacts accumulated so far."""
+        return len(self._contacts)
+
+    def build(self) -> TemporalGraph:
+        """Produce the immutable graph, inferring num_nodes if needed."""
+        n = self._num_nodes
+        if n is None:
+            n = max_label(self._contacts) + 1
+        return TemporalGraph(
+            self.kind,
+            n,
+            self._contacts,
+            name=self._name,
+            granularity=self._granularity,
+        )
+
+
+def graph_from_contacts(
+    kind: GraphKind,
+    contacts: Iterable[ContactLike],
+    *,
+    num_nodes: Optional[int] = None,
+    name: str = "unnamed",
+    granularity: str = "step",
+) -> TemporalGraph:
+    """One-shot convenience wrapper around :class:`TemporalGraphBuilder`."""
+    builder = TemporalGraphBuilder(
+        kind, num_nodes=num_nodes, name=name, granularity=granularity
+    )
+    builder.add_all(contacts)
+    return builder.build()

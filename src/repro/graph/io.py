@@ -1,0 +1,99 @@
+"""Plain-text contact-list IO.
+
+The on-disk format is the usual one for temporal graph datasets: one contact
+per line, whitespace-separated ``u v t`` (point/incremental) or ``u v t dt``
+(interval), with ``#``-prefixed header lines carrying the kind, node count
+and granularity.  The *Raw* and *Gzip* baselines of Table IV measure exactly
+this serialisation.  Paths ending in ``.gz`` are transparently
+gzip-compressed on write and decompressed on read, matching how the public
+temporal-graph datasets are usually distributed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+from typing import Union
+
+from repro.graph.model import Contact, GraphKind, TemporalGraph
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _write_text(path: pathlib.Path, text: str) -> None:
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text)
+
+
+def _read_text(path: pathlib.Path) -> str:
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt") as handle:
+            return handle.read()
+    return path.read_text()
+
+
+def contacts_as_text(graph: TemporalGraph, *, header: bool = True) -> str:
+    """Serialise the graph to the plain-text contact-list format."""
+    lines = []
+    if header:
+        lines.append(f"# kind={graph.kind.value}")
+        lines.append(f"# nodes={graph.num_nodes}")
+        lines.append(f"# granularity={graph.granularity}")
+        lines.append(f"# name={graph.name}")
+    if graph.kind is GraphKind.INTERVAL:
+        for c in graph.contacts:
+            lines.append(f"{c.u} {c.v} {c.time} {c.duration}")
+    else:
+        for c in graph.contacts:
+            lines.append(f"{c.u} {c.v} {c.time}")
+    return "\n".join(lines) + "\n"
+
+
+def write_contact_text(graph: TemporalGraph, path: PathLike) -> None:
+    """Write the graph to ``path`` in contact-list format (gzip for .gz)."""
+    _write_text(pathlib.Path(path), contacts_as_text(graph))
+
+
+def read_contact_text(path: PathLike) -> TemporalGraph:
+    """Parse a contact-list file produced by :func:`write_contact_text`."""
+    kind = GraphKind.POINT
+    num_nodes = None
+    granularity = "step"
+    name = "unnamed"
+    contacts = []
+    for lineno, line in enumerate(_read_text(pathlib.Path(path)).splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if "=" in body:
+                key, _, value = body.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if key == "kind":
+                    kind = GraphKind(value)
+                elif key == "nodes":
+                    num_nodes = int(value)
+                elif key == "granularity":
+                    granularity = value
+                elif key == "name":
+                    name = value
+            continue
+        fields = line.split()
+        if len(fields) == 3:
+            u, v, t = map(int, fields)
+            contacts.append(Contact(u, v, t))
+        elif len(fields) == 4:
+            u, v, t, d = map(int, fields)
+            contacts.append(Contact(u, v, t, d))
+        else:
+            raise ValueError(f"line {lineno}: expected 3 or 4 fields, got {line!r}")
+    if num_nodes is None:
+        num_nodes = max((max(c.u, c.v) for c in contacts), default=-1) + 1
+    return TemporalGraph(
+        kind, num_nodes, contacts, name=name, granularity=granularity
+    )

@@ -1,0 +1,67 @@
+"""Sliding-window utilities over temporal graphs.
+
+The paper's motivating analyses all operate on time windows (weekly
+community detection, historical PageRank, per-hour anomaly scoring).  These
+helpers standardise window generation and per-window activity series so the
+algorithms and examples share one vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+def sliding_windows(
+    t_start: int, t_end: int, width: int, step: int | None = None
+) -> Iterator[Tuple[int, int]]:
+    """Yield inclusive (start, end) windows covering [t_start, t_end].
+
+    ``step`` defaults to ``width`` (tumbling windows); smaller steps give
+    overlapping windows.  The final window is clipped to ``t_end``.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if step is None:
+        step = width
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    t = t_start
+    while t <= t_end:
+        yield (t, min(t + width - 1, t_end))
+        t += step
+
+
+def activity_series(
+    graph, u: int, t_start: int, t_end: int, width: int
+) -> List[Tuple[int, int]]:
+    """Per-window count of ``u``'s distinct active neighbors.
+
+    ``graph`` is anything exposing ``neighbors(u, t1, t2)``.
+    """
+    return [
+        (w_start, len(graph.neighbors(u, w_start, w_end)))
+        for w_start, w_end in sliding_windows(t_start, t_end, width)
+    ]
+
+
+def edge_count_series(
+    graph, t_start: int, t_end: int, width: int
+) -> List[Tuple[int, int]]:
+    """Per-window count of distinct active edges across the whole graph."""
+    out: List[Tuple[int, int]] = []
+    for w_start, w_end in sliding_windows(t_start, t_end, width):
+        count = 0
+        for u in range(graph.num_nodes):
+            count += len(graph.neighbors(u, w_start, w_end))
+        out.append((w_start, count))
+    return out
+
+
+def busiest_window(
+    graph, t_start: int, t_end: int, width: int
+) -> Tuple[int, int]:
+    """(window start, edge count) of the most active window."""
+    series = edge_count_series(graph, t_start, t_end, width)
+    if not series:
+        raise ValueError("empty window range")
+    return max(series, key=lambda pair: pair[1])

@@ -1,0 +1,87 @@
+"""Interop with the scientific Python ecosystem.
+
+Temporal-graph analyses frequently hand a *snapshot* to existing tooling --
+networkx for graph algorithms, numpy for linear-algebra methods.  These
+adapters extract a window view from anything exposing ``num_nodes`` and
+``neighbors(u, t_start, t_end)`` (compressed or not) without materialising
+more than the snapshot itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+
+def to_networkx(
+    graph,
+    t_start: int,
+    t_end: int,
+    *,
+    undirected: bool = False,
+) -> "nx.Graph":
+    """The window snapshot as a networkx (Di)Graph.
+
+    Nodes are ``range(num_nodes)``; an edge (u, v) is present iff it is
+    active anywhere within the inclusive window.
+    """
+    out = nx.Graph() if undirected else nx.DiGraph()
+    out.add_nodes_from(range(graph.num_nodes))
+    for u in range(graph.num_nodes):
+        for v in graph.neighbors(u, t_start, t_end):
+            out.add_edge(u, v)
+    return out
+
+
+def to_adjacency_matrix(
+    graph,
+    t_start: int,
+    t_end: int,
+    *,
+    dtype=np.uint8,
+) -> "np.ndarray":
+    """The window snapshot as a dense 0/1 adjacency matrix.
+
+    Suitable for small windows and spectral methods; for large graphs
+    prefer :func:`to_networkx`, which stays sparse.
+    """
+    n = graph.num_nodes
+    matrix = np.zeros((n, n), dtype=dtype)
+    for u in range(n):
+        for v in graph.neighbors(u, t_start, t_end):
+            matrix[u, v] = 1
+    return matrix
+
+
+def snapshot_series(
+    graph,
+    t_start: int,
+    t_end: int,
+    width: int,
+    *,
+    undirected: bool = False,
+):
+    """Yield (window start, networkx snapshot) over tumbling windows."""
+    from repro.graph.windows import sliding_windows
+
+    for w_start, w_end in sliding_windows(t_start, t_end, width):
+        yield w_start, to_networkx(graph, w_start, w_end, undirected=undirected)
+
+
+def degree_matrix_series(
+    graph,
+    t_start: int,
+    t_end: int,
+    width: int,
+) -> "np.ndarray":
+    """Out-degree per node per window as a (windows, nodes) numpy array."""
+    from repro.graph.windows import sliding_windows
+
+    windows = list(sliding_windows(t_start, t_end, width))
+    out = np.zeros((len(windows), graph.num_nodes), dtype=np.int64)
+    for i, (w_start, w_end) in enumerate(windows):
+        for u in range(graph.num_nodes):
+            out[i, u] = len(graph.neighbors(u, w_start, w_end))
+    return out

@@ -1,0 +1,35 @@
+"""Succinct substrate structures used by the baseline compressors.
+
+The paper compares ChronoGraph against methods built on wavelet trees (CET,
+CAS), k^2-tree generalisations (ck^d-trees) and compressed binary trees
+(T-ABT).  None of those structures exist in the Python ecosystem, so this
+subpackage implements them from scratch:
+
+* :mod:`repro.structures.wavelet` -- a wavelet matrix (the pointer-free
+  wavelet tree variant) with rank/select/range queries.
+* :mod:`repro.structures.interleaved` -- the interleaved wavelet tree of
+  Caro et al., storing bit-interleaved (u, v) event symbols.
+* :mod:`repro.structures.kdtree` -- the k^d-tree: a d-dimensional
+  generalisation of the k^2-tree with k = 2 per dimension.
+* :mod:`repro.structures.cbt` -- compressed binary trees and the
+  alternating variant used by T-ABT for long runs.
+* :mod:`repro.structures.huffman` -- canonical Huffman coding, the
+  "statistical model" EveLog compresses its edge log with.
+"""
+
+from repro.structures.wavelet import WaveletTree
+from repro.structures.interleaved import InterleavedWaveletTree, interleave, deinterleave
+from repro.structures.kdtree import KdTree
+from repro.structures.cbt import CompressedBinaryTree, AlternatingCompressedBinaryTree
+from repro.structures.huffman import HuffmanCode
+
+__all__ = [
+    "WaveletTree",
+    "InterleavedWaveletTree",
+    "interleave",
+    "deinterleave",
+    "KdTree",
+    "CompressedBinaryTree",
+    "AlternatingCompressedBinaryTree",
+    "HuffmanCode",
+]

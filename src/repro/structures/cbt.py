@@ -1,0 +1,227 @@
+"""Compressed binary trees, the substrate of the T-ABT baseline.
+
+Nelson et al. represent each row of the aggregated adjacency matrix as a
+*compressed binary tree* (CBT): a binary partition of the column universe in
+which all-zero and all-one subtrees collapse into single leaves.  For the
+time dimension they introduce the *alternating* CBT, which represents long
+runs of ones as cheaply as runs of zeros -- the activity bit array of an
+edge in an interval graph is exactly such an alternating run structure.
+
+Both classes here expose the serialised size (``size_in_bits``) computed
+from the preorder code:
+
+* CBT: ``00`` empty subtree, ``01`` full subtree, ``1`` mixed (children
+  follow); single-slot leaves take one bit.
+* Alternating CBT: ``0b`` uniform subtree of value ``b``, ``1`` mixed.
+  (Same cost for uniform subtrees of either value -- the "alternating" trick.)
+
+Queries traverse the tree form directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Tuple, Union
+
+# Tree nodes: ("E",) empty, ("F",) full, ("M", left, right) mixed.
+Node = Union[Tuple[str], Tuple[str, "Node", "Node"]]
+
+_EMPTY: Node = ("E",)
+_FULL: Node = ("F",)
+
+
+def _build(intervals: List[Tuple[int, int]], lo: int, hi: int) -> Node:
+    """Build the subtree for universe slice [lo, hi).
+
+    ``intervals`` is a sorted list of disjoint half-open member ranges lying
+    inside [lo, hi).  Building from ranges rather than exploded member lists
+    keeps long runs (the whole point of the alternating variant) cheap.
+    """
+    if not intervals:
+        return _EMPTY
+    covered = sum(e - s for s, e in intervals)
+    if covered == hi - lo:
+        return _FULL
+    mid = (lo + hi) // 2
+    left: List[Tuple[int, int]] = []
+    right: List[Tuple[int, int]] = []
+    for s, e in intervals:
+        if e <= mid:
+            left.append((s, e))
+        elif s >= mid:
+            right.append((s, e))
+        else:
+            left.append((s, mid))
+            right.append((mid, e))
+    return ("M", _build(left, lo, mid), _build(right, mid, hi))
+
+
+def _normalise_intervals(intervals: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort, drop empties and merge overlapping/touching half-open ranges."""
+    merged: List[Tuple[int, int]] = []
+    for s, e in sorted((s, e) for s, e in intervals if e > s):
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+class CompressedBinaryTree:
+    """A set over ``[0, 2**universe_bits)`` with collapsed uniform subtrees."""
+
+    def __init__(self, members: Iterable[int], universe_bits: int) -> None:
+        sorted_members = sorted(set(members))
+        intervals = _normalise_intervals((m, m + 1) for m in sorted_members)
+        self._init_from_intervals(intervals, universe_bits)
+
+    @classmethod
+    def from_intervals(
+        cls, intervals: Iterable[Tuple[int, int]], universe_bits: int
+    ) -> "CompressedBinaryTree":
+        """Build from half-open member ranges without materialising them."""
+        tree = cls.__new__(cls)
+        tree._init_from_intervals(_normalise_intervals(intervals), universe_bits)
+        return tree
+
+    def _init_from_intervals(
+        self, intervals: List[Tuple[int, int]], universe_bits: int
+    ) -> None:
+        if universe_bits < 0:
+            raise ValueError(f"negative universe_bits: {universe_bits}")
+        self._bits = universe_bits
+        size = 1 << universe_bits
+        if intervals:
+            if intervals[0][0] < 0:
+                raise ValueError(f"negative member {intervals[0][0]}")
+            if intervals[-1][1] > size:
+                raise ValueError(
+                    f"member {intervals[-1][1] - 1} outside [0, {size})"
+                )
+        self._count = sum(e - s for s, e in intervals)
+        self._root = _build(intervals, 0, size)
+
+    @property
+    def universe_bits(self) -> int:
+        """log2 of the universe size."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, x: int) -> bool:
+        if not 0 <= x < (1 << self._bits):
+            return False
+        node = self._root
+        lo, hi = 0, 1 << self._bits
+        while node[0] == "M":
+            mid = (lo + hi) // 2
+            if x < mid:
+                node, hi = node[1], mid
+            else:
+                node, lo = node[2], mid
+        return node[0] == "F"
+
+    def any_in_range(self, lo: int, hi: int) -> bool:
+        """Whether any member lies in the inclusive range [lo, hi]."""
+        if lo > hi:
+            return False
+        return self._any(self._root, 0, 1 << self._bits, lo, hi + 1)
+
+    def _any(self, node: Node, nlo: int, nhi: int, qlo: int, qhi: int) -> bool:
+        if node[0] == "E" or qhi <= nlo or nhi <= qlo:
+            return False
+        if node[0] == "F":
+            return True
+        mid = (nlo + nhi) // 2
+        return self._any(node[1], nlo, mid, qlo, qhi) or self._any(
+            node[2], mid, nhi, qlo, qhi
+        )
+
+    def count_in_range(self, lo: int, hi: int) -> int:
+        """Number of members in the inclusive range [lo, hi]."""
+        if lo > hi:
+            return 0
+        return self._count_range(self._root, 0, 1 << self._bits, lo, hi + 1)
+
+    def _count_range(self, node: Node, nlo: int, nhi: int, qlo: int, qhi: int) -> int:
+        if node[0] == "E" or qhi <= nlo or nhi <= qlo:
+            return 0
+        overlap = min(nhi, qhi) - max(nlo, qlo)
+        if node[0] == "F":
+            return overlap
+        mid = (nlo + nhi) // 2
+        return self._count_range(node[1], nlo, mid, qlo, qhi) + self._count_range(
+            node[2], mid, nhi, qlo, qhi
+        )
+
+    def members(self) -> List[int]:
+        """All members, sorted."""
+        out: List[int] = []
+        self._collect(self._root, 0, 1 << self._bits, out)
+        return out
+
+    def _collect(self, node: Node, lo: int, hi: int, out: List[int]) -> None:
+        if node[0] == "E":
+            return
+        if node[0] == "F":
+            out.extend(range(lo, hi))
+            return
+        mid = (lo + hi) // 2
+        self._collect(node[1], lo, mid, out)
+        self._collect(node[2], mid, hi, out)
+
+    def size_in_bits(self) -> int:
+        """Preorder code length: 2 bits per uniform subtree, 1 per mixed node."""
+        return self._size(self._root, self._bits)
+
+    def _size(self, node: Node, depth_bits: int) -> int:
+        if depth_bits == 0:
+            return 1  # single-slot leaf: one presence bit
+        if node[0] == "M":
+            return 1 + self._size(node[1], depth_bits - 1) + self._size(
+                node[2], depth_bits - 1
+            )
+        return 2
+
+
+class AlternatingCompressedBinaryTree(CompressedBinaryTree):
+    """CBT variant tuned for bit arrays with long alternating runs.
+
+    Structurally identical to :class:`CompressedBinaryTree`; the subclass
+    exists to model T-ABT's time trees, whose input is the *activity bit
+    array* of an edge over the graph's time steps.  The constructor therefore
+    takes activation events rather than a member set.
+    """
+
+    def __init__(self, activation_times: Iterable[int], universe_bits: int,
+                 *, mode: str = "point") -> None:
+        """Build from activation events.
+
+        ``mode='point'`` marks exactly the given time steps.  ``mode='toggle'``
+        treats the (sorted) times as alternating activation / deactivation
+        events, the interval-graph convention of Nelson et al.: the edge is
+        active from each odd-indexed event up to (excluding) the following
+        even-indexed one.
+        """
+        times = sorted(activation_times)
+        if mode == "point":
+            intervals = [(t, t + 1) for t in times]
+        elif mode == "toggle":
+            intervals = []
+            horizon = 1 << universe_bits
+            for i in range(0, len(times), 2):
+                start = times[i]
+                end = times[i + 1] if i + 1 < len(times) else horizon
+                intervals.append((start, end))
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        self._init_from_intervals(_normalise_intervals(intervals), universe_bits)
+
+    def active_at(self, t: int) -> bool:
+        """Whether the edge is active at time step ``t``."""
+        return t in self
+
+    def active_in(self, lo: int, hi: int) -> bool:
+        """Whether the edge is active anywhere in the inclusive range."""
+        return self.any_in_range(lo, hi)

@@ -1,0 +1,126 @@
+"""Canonical Huffman coding.
+
+EveLog compresses the per-vertex edge log "with a statistical model"; we use
+canonical Huffman over the byte stream of variable-byte-coded neighbor
+labels, which is the standard concrete instantiation of such a model.
+
+The codebook is serialised canonically -- (symbol, code length) pairs -- so
+the size accounting can charge for it honestly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bits.bitio import BitReader, BitWriter
+
+
+class HuffmanCode:
+    """A canonical Huffman code fitted to a symbol frequency profile."""
+
+    def __init__(self, frequencies: Dict[int, int]) -> None:
+        if not frequencies:
+            raise ValueError("cannot build a Huffman code over no symbols")
+        for symbol, freq in frequencies.items():
+            if symbol < 0:
+                raise ValueError(f"negative symbol {symbol}")
+            if freq <= 0:
+                raise ValueError(f"non-positive frequency for symbol {symbol}")
+        self._lengths = _code_lengths(frequencies)
+        self._codes = _canonical_codes(self._lengths)
+        # Decoding table: (length, code) -> symbol.
+        self._decode = {
+            (length, code): symbol
+            for symbol, (code, length) in self._codes.items()
+        }
+
+    @classmethod
+    def from_sequence(cls, sequence: Iterable[int]) -> "HuffmanCode":
+        """Fit a code to the empirical distribution of ``sequence``."""
+        counts = Counter(sequence)
+        if not counts:
+            raise ValueError("cannot fit a Huffman code to an empty sequence")
+        return cls(dict(counts))
+
+    @property
+    def symbols(self) -> List[int]:
+        """Coded symbols, sorted."""
+        return sorted(self._lengths)
+
+    def code_of(self, symbol: int) -> Tuple[int, int]:
+        """(codeword, length) for ``symbol``."""
+        return self._codes[symbol]
+
+    def encode(self, writer: BitWriter, sequence: Sequence[int]) -> int:
+        """Append the code of each symbol; returns bits written."""
+        n = 0
+        codes = self._codes
+        for symbol in sequence:
+            code, length = codes[symbol]
+            n += writer.write_bits(code, length)
+        return n
+
+    def decode(self, reader: BitReader, count: int) -> List[int]:
+        """Decode ``count`` symbols."""
+        out: List[int] = []
+        table = self._decode
+        for _ in range(count):
+            code = 0
+            length = 0
+            while True:
+                code = (code << 1) | reader.read_bit()
+                length += 1
+                hit = table.get((length, code))
+                if hit is not None:
+                    out.append(hit)
+                    break
+                if length > 64:  # pragma: no cover - corrupt stream guard
+                    raise ValueError("runaway Huffman codeword")
+        return out
+
+    def encoded_length(self, sequence: Iterable[int]) -> int:
+        """Bit length of encoding ``sequence`` (payload only)."""
+        return sum(self._codes[s][1] for s in sequence)
+
+    def codebook_size_in_bits(self, symbol_bits: int = 8) -> int:
+        """Serialised canonical codebook: symbol + 5-bit length each."""
+        return len(self._lengths) * (symbol_bits + 5)
+
+
+def _code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code lengths via the standard heap algorithm."""
+    if len(frequencies) == 1:
+        (symbol,) = frequencies
+        return {symbol: 1}
+    heap: List[Tuple[int, int, List[int]]] = []
+    for tiebreak, (symbol, freq) in enumerate(sorted(frequencies.items())):
+        heap.append((freq, tiebreak, [symbol]))
+    heapq.heapify(heap)
+    lengths = {symbol: 0 for symbol in frequencies}
+    tiebreak = len(heap)
+    while len(heap) > 1:
+        fa, _, sa = heapq.heappop(heap)
+        fb, _, sb = heapq.heappop(heap)
+        for s in sa:
+            lengths[s] += 1
+        for s in sb:
+            lengths[s] += 1
+        heapq.heappush(heap, (fa + fb, tiebreak, sa + sb))
+        tiebreak += 1
+    return lengths
+
+
+def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codewords given code lengths."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_length = 0
+    for symbol, length in ordered:
+        code <<= length - prev_length
+        codes[symbol] = (code, length)
+        code += 1
+        prev_length = length
+    return codes

@@ -1,0 +1,91 @@
+"""Interleaved wavelet tree (Caro, Rodríguez & Brisaboa) for CET.
+
+CET stores a temporal graph as a chronological log of edge events and needs
+to answer "how many times does edge (u, v) appear in this time range?" and
+"which neighbors does u touch in this range?".  The interleaved wavelet tree
+achieves this by storing, for each event, the *bit-interleaving* of its two
+endpoints as a single ``2L``-bit symbol: u's bits occupy the even (MSB-side)
+positions and v's bits the odd ones.  Fixing u then corresponds to fixing
+every even bit -- a masked traversal of the wavelet tree -- while v remains
+free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.structures.wavelet import WaveletTree
+
+
+def interleave(u: int, v: int, bits: int) -> int:
+    """Interleave two ``bits``-wide integers, u taking the higher of each pair."""
+    if u < 0 or v < 0 or u >> bits or v >> bits:
+        raise ValueError(f"({u}, {v}) does not fit in {bits} bits each")
+    out = 0
+    for i in range(bits - 1, -1, -1):
+        out = (out << 2) | (((u >> i) & 1) << 1) | ((v >> i) & 1)
+    return out
+
+
+def deinterleave(symbol: int, bits: int) -> Tuple[int, int]:
+    """Invert :func:`interleave`."""
+    u = v = 0
+    for i in range(bits):
+        v |= (symbol & 1) << i
+        symbol >>= 1
+        u |= (symbol & 1) << i
+        symbol >>= 1
+    return u, v
+
+
+class InterleavedWaveletTree:
+    """Wavelet tree over bit-interleaved (u, v) event symbols."""
+
+    def __init__(self, pairs: Sequence[Tuple[int, int]], num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        self._bits = max(1, (num_nodes - 1).bit_length())
+        self._num_nodes = num_nodes
+        symbols = [interleave(u, v, self._bits) for u, v in pairs]
+        self._tree = WaveletTree(symbols, sigma=1 << (2 * self._bits))
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def node_bits(self) -> int:
+        """Bits per endpoint."""
+        return self._bits
+
+    def size_in_bits(self) -> int:
+        """Payload size of the underlying wavelet tree."""
+        return self._tree.size_in_bits()
+
+    def access(self, i: int) -> Tuple[int, int]:
+        """The (u, v) pair of the i-th event."""
+        return deinterleave(self._tree.access(i), self._bits)
+
+    def count_edge(self, u: int, v: int, lo: int, hi: int) -> int:
+        """Occurrences of edge (u, v) among events ``[lo, hi)``."""
+        return self._tree.count_range(interleave(u, v, self._bits), lo, hi)
+
+    def _coordinate_mask(self, even: bool) -> int:
+        """Mask selecting u's (even=True) or v's (odd) interleaved bits."""
+        mask = 0
+        for i in range(self._bits):
+            mask |= 1 << (2 * i + (1 if even else 0))
+        return mask
+
+    def neighbors_of(self, u: int, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Distinct (v, multiplicity) with an (u, v) event in ``[lo, hi)``."""
+        mask = self._coordinate_mask(even=True)
+        fixed = interleave(u, 0, self._bits)
+        hits = self._tree.range_symbols_matching(lo, hi, mask, fixed)
+        return [(deinterleave(s, self._bits)[1], c) for s, c in hits]
+
+    def sources_of(self, v: int, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Distinct (u, multiplicity) with an (u, v) event in ``[lo, hi)``."""
+        mask = self._coordinate_mask(even=False)
+        fixed = interleave(0, v, self._bits)
+        hits = self._tree.range_symbols_matching(lo, hi, mask, fixed)
+        return [(deinterleave(s, self._bits)[0], c) for s, c in hits]

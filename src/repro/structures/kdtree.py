@@ -1,0 +1,180 @@
+"""k^d-trees: the d-dimensional generalisation of k^2-trees (k = 2).
+
+Caro et al.'s ck^d-trees represent a temporal graph as a set of points in a
+4-dimensional grid -- two dimensions for the edge endpoints and two for the
+activation/deactivation times -- stored in a quadtree-like structure whose
+levels are serialised as bitmaps.  This module implements the structure for
+any dimensionality: every internal node splits each dimension in half,
+giving ``2**d`` children whose non-emptiness is recorded with one bit each.
+
+Size accounting counts exactly the level bitmaps, as in the k^2-tree
+literature; navigation directories (rank indexes) are not charged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[int, ...]
+Box = Sequence[Tuple[int, int]]  # inclusive (lo, hi) per dimension
+
+
+class KdTree:
+    """A static set of d-dimensional points with box queries.
+
+    Points live in ``[0, 2**side_bits)**d``.  Duplicates are collapsed (the
+    structure represents a set, exactly like k^2-trees).
+    """
+
+    def __init__(self, points: Iterable[Point], dims: int, side_bits: int | None = None) -> None:
+        if dims < 1:
+            raise ValueError(f"need at least one dimension, got {dims}")
+        unique = sorted(set(tuple(p) for p in points))
+        for p in unique:
+            if len(p) != dims:
+                raise ValueError(f"point {p} is not {dims}-dimensional")
+            if any(x < 0 for x in p):
+                raise ValueError(f"negative coordinate in {p}")
+        if side_bits is None:
+            top = max((max(p) for p in unique), default=0)
+            side_bits = max(1, top.bit_length())
+        else:
+            top = max((max(p) for p in unique), default=0)
+            if top >> side_bits:
+                raise ValueError(
+                    f"coordinate {top} does not fit in {side_bits} bits"
+                )
+        self._dims = dims
+        self._side_bits = side_bits
+        self._n_points = len(unique)
+        # levels[l] holds the concatenated child bitmaps of all level-l nodes.
+        self._levels: List[List[int]] = [[] for _ in range(side_bits)]
+        if unique:
+            self._build(unique, 0)
+        # Prefix popcounts per level make child navigation O(1).
+        self._prefix: List[List[int]] = []
+        for bitmap in self._levels:
+            acc = 0
+            prefix = [0] * (len(bitmap) + 1)
+            for i, bit in enumerate(bitmap):
+                acc += bit
+                prefix[i + 1] = acc
+            self._prefix.append(prefix)
+
+    def _child_of(self, point: Point, level: int) -> int:
+        """Index of the child octant containing ``point`` at ``level``."""
+        shift = self._side_bits - 1 - level
+        child = 0
+        for x in point:
+            child = (child << 1) | ((x >> shift) & 1)
+        return child
+
+    def _build(self, points: List[Point], level: int) -> None:
+        fanout = 1 << self._dims
+        groups: List[List[Point]] = [[] for _ in range(fanout)]
+        for p in points:
+            groups[self._child_of(p, level)].append(p)
+        bitmap = self._levels[level]
+        start = len(bitmap)
+        bitmap.extend(1 if g else 0 for g in groups)
+        if level + 1 < self._side_bits:
+            for g in groups:
+                if g:
+                    self._build(g, level + 1)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality."""
+        return self._dims
+
+    @property
+    def side_bits(self) -> int:
+        """Bits per coordinate (grid side = 2**side_bits)."""
+        return self._side_bits
+
+    def __len__(self) -> int:
+        return self._n_points
+
+    def size_in_bits(self) -> int:
+        """Total size of the level bitmaps."""
+        return sum(len(level) for level in self._levels)
+
+    # -- queries -------------------------------------------------------------
+
+    def contains(self, point: Point) -> bool:
+        """Set membership."""
+        if len(point) != self._dims:
+            raise ValueError(f"point {point} is not {self._dims}-dimensional")
+        if self._n_points == 0:
+            return False
+        node = 0  # node index within its level
+        fanout = 1 << self._dims
+        for level in range(self._side_bits):
+            child = self._child_of(point, level)
+            pos = node * fanout + child
+            bitmap = self._levels[level]
+            if pos >= len(bitmap) or not bitmap[pos]:
+                return False
+            if level + 1 < self._side_bits:
+                node = self._rank(level, pos)
+        return True
+
+    def _rank(self, level: int, pos: int) -> int:
+        """Index of the level-(l+1) node hanging off the 1-bit at ``pos``.
+
+        Child node ordering follows the rank of the parent's 1-bit, exactly
+        as in k^2-trees.
+        """
+        return self._prefix[level][pos + 1] - 1
+
+    def count_in_box(self, box: Box) -> int:
+        """Number of stored points inside the inclusive box."""
+        return len(self.report_in_box(box))
+
+    def report_in_box(self, box: Box) -> List[Point]:
+        """All stored points inside the inclusive box, sorted."""
+        if len(box) != self._dims:
+            raise ValueError(f"box {box} is not {self._dims}-dimensional")
+        out: List[Point] = []
+        if self._n_points == 0:
+            return out
+        norm = [(max(0, lo), min((1 << self._side_bits) - 1, hi)) for lo, hi in box]
+        if any(lo > hi for lo, hi in norm):
+            return out
+        self._report(0, 0, (0,) * self._dims, norm, out)
+        out.sort()  # traversal yields Morton order; callers expect lexicographic
+        return out
+
+    def _report(
+        self,
+        level: int,
+        node: int,
+        origin: Point,
+        box: List[Tuple[int, int]],
+        out: List[Point],
+    ) -> None:
+        fanout = 1 << self._dims
+        half = 1 << (self._side_bits - 1 - level)
+        bitmap = self._levels[level]
+        base = node * fanout
+        for child in range(fanout):
+            if not bitmap[base + child]:
+                continue
+            corner = tuple(
+                origin[d] + (half if (child >> (self._dims - 1 - d)) & 1 else 0)
+                for d in range(self._dims)
+            )
+            # Intersect the child's cell [corner, corner + half) with the box.
+            if any(
+                corner[d] > box[d][1] or corner[d] + half - 1 < box[d][0]
+                for d in range(self._dims)
+            ):
+                continue
+            if level + 1 == self._side_bits:
+                out.append(corner)
+            else:
+                self._report(
+                    level + 1, self._rank(level, base + child), corner, box, out
+                )

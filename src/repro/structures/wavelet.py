@@ -1,0 +1,209 @@
+"""A wavelet matrix: the pointer-free wavelet tree used by CET and CAS.
+
+The wavelet tree (Grossi, Gupta, Vitter) stores a sequence over an alphabet
+``[0, sigma)`` in ``n * ceil(log2 sigma)`` bits plus rank/select overhead,
+supporting access, rank, select and a family of range queries in
+``O(log sigma)``.  We implement the *wavelet matrix* layout (Claude &
+Navarro), which keeps one bitvector per bit level and a single zero-count per
+level instead of per-node pointers -- simpler and the same asymptotics.
+
+Level 0 holds each symbol's most significant bit.  Moving from level ``l``
+to ``l + 1``, positions with bit 0 are stably moved to the front and
+positions with bit 1 after them (``z_l`` = number of zeros at level ``l``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.bits.bitvector import BitVector
+
+
+class WaveletTree:
+    """Wavelet matrix over a sequence of naturals.
+
+    ``sigma`` (the alphabet bound) defaults to ``max(sequence) + 1``.  All
+    query positions follow Python half-open conventions.
+    """
+
+    def __init__(self, sequence: Sequence[int], sigma: int | None = None) -> None:
+        seq = list(sequence)
+        for s in seq:
+            if s < 0:
+                raise ValueError(f"negative symbol: {s}")
+        if sigma is None:
+            sigma = (max(seq) + 1) if seq else 1
+        if seq and max(seq) >= sigma:
+            raise ValueError(f"symbol {max(seq)} >= sigma {sigma}")
+        self._n = len(seq)
+        self._sigma = sigma
+        self._levels_count = max(1, (sigma - 1).bit_length()) if sigma > 1 else 1
+        levels: List[BitVector] = []
+        zeros: List[int] = []
+        current = seq
+        for level in range(self._levels_count):
+            shift = self._levels_count - 1 - level
+            bits = [(s >> shift) & 1 for s in current]
+            levels.append(BitVector(bits))
+            nxt_zero = [s for s, b in zip(current, bits) if not b]
+            nxt_one = [s for s, b in zip(current, bits) if b]
+            zeros.append(len(nxt_zero))
+            current = nxt_zero + nxt_one
+        self._levels = levels
+        self._zeros = zeros
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet bound."""
+        return self._sigma
+
+    @property
+    def num_levels(self) -> int:
+        """Number of bit levels, ``ceil(log2 sigma)``."""
+        return self._levels_count
+
+    def size_in_bits(self) -> int:
+        """Payload bits across all levels (rank directories excluded)."""
+        return sum(len(level) for level in self._levels)
+
+    # -- point queries -------------------------------------------------------
+
+    def access(self, i: int) -> int:
+        """Return the i-th symbol of the original sequence."""
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        symbol = 0
+        for level, bv in enumerate(self._levels):
+            bit = bv[i]
+            symbol = (symbol << 1) | bit
+            if bit:
+                i = self._zeros[level] + bv.rank1(i)
+            else:
+                i = bv.rank0(i)
+        return symbol
+
+    def __getitem__(self, i: int) -> int:
+        return self.access(i)
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._n):
+            yield self.access(i)
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Occurrences of ``symbol`` in positions ``[0, i)``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(i)
+        return self.count_range(symbol, 0, i)
+
+    def count_range(self, symbol: int, lo: int, hi: int) -> int:
+        """Occurrences of ``symbol`` in positions ``[lo, hi)``."""
+        if not 0 <= lo <= hi <= self._n:
+            raise IndexError((lo, hi))
+        if symbol < 0 or symbol >= self._sigma:
+            return 0
+        for level, bv in enumerate(self._levels):
+            bit = (symbol >> (self._levels_count - 1 - level)) & 1
+            if bit:
+                z = self._zeros[level]
+                lo = z + bv.rank1(lo)
+                hi = z + bv.rank1(hi)
+            else:
+                lo = bv.rank0(lo)
+                hi = bv.rank0(hi)
+            if lo >= hi:
+                return 0
+        return hi - lo
+
+    def select(self, symbol: int, j: int) -> int:
+        """Position of the j-th (0-based) occurrence of ``symbol``."""
+        total = self.rank(symbol, self._n)
+        if not 0 <= j < total:
+            raise IndexError(f"select({symbol}, {j}) with {total} occurrences")
+        # Walk down to locate the start of the symbol's final interval...
+        lo = 0
+        path: List[Tuple[int, int]] = []  # (level, bit) taken
+        for level, bv in enumerate(self._levels):
+            bit = (symbol >> (self._levels_count - 1 - level)) & 1
+            path.append((level, bit))
+            if bit:
+                lo = self._zeros[level] + bv.rank1(lo)
+            else:
+                lo = bv.rank0(lo)
+        # ... then walk back up mapping the j-th position through selects.
+        pos = lo + j
+        for level, bit in reversed(path):
+            bv = self._levels[level]
+            if bit:
+                pos = bv.select1(pos - self._zeros[level])
+            else:
+                pos = bv.select0(pos)
+        return pos
+
+    # -- range reporting -----------------------------------------------------
+
+    def range_distinct(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Distinct symbols in ``[lo, hi)`` with multiplicities, sorted.
+
+        Runs in ``O(d log sigma)`` for ``d`` distinct symbols -- the classic
+        wavelet-tree "range listing" used by CAS to enumerate the neighbors
+        inside a vertex's event range.
+        """
+        if not 0 <= lo <= hi <= self._n:
+            raise IndexError((lo, hi))
+        out: List[Tuple[int, int]] = []
+        if lo < hi:
+            self._distinct_rec(0, lo, hi, 0, out, mask=None, fixed=0)
+        return out
+
+    def range_symbols_matching(
+        self, lo: int, hi: int, mask: int, fixed: int
+    ) -> List[Tuple[int, int]]:
+        """Distinct symbols in ``[lo, hi)`` whose masked bits equal ``fixed``.
+
+        ``mask``/``fixed`` are over the ``num_levels``-bit symbol space, MSB
+        aligned like the symbols themselves.  The interleaved wavelet tree
+        uses this to fix one coordinate of an interleaved (u, v) pair while
+        enumerating the other.
+        """
+        if not 0 <= lo <= hi <= self._n:
+            raise IndexError((lo, hi))
+        out: List[Tuple[int, int]] = []
+        if lo < hi:
+            self._distinct_rec(0, lo, hi, 0, out, mask=mask, fixed=fixed)
+        return out
+
+    def _distinct_rec(
+        self,
+        level: int,
+        lo: int,
+        hi: int,
+        prefix: int,
+        out: List[Tuple[int, int]],
+        mask: int | None,
+        fixed: int,
+    ) -> None:
+        if level == self._levels_count:
+            out.append((prefix, hi - lo))
+            return
+        bv = self._levels[level]
+        shift = self._levels_count - 1 - level
+        z = self._zeros[level]
+        lo0, hi0 = bv.rank0(lo), bv.rank0(hi)
+        lo1, hi1 = z + (lo - lo0), z + (hi - hi0)
+        constrained = mask is not None and (mask >> shift) & 1
+        want = (fixed >> shift) & 1 if constrained else None
+        if hi0 > lo0 and (want is None or want == 0):
+            self._distinct_rec(level + 1, lo0, hi0, prefix << 1, out, mask, fixed)
+        if hi1 > lo1 and (want is None or want == 1):
+            self._distinct_rec(
+                level + 1, lo1, hi1, (prefix << 1) | 1, out, mask, fixed
+            )
+
+    def histogram(self) -> Dict[int, int]:
+        """Symbol -> multiplicity over the whole sequence."""
+        return dict(self.range_distinct(0, self._n))

@@ -1,0 +1,30 @@
+"""Vertex-centric computation over compressed temporal graphs.
+
+The paper's stated future work (Section VI): "investigating the
+applicability of our techniques for algorithms based on the 'think like a
+vertex' programming paradigm".  This subpackage implements that extension:
+a Pregel-style superstep engine whose graph accessor is any compressed
+representation's window query -- vertices exchange messages while the
+topology is decoded on demand from the compressed streams.
+
+* :mod:`repro.vertexcentric.engine` -- the superstep engine, contexts and
+  the :class:`VertexProgram` contract.
+* :mod:`repro.vertexcentric.programs` -- PageRank, connected components and
+  single-source shortest paths expressed as vertex programs.
+"""
+
+from repro.vertexcentric.engine import ComputeContext, SuperstepEngine, VertexProgram
+from repro.vertexcentric.programs import (
+    BreadthFirstLevels,
+    ConnectedComponents,
+    PageRankProgram,
+)
+
+__all__ = [
+    "ComputeContext",
+    "SuperstepEngine",
+    "VertexProgram",
+    "BreadthFirstLevels",
+    "ConnectedComponents",
+    "PageRankProgram",
+]

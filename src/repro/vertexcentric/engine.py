@@ -1,0 +1,176 @@
+"""A Pregel-style superstep engine over compressed temporal graphs.
+
+The engine materialises nothing but the current vertex values and message
+queues: each superstep pulls every active vertex's neighbors for the
+configured time window straight from the compressed representation (any
+object with ``num_nodes`` and ``neighbors(u, t_start, t_end)``).
+
+Semantics follow the bulk-synchronous Pregel model:
+
+* every vertex starts active with ``program.initial_value``;
+* in each superstep, active vertices (and message recipients) run
+  ``program.compute``, may ``send`` messages along out-edges and may
+  ``vote_to_halt``;
+* messages sent in superstep *s* are delivered in *s + 1*, combined with
+  the program's ``combine``;
+* the run ends when no messages are in flight and every vertex has halted,
+  or after ``max_supersteps``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, List, Optional
+
+
+class ComputeContext:
+    """Per-superstep facilities handed to ``VertexProgram.compute``."""
+
+    def __init__(self, engine: "SuperstepEngine", vertex: int) -> None:
+        self._engine = engine
+        self._vertex = vertex
+        self.halted = False
+
+    @property
+    def superstep(self) -> int:
+        """0-based index of the running superstep."""
+        return self._engine.superstep
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return self._engine.graph.num_nodes
+
+    def neighbors(self) -> List[int]:
+        """The vertex's out-neighbors in the engine's time window (cached)."""
+        return self._engine.adjacency(self._vertex)
+
+    def out_degree(self) -> int:
+        """Number of out-neighbors in the window."""
+        return len(self.neighbors())
+
+    def send(self, target: int, message: Any) -> None:
+        """Queue a message for delivery in the next superstep."""
+        self._engine.enqueue(target, message)
+
+    def send_to_neighbors(self, message: Any) -> None:
+        """Queue the same message along every out-edge."""
+        for v in self.neighbors():
+            self._engine.enqueue(v, message)
+
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a message wakes it up."""
+        self.halted = True
+
+
+class VertexProgram(abc.ABC):
+    """User logic executed at every vertex."""
+
+    @abc.abstractmethod
+    def initial_value(self, vertex: int, ctx: ComputeContext) -> Any:
+        """The vertex's value before superstep 0."""
+
+    @abc.abstractmethod
+    def compute(
+        self, vertex: int, value: Any, messages: Optional[Any], ctx: ComputeContext
+    ) -> Any:
+        """One superstep at one vertex; returns the new value.
+
+        ``messages`` is the combined incoming message (None when there are
+        none, e.g. in superstep 0).
+        """
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Fold two messages for the same recipient; default collects lists."""
+        if isinstance(a, list):
+            return a + ([b] if not isinstance(b, list) else b)
+        return [a, b]
+
+
+class SuperstepEngine:
+    """Runs a :class:`VertexProgram` over one time window of a graph."""
+
+    def __init__(
+        self,
+        graph,
+        t_start: int,
+        t_end: int,
+        *,
+        max_supersteps: int = 50,
+        undirected: bool = False,
+    ) -> None:
+        if max_supersteps < 1:
+            raise ValueError(f"max_supersteps must be >= 1, got {max_supersteps}")
+        self.graph = graph
+        self.t_start = t_start
+        self.t_end = t_end
+        self.max_supersteps = max_supersteps
+        self.undirected = undirected
+        self.superstep = -1
+        self._adjacency: Dict[int, List[int]] = {}
+        self._undirected_built = False
+        self._inbox: Dict[int, Any] = {}
+        self._combine: Optional[Callable[[Any, Any], Any]] = None
+
+    def adjacency(self, u: int) -> List[int]:
+        """Window-restricted neighbors, decoded once per run.
+
+        With ``undirected=True`` the view is symmetrised (out plus in
+        edges), which programs like connected components need; the reverse
+        edges are derived in one pass over all vertices on first access.
+        """
+        if self.undirected and not self._undirected_built:
+            symmetric: Dict[int, set] = {v: set() for v in range(self.graph.num_nodes)}
+            for v in range(self.graph.num_nodes):
+                for w in self.graph.neighbors(v, self.t_start, self.t_end):
+                    symmetric[v].add(w)
+                    symmetric[w].add(v)
+            self._adjacency = {v: sorted(ws) for v, ws in symmetric.items()}
+            self._undirected_built = True
+        cached = self._adjacency.get(u)
+        if cached is None:
+            cached = self.graph.neighbors(u, self.t_start, self.t_end)
+            self._adjacency[u] = cached
+        return cached
+
+    def enqueue(self, target: int, message: Any) -> None:
+        """Deliver a message at the start of the next superstep."""
+        if not 0 <= target < self.graph.num_nodes:
+            raise ValueError(f"message target {target} out of range")
+        if target in self._outbox:
+            self._outbox[target] = self._combine(self._outbox[target], message)
+        else:
+            self._outbox[target] = message
+
+    def run(self, program: VertexProgram) -> List[Any]:
+        """Execute the program to convergence; returns final vertex values."""
+        n = self.graph.num_nodes
+        self._combine = program.combine
+        self._outbox: Dict[int, Any] = {}
+        self.superstep = -1
+
+        values: List[Any] = []
+        contexts = [ComputeContext(self, u) for u in range(n)]
+        for u in range(n):
+            values.append(program.initial_value(u, contexts[u]))
+
+        active = set(range(n))
+        inbox: Dict[int, Any] = {}
+        for step in range(self.max_supersteps):
+            self.superstep = step
+            self._outbox = {}
+            run_set = active | set(inbox)
+            if not run_set:
+                break
+            for u in sorted(run_set):
+                ctx = contexts[u]
+                ctx.halted = False
+                values[u] = program.compute(u, values[u], inbox.get(u), ctx)
+                if ctx.halted:
+                    active.discard(u)
+                else:
+                    active.add(u)
+            inbox = self._outbox
+            if not inbox and not active:
+                break
+        return values

@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+The property tests exercise bit-level codecs whose worst cases (e.g. a
+Golomb code with modulus 1 on a large value) are legitimately slow in pure
+Python, so the Hypothesis deadline is disabled and the example budget is kept
+moderate to bound total suite time.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,87 @@
+"""Property tests for aggregation interacting with queries and baselines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import get_compressor
+from repro.core import ChronoGraphConfig, compress
+from repro.graph.aggregate import aggregate
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+class TestAggregatedQueryConsistency:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5),
+                      st.integers(0, 100_000)),
+            min_size=1,
+            max_size=50,
+        ),
+        st.integers(2, 5_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_bucket_queries_cover_original_activity(self, rows, res):
+        """Anything active at time t is active in bucket t // res."""
+        g = graph_from_contacts(GraphKind.POINT, rows, num_nodes=6)
+        agg = aggregate(g, res)
+        cg = compress(agg)
+        for u, v, t in rows:
+            bucket = t // res
+            assert cg.has_edge(u, v, bucket, bucket)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5),
+                      st.integers(0, 10_000), st.integers(1, 400)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(2, 600),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_interval_buckets_cover_activity(self, rows, res):
+        g = graph_from_contacts(GraphKind.INTERVAL, rows, num_nodes=6)
+        agg = aggregate(g, res)
+        cg = compress(agg)
+        for u, v, t, d in rows:
+            for probe in (t, t + d - 1):  # first and last active instant
+                bucket = probe // res
+                assert cg.has_edge(u, v, bucket, bucket), (u, v, probe, res)
+
+
+class TestAggregationAcrossBaselines:
+    def test_all_methods_answer_identically_on_aggregated_graph(self):
+        rng = random.Random(31)
+        rows = [(rng.randrange(8), rng.randrange(8), rng.randrange(50_000))
+                for _ in range(150)]
+        g = aggregate(
+            graph_from_contacts(GraphKind.POINT, rows, num_nodes=8), 600
+        )
+        reference = None
+        for method in ("EveLog", "EdgeLog", "CET", "CAS", "T-ABT",
+                       "ChronoGraph"):
+            cg = get_compressor(method).compress(g)
+            answers = [
+                tuple(cg.neighbors(u, w, w + 10))
+                for u in range(8)
+                for w in range(0, 90, 13)
+            ]
+            if reference is None:
+                reference = answers
+            else:
+                assert answers == reference, method
+
+    def test_resolution_stacking_matches_direct(self):
+        rng = random.Random(37)
+        rows = [(rng.randrange(4), rng.randrange(4), rng.randrange(100_000))
+                for _ in range(80)]
+        g = graph_from_contacts(GraphKind.POINT, rows, num_nodes=4)
+        direct = compress(g, ChronoGraphConfig(resolution=3600))
+        stacked = compress(aggregate(g, 60), ChronoGraphConfig(resolution=60))
+        assert (
+            direct.to_temporal_graph().contacts
+            == stacked.to_temporal_graph().contacts
+        )

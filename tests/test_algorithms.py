@@ -1,0 +1,167 @@
+"""Tests for the graph algorithms on compressed temporal graphs."""
+
+import pytest
+
+from repro.algorithms import (
+    detect_bursts,
+    earliest_arrival,
+    label_propagation,
+    pagerank,
+    temporal_reachable,
+    track_communities,
+)
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _cg(contacts, kind=GraphKind.POINT, n=None):
+    return compress(graph_from_contacts(kind, contacts, num_nodes=n))
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        cg = _cg([(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        scores = pagerank(cg, 0, 10)
+        assert sum(scores) == pytest.approx(1.0)
+
+    def test_sink_attracts_rank(self):
+        cg = _cg([(0, 2, 1), (1, 2, 1)])
+        scores = pagerank(cg, 0, 10)
+        assert scores[2] > scores[0]
+        assert scores[2] > scores[1]
+
+    def test_time_window_changes_result(self):
+        cg = _cg([(0, 1, 1), (0, 2, 100)])
+        early = pagerank(cg, 0, 10)
+        late = pagerank(cg, 50, 200)
+        assert early[1] > early[2]
+        assert late[2] > late[1]
+
+    def test_symmetric_cycle_is_uniform(self):
+        cg = _cg([(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)])
+        scores = pagerank(cg, 0, 10)
+        for s in scores:
+            assert s == pytest.approx(0.25, abs=1e-6)
+
+    def test_rejects_bad_damping(self):
+        cg = _cg([(0, 1, 1)])
+        with pytest.raises(ValueError):
+            pagerank(cg, 0, 1, damping=1.5)
+
+    def test_empty_graph(self):
+        cg = compress(graph_from_contacts(GraphKind.POINT, [], num_nodes=0))
+        assert pagerank(cg, 0, 1) == []
+
+    def test_works_on_uncompressed_reference(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 1), (1, 0, 1)])
+
+        class RefView:
+            num_nodes = g.num_nodes
+            neighbors = staticmethod(g.ref_neighbors)
+
+        cg = compress(g)
+        assert pagerank(RefView(), 0, 10) == pytest.approx(pagerank(cg, 0, 10))
+
+
+class TestCommunities:
+    def test_two_cliques_found(self):
+        contacts = []
+        for group in ([0, 1, 2, 3], [4, 5, 6, 7]):
+            for a in group:
+                for b in group:
+                    if a != b:
+                        contacts.append((a, b, 1))
+        contacts.append((3, 4, 1))  # single bridge
+        cg = _cg(contacts)
+        labels = label_propagation(cg, 0, 10, seed=3)
+        assert len({labels[0], labels[1], labels[2]}) == 1
+        assert len({labels[4], labels[5], labels[6], labels[7]}) == 1
+
+    def test_isolated_nodes_keep_singleton_labels(self):
+        cg = _cg([(0, 1, 1)], n=4)
+        labels = label_propagation(cg, 0, 10)
+        assert labels[2] == 2
+        assert labels[3] == 3
+
+    def test_track_communities_windows(self):
+        cg = _cg([(0, 1, 0), (1, 0, 0), (2, 3, 10), (3, 2, 10)], n=4)
+        timeline = track_communities(cg, window=10, t_start=0, t_end=19)
+        assert [t for t, _ in timeline] == [0, 10]
+        early, late = timeline[0][1], timeline[1][1]
+        assert early[0] == early[1]
+        assert late[2] == late[3]
+        assert early[2] != early[3] or early[2] == 2  # no 2-3 edge yet
+
+    def test_track_communities_rejects_bad_window(self):
+        cg = _cg([(0, 1, 1)])
+        with pytest.raises(ValueError):
+            track_communities(cg, window=0, t_start=0, t_end=1)
+
+
+class TestReachability:
+    def test_respects_time_order_point(self):
+        # 0 -(t=5)-> 1 -(t=3)-> 2 : the second hop happens before the first.
+        cg = _cg([(0, 1, 5), (1, 2, 3)])
+        arrivals = earliest_arrival(cg, 0, t_depart=0)
+        assert arrivals[1] == 5
+        assert 2 not in arrivals
+
+    def test_forward_path_reachable(self):
+        cg = _cg([(0, 1, 2), (1, 2, 7), (2, 3, 9)])
+        arrivals = earliest_arrival(cg, 0, t_depart=0)
+        assert arrivals == {0: 0, 1: 2, 2: 7, 3: 9}
+
+    def test_departure_time_filters_contacts(self):
+        cg = _cg([(0, 1, 2), (0, 2, 50)])
+        assert temporal_reachable(cg, 0, t_depart=10) == [0, 2]
+
+    def test_incremental_edges_usable_forever(self):
+        cg = _cg([(0, 1, 2), (1, 2, 1)], kind=GraphKind.INCREMENTAL)
+        arrivals = earliest_arrival(cg, 0, t_depart=0)
+        assert arrivals[2] == 2  # board edge (1,2) after arriving at t=2
+
+    def test_interval_contact_boardable_during_activity(self):
+        cg = _cg([(0, 1, 0, 10), (1, 2, 5, 2)], kind=GraphKind.INTERVAL)
+        arrivals = earliest_arrival(cg, 0, t_depart=0)
+        assert arrivals[1] == 0
+        assert arrivals[2] == 5
+
+    def test_interval_contact_missed_after_expiry(self):
+        cg = _cg([(0, 1, 0, 2), (1, 2, 0, 1)], kind=GraphKind.INTERVAL)
+        arrivals = earliest_arrival(cg, 0, t_depart=0)
+        assert arrivals[2] == 0
+        late = earliest_arrival(cg, 0, t_depart=1)
+        assert 2 not in late  # (1,2) active only during [0, 1)
+
+    def test_works_on_uncompressed_graph(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 2), (1, 2, 7)])
+        assert earliest_arrival(g, 0) == earliest_arrival(compress(g), 0)
+
+
+class TestAnomaly:
+    def test_burst_detected(self):
+        contacts = []
+        # Node 0 talks to one neighbor per window, then bursts to 12.
+        for w in range(10):
+            contacts.append((0, 1, w * 10))
+        for v in range(2, 14):
+            contacts.append((0, v, 95))
+        cg = _cg(contacts, n=14)
+        anomalies = detect_bursts(cg, window=10, t_start=0, t_end=99,
+                                  z_threshold=2.0)
+        assert anomalies
+        node, start, z = anomalies[0]
+        assert node == 0
+        assert start == 90
+        assert z > 2.0
+
+    def test_steady_activity_not_flagged(self):
+        contacts = [(0, 1, w * 10) for w in range(10)]
+        cg = _cg(contacts, n=2)
+        assert detect_bursts(cg, window=10, t_start=0, t_end=99) == []
+
+    def test_rejects_bad_window(self):
+        cg = _cg([(0, 1, 1)])
+        with pytest.raises(ValueError):
+            detect_bursts(cg, window=0, t_start=0, t_end=1)

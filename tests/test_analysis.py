@@ -1,0 +1,115 @@
+"""Tests for the gap-strategy analysis and power-law fitting."""
+
+import random
+
+import pytest
+
+from repro.analysis.gapstats import (
+    cumulative_frequency,
+    fraction_below,
+    gap_sequence,
+    log_binned_distribution,
+    natural_gaps,
+)
+from repro.analysis.powerlawfit import fit_discrete_power_law
+from repro.datasets.util import pareto_gap
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+class TestGapSequence:
+    TIMES = [100, 150, 120, 500]
+
+    def test_minimum_strategy(self):
+        assert gap_sequence(self.TIMES, "minimum") == [0, 50, 20, 400]
+
+    def test_frequent_strategy_uses_mode(self):
+        times = [7, 7, 9, 3]
+        assert gap_sequence(times, "frequent") == [0, 0, 2, -4]
+
+    def test_previous_strategy(self):
+        assert gap_sequence(self.TIMES, "previous") == [0, 50, -30, 380]
+
+    def test_empty(self):
+        assert gap_sequence([], "previous") == []
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            gap_sequence([1], "median")
+
+
+class TestNaturalGaps:
+    def test_gaps_collected_per_node(self):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 10), (0, 2, 13), (1, 0, 5)], num_nodes=3
+        )
+        gaps = natural_gaps(g, "previous")
+        # Node 0: [0, 3] -> [0, 6]; node 1: [0] -> [0].
+        assert sorted(gaps) == [0, 0, 6]
+
+    def test_aggregation_shrinks_gaps(self):
+        """Figure 4: coarser resolution divides the gaps."""
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 0), (0, 2, 600), (0, 3, 1800)], num_nodes=4
+        )
+        fine = natural_gaps(g, "previous", resolution=1)
+        coarse = natural_gaps(g, "previous", resolution=60)
+        assert max(coarse) == max(fine) // 60
+
+    def test_rejects_bad_resolution(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 1)])
+        with pytest.raises(ValueError):
+            natural_gaps(g, "previous", resolution=0)
+
+
+class TestDistributions:
+    def test_cumulative_frequency(self):
+        cf = cumulative_frequency([1, 1, 2, 5])
+        assert cf == [(1, 0.5), (2, 0.75), (5, 1.0)]
+
+    def test_cumulative_frequency_empty(self):
+        assert cumulative_frequency([]) == []
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 50, 200], 100) == pytest.approx(2 / 3)
+        assert fraction_below([], 100) == 0.0
+
+    def test_log_binned_distribution_is_normalised_density(self):
+        values = [1, 2, 3, 10, 20, 100, 1000]
+        dist = log_binned_distribution(values)
+        assert all(density > 0 for _, density in dist)
+        centers = [c for c, _ in dist]
+        assert centers == sorted(centers)
+
+    def test_log_binned_excludes_nonpositive(self):
+        assert log_binned_distribution([0, 0, 0]) == []
+
+    def test_power_law_sample_has_decreasing_density(self):
+        rng = random.Random(5)
+        values = [pareto_gap(rng, alpha=1.5) for _ in range(5000)]
+        dist = log_binned_distribution(values, bins_per_decade=2)
+        densities = [d for _, d in dist[:4]]
+        assert densities == sorted(densities, reverse=True)
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        rng = random.Random(11)
+        alpha_true = 2.0
+        values = [pareto_gap(rng, alpha=alpha_true - 1.0, cap=10**9)
+                  for _ in range(20000)]
+        fit = fit_discrete_power_law(values, x_min=5)
+        assert abs(fit.alpha - alpha_true) < 0.25
+
+    def test_rejects_small_samples(self):
+        with pytest.raises(ValueError):
+            fit_discrete_power_law([5, 6, 7])
+
+    def test_rejects_bad_xmin(self):
+        with pytest.raises(ValueError):
+            fit_discrete_power_law(list(range(100)), x_min=1)
+
+    def test_heavy_tail_flag(self):
+        rng = random.Random(13)
+        values = [pareto_gap(rng, alpha=1.5) for _ in range(2000)]
+        assert fit_discrete_power_law(values).is_heavy_tailed

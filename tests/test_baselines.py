@@ -1,0 +1,168 @@
+"""Cross-baseline correctness: every compressor vs the reference oracle.
+
+The activity semantics each query must satisfy are defined by
+``TemporalGraph.ref_has_edge`` / ``ref_neighbors``; every compressed
+representation -- ChronoGraph and all seven baselines -- must agree with
+them on random graphs of every kind.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    CASCompressor,
+    CETCompressor,
+    CKDTreeCompressor,
+    ChronoGraphCompressor,
+    EdgeLogCompressor,
+    EveLogCompressor,
+    GzipCompressor,
+    RawCompressor,
+    SnapshotsCompressor,
+    TABTCompressor,
+    all_compressors,
+    get_compressor,
+)
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+ALL_COMPRESSORS = [
+    RawCompressor,
+    GzipCompressor,
+    EveLogCompressor,
+    EdgeLogCompressor,
+    CETCompressor,
+    CASCompressor,
+    CKDTreeCompressor,
+    TABTCompressor,
+    ChronoGraphCompressor,
+    SnapshotsCompressor,
+]
+
+
+def _random_graph(kind, seed, n=16, contacts=120, t_max=300):
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(contacts):
+        u, v = rng.randrange(n), rng.randrange(n)
+        t = rng.randrange(t_max)
+        d = rng.randrange(0, 40) if kind is GraphKind.INTERVAL else 0
+        rows.append((u, v, t, d))
+    return graph_from_contacts(kind, rows, num_nodes=n)
+
+
+@pytest.fixture(params=ALL_COMPRESSORS, ids=lambda c: c.name)
+def compressor(request):
+    return request.param()
+
+
+@pytest.fixture(
+    params=[GraphKind.POINT, GraphKind.INTERVAL, GraphKind.INCREMENTAL],
+    ids=lambda k: k.value,
+)
+def kind(request):
+    return request.param
+
+
+class TestCorrectness:
+    def test_has_edge_matches_reference(self, compressor, kind):
+        g = _random_graph(kind, seed=hash((compressor.name, kind.value)) % 2**31)
+        cg = compressor.compress(g)
+        rng = random.Random(17)
+        for _ in range(200):
+            u, v = rng.randrange(g.num_nodes), rng.randrange(g.num_nodes)
+            t1 = rng.randrange(350)
+            t2 = t1 + rng.randrange(80)
+            assert cg.has_edge(u, v, t1, t2) == g.ref_has_edge(u, v, t1, t2), (
+                compressor.name, kind, u, v, t1, t2,
+            )
+
+    def test_neighbors_match_reference(self, compressor, kind):
+        g = _random_graph(kind, seed=hash((kind.value, compressor.name)) % 2**31)
+        cg = compressor.compress(g)
+        rng = random.Random(23)
+        for _ in range(60):
+            u = rng.randrange(g.num_nodes)
+            t1 = rng.randrange(350)
+            t2 = t1 + rng.randrange(120)
+            assert cg.neighbors(u, t1, t2) == g.ref_neighbors(u, t1, t2), (
+                compressor.name, kind, u, t1, t2,
+            )
+
+    def test_empty_graph(self, compressor, kind):
+        g = graph_from_contacts(kind, [], num_nodes=4)
+        cg = compressor.compress(g)
+        assert cg.neighbors(0, 0, 100) == []
+        assert not cg.has_edge(0, 1, 0, 100)
+        assert cg.bits_per_contact == 0.0
+
+    def test_single_contact(self, compressor, kind):
+        d = 5 if kind is GraphKind.INTERVAL else 0
+        g = graph_from_contacts(kind, [(0, 1, 10, d)], num_nodes=3)
+        cg = compressor.compress(g)
+        assert cg.has_edge(0, 1, 10, 10)
+        assert not cg.has_edge(1, 0, 10, 10)
+        assert cg.neighbors(0, 10, 10) == [1]
+
+    def test_invalid_node_raises(self, compressor):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 1)], num_nodes=2)
+        cg = compressor.compress(g)
+        if compressor.name in ("Raw", "Gzip"):
+            pytest.skip("size baselines delegate validation to the raw graph")
+        with pytest.raises(ValueError):
+            cg.neighbors(5, 0, 1)
+
+    def test_size_is_positive(self, compressor, kind):
+        g = _random_graph(kind, seed=3)
+        cg = compressor.compress(g)
+        assert cg.size_in_bits > 0
+        assert cg.bits_per_contact > 0
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        names = set(all_compressors())
+        assert {
+            "raw", "gzip", "evelog", "edgelog", "cet", "cas",
+            "ckd-trees", "t-abt", "chronograph", "snapshots",
+        } <= names
+
+    def test_get_compressor_by_name(self):
+        assert isinstance(get_compressor("EdgeLog"), EdgeLogCompressor)
+        assert isinstance(get_compressor("t-abt"), TABTCompressor)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_compressor("nope")
+
+
+class TestFeatures:
+    def test_table1_feature_matrix(self):
+        """Table I: only ChronoGraph offers timestamps and aggregations."""
+        for cls in ALL_COMPRESSORS:
+            f = cls.features
+            assert f.incremental and f.point and f.interval
+            assert f.time_steps
+        assert ChronoGraphCompressor.features.timestamps
+        assert ChronoGraphCompressor.features.aggregations
+        for cls in (EveLogCompressor, EdgeLogCompressor, CETCompressor,
+                    CASCompressor, CKDTreeCompressor, TABTCompressor):
+            assert not cls.features.timestamps
+            assert not cls.features.aggregations
+
+
+class TestCompressionQuality:
+    def test_every_method_beats_raw_on_structured_graph(self):
+        rng = random.Random(99)
+        contacts = []
+        t = 0
+        for u in range(40):
+            for v in range(max(0, u - 4), min(40, u + 4)):
+                t += rng.randrange(1, 3)
+                contacts.append((u, v, t))
+        g = graph_from_contacts(GraphKind.POINT, contacts, num_nodes=40)
+        raw = RawCompressor().compress(g).size_in_bits
+        for cls in (EveLogCompressor, EdgeLogCompressor, CETCompressor,
+                    CASCompressor, TABTCompressor, ChronoGraphCompressor):
+            assert cls().compress(g).size_in_bits < raw, cls.name

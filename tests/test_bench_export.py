@@ -1,0 +1,67 @@
+"""Tests for the figure-series CSV exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.export import export_figures
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "fig2_gap_strategies.json").write_text(json.dumps({
+        "previous": {"1": 0.1, "100": 0.5},
+        "minimum": {"1": 0.0, "100": 0.1},
+    }))
+    (tmp_path / "fig6_aggregation_levels.json").write_text(json.dumps({
+        "yahoo-sub": {"second": 11.0, "minute": 7.5},
+    }))
+    (tmp_path / "fig7_zeta_codes.json").write_text(json.dumps({
+        "yahoo-sub@second": {"best_k": 2, "sizes": {"2": 8.6, "3": 8.9}},
+    }))
+    (tmp_path / "fig3_gap_distributions.json").write_text(json.dumps({
+        "yahoo-sub": {"alpha": 1.5, "below_100": 0.4, "mean_gap": 10.0,
+                      "distribution": [[1.5, 0.3], [4.7, 0.1]]},
+    }))
+    return tmp_path
+
+
+def _read_csv(path):
+    with path.open() as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_exports_every_available_figure(self, results_dir, tmp_path):
+        out = tmp_path / "csv"
+        written = export_figures(out, results_dir)
+        assert {p.name for p in written} == {
+            "fig2_gap_strategies.csv",
+            "fig3_gap_distributions.csv",
+            "fig6_aggregation_levels.csv",
+            "fig7_zeta_codes.csv",
+        }
+
+    def test_fig2_rows(self, results_dir, tmp_path):
+        written = export_figures(tmp_path / "csv", results_dir)
+        path = next(p for p in written if "fig2" in p.name)
+        rows = _read_csv(path)
+        assert rows[0] == ["strategy", "gap_below", "cumulative_fraction"]
+        assert ["previous", "100", "0.5"] in rows
+
+    def test_fig7_rows_sorted_by_k(self, results_dir, tmp_path):
+        written = export_figures(tmp_path / "csv", results_dir)
+        path = next(p for p in written if "fig7" in p.name)
+        rows = _read_csv(path)[1:]
+        assert [r[1] for r in rows] == ["2", "3"]
+
+    def test_missing_results_skip_silently(self, tmp_path):
+        assert export_figures(tmp_path / "csv", tmp_path) == []
+
+    def test_real_results_export(self, tmp_path):
+        """Against whatever the repository's last bench run produced."""
+        written = export_figures(tmp_path / "csv")
+        for path in written:
+            rows = _read_csv(path)
+            assert len(rows) >= 2  # header + at least one observation

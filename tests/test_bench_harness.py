@@ -1,0 +1,103 @@
+"""Unit tests for the benchmark harness itself."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    BENCH_METHODS,
+    bench_scale,
+    compress_all,
+    format_table,
+    random_edge_queries,
+    random_neighbor_queries,
+    save_results,
+)
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _graph():
+    return graph_from_contacts(
+        GraphKind.POINT, [(0, 1, 5), (1, 2, 9), (2, 0, 50)], num_nodes=3
+    )
+
+
+class TestScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(0.3) == 0.3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1.5")
+        assert bench_scale() == 1.5
+
+    def test_rejects_non_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestCompressAll:
+    def test_all_methods_produce_results(self):
+        out = compress_all(_graph())
+        assert set(out) == set(BENCH_METHODS)
+        for compressed, seconds in out.values():
+            assert compressed.size_in_bits > 0
+            assert seconds >= 0
+
+    def test_method_subset(self):
+        out = compress_all(_graph(), methods=["Raw", "ChronoGraph"])
+        assert set(out) == {"Raw", "ChronoGraph"}
+
+
+class TestQueryWorkloads:
+    def test_neighbor_queries_shape(self):
+        queries = random_neighbor_queries(_graph(), 40, seed=1)
+        assert len(queries) == 40
+        for u, t1, t2 in queries:
+            assert 0 <= u < 3
+            assert t2 >= t1
+
+    def test_edge_queries_half_target_real_edges(self):
+        g = _graph()
+        queries = random_edge_queries(g, 40, seed=1)
+        real_pairs = {(c.u, c.v) for c in g.contacts}
+        hits = sum(1 for u, v, _, _ in queries if (u, v) in real_pairs)
+        assert hits >= 20  # the even-indexed half samples real contacts
+
+    def test_deterministic_per_seed(self):
+        g = _graph()
+        assert random_neighbor_queries(g, 10, seed=3) == random_neighbor_queries(
+            g, 10, seed=3
+        )
+        assert random_neighbor_queries(g, 10, seed=3) != random_neighbor_queries(
+            g, 10, seed=4
+        )
+
+    def test_empty_graph_workloads(self):
+        g = graph_from_contacts(GraphKind.POINT, [], num_nodes=1)
+        assert len(random_neighbor_queries(g, 5)) == 5
+        assert len(random_edge_queries(g, 5)) == 5
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [["x", "1"], ["yy", "22"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert all(len(line) >= 5 for line in lines[1:])
+
+    def test_format_table_no_title(self):
+        table = format_table(["h"], [["v"]])
+        assert table.splitlines()[0] == "h"
+
+
+class TestPersistence:
+    def test_save_results_writes_json(self):
+        path = save_results("_harness_selftest", {"k": [1, 2]})
+        try:
+            assert json.loads(path.read_text()) == {"k": [1, 2]}
+        finally:
+            path.unlink()

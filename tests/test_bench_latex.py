@@ -1,0 +1,79 @@
+"""Tests for the LaTeX table exporter."""
+
+import json
+
+import pytest
+
+from repro.bench.latex import export_latex, latex_access_times, latex_table4
+from repro.bench.report import load_results
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "table4_compression_ratio.json").write_text(json.dumps({
+        "yahoo_sub": {
+            "ratios": {
+                "Raw": 86.5, "Gzip": 19.9, "EveLog": 14.6, "EdgeLog": 15.4,
+                "CET": 24.2, "CAS": 15.5, "ckd-trees": 17.4, "T-ABT": 15.5,
+                "ChronoGraph": 10.9,
+            },
+            "chronograph_timestamp_part": 8.6,
+            "improvement_over_second_best_pct": 24.9,
+        }
+    }))
+    (tmp_path / "table5_access_time.json").write_text(json.dumps({
+        "yahoo_sub": {
+            "ChronoGraph": {"neighbors_us": 48.9, "edge_us": 452.0},
+            "T-ABT": {"neighbors_us": 6.9, "edge_us": 2.0},
+        }
+    }))
+    return tmp_path
+
+
+class TestTable4:
+    def test_renders_tabular(self, results_dir):
+        block = latex_table4(load_results(results_dir))
+        assert block.startswith(r"\begin{tabular}")
+        assert block.rstrip().endswith(r"\end{tabular}")
+        assert r"\toprule" in block
+
+    def test_bolds_the_winner(self, results_dir):
+        block = latex_table4(load_results(results_dir))
+        assert r"\textbf{10.90}" in block
+
+    def test_escapes_underscores(self, results_dir):
+        block = latex_table4(load_results(results_dir))
+        assert r"yahoo\_sub" in block
+        assert "yahoo_sub &" not in block
+
+    def test_none_without_results(self):
+        assert latex_table4({}) is None
+
+
+class TestAccessTable:
+    def test_bolds_fastest(self, results_dir):
+        block = latex_access_times(load_results(results_dir))
+        assert r"\textbf{6.9}" in block
+
+    def test_none_without_results(self):
+        assert latex_access_times({}) is None
+
+
+class TestExport:
+    def test_writes_files(self, results_dir, tmp_path):
+        written = export_latex(tmp_path / "tex", results_dir)
+        assert {p.name for p in written} == {
+            "table4_compression_ratio.tex", "table5_access_time.tex",
+        }
+        for path in written:
+            assert path.read_text().startswith(r"\begin{tabular}")
+
+    def test_empty_results(self, tmp_path):
+        assert export_latex(tmp_path / "tex", tmp_path) == []
+
+    def test_against_repository_results(self, tmp_path):
+        """Whatever the last bench run produced must render."""
+        written = export_latex(tmp_path / "tex")
+        for path in written:
+            text = path.read_text()
+            assert text.count(r" \\") >= 2  # header + at least one data row

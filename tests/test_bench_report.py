@@ -1,0 +1,90 @@
+"""Tests for the benchmark report renderer and its CLI command."""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    load_results,
+    render_access_times,
+    render_best_zeta,
+    render_summary,
+    render_table4,
+)
+from repro.cli import main
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "table4_compression_ratio.json").write_text(json.dumps({
+        "toy": {
+            "ratios": {
+                "Raw": 100.0, "Gzip": 40.0, "EveLog": 20.0, "EdgeLog": 21.0,
+                "CET": 25.0, "CAS": 22.0, "ckd-trees": 30.0, "T-ABT": 24.0,
+                "ChronoGraph": 15.0,
+            },
+            "chronograph_timestamp_part": 9.0,
+            "improvement_over_second_best_pct": 25.0,
+        }
+    }))
+    (tmp_path / "table5_access_time.json").write_text(json.dumps({
+        "toy": {
+            "ChronoGraph": {"neighbors_us": 5.0, "edge_us": 2.0},
+            "EveLog": {"neighbors_us": 50.0, "edge_us": 20.0},
+        }
+    }))
+    (tmp_path / "fig7_zeta_codes.json").write_text(json.dumps({
+        "toy@second": {"best_k": 4, "sizes": {}},
+    }))
+    return tmp_path
+
+
+class TestLoaders:
+    def test_load_results(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {
+            "table4_compression_ratio", "table5_access_time", "fig7_zeta_codes",
+        }
+
+    def test_empty_directory(self, tmp_path):
+        assert load_results(tmp_path) == {}
+
+
+class TestRenderers:
+    def test_table4(self, results_dir):
+        block = render_table4(load_results(results_dir))
+        assert "toy" in block
+        assert "15.00" in block
+        assert "+25.0%" in block
+
+    def test_access_times(self, results_dir):
+        block = render_access_times(load_results(results_dir))
+        assert "neighbor queries" in block
+        assert "5.0" in block
+
+    def test_best_zeta(self, results_dir):
+        block = render_best_zeta(load_results(results_dir))
+        assert "toy@second" in block
+
+    def test_renderers_return_none_without_data(self):
+        assert render_table4({}) is None
+        assert render_access_times({}) is None
+        assert render_best_zeta({}) is None
+
+    def test_summary_concatenates(self, results_dir):
+        summary = render_summary(results_dir)
+        assert "Table IV" in summary
+        assert "Figure 7" in summary
+
+    def test_summary_explains_missing_results(self, tmp_path):
+        assert "pytest benchmarks/" in render_summary(tmp_path)
+
+
+class TestCli:
+    def test_report_command(self, results_dir, capsys):
+        assert main(["report", "--dir", str(results_dir)]) == 0
+        assert "Table IV" in capsys.readouterr().out
+
+    def test_report_command_empty(self, tmp_path, capsys):
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "no benchmark results" in capsys.readouterr().out

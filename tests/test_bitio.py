@@ -1,0 +1,182 @@
+"""Unit and property tests for the MSB-first bit streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_has_zero_length(self):
+        assert len(BitWriter()) == 0
+
+    def test_single_bit_length(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert len(w) == 1
+
+    def test_first_bit_is_msb_of_first_byte(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.to_bytes() == b"\x80"
+
+    def test_byte_roundtrip(self):
+        w = BitWriter()
+        w.write_bits(0xAB, 8)
+        assert w.to_bytes() == b"\xab"
+
+    def test_cross_byte_write(self):
+        w = BitWriter()
+        w.write_bits(0b1, 1)
+        w.write_bits(0xFF, 8)
+        # 1 followed by 8 ones: 1111 1111 1 -> 0xFF 0x80
+        assert w.to_bytes() == b"\xff\x80"
+
+    def test_write_bits_rejects_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_write_bits_rejects_negative_value(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 4)
+
+    def test_write_bits_rejects_negative_width(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(0, -1)
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        assert w.write_bits(0, 0) == 0
+        assert len(w) == 0
+
+    def test_wide_value_write(self):
+        w = BitWriter()
+        w.write_bits(0x0123456789ABCDEF, 64)
+        assert w.to_bytes() == bytes.fromhex("0123456789abcdef")
+
+    def test_extend_concatenates_streams(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0b101, 3)
+        b.write_bits(0b01, 2)
+        a.extend(b)
+        assert len(a) == 5
+        r = BitReader(a.to_bytes(), 5)
+        assert r.read_bits(5) == 0b10101
+
+    def test_extend_empty_writer(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0b11, 2)
+        assert a.extend(b) == 0
+        assert len(a) == 2
+
+
+class TestBitReader:
+    def test_read_single_bits(self):
+        r = BitReader(b"\xa0")  # 1010 0000
+        assert [r.read_bit() for _ in range(4)] == [1, 0, 1, 0]
+
+    def test_read_bits_spanning_bytes(self):
+        r = BitReader(b"\xab\xcd")
+        assert r.read_bits(16) == 0xABCD
+
+    def test_read_bits_unaligned(self):
+        r = BitReader(b"\xab\xcd")
+        r.read_bits(4)
+        assert r.read_bits(8) == 0xBC
+
+    def test_zero_width_read(self):
+        r = BitReader(b"\xff")
+        assert r.read_bits(0) == 0
+        assert r.position == 0
+
+    def test_seek_and_position(self):
+        r = BitReader(b"\xf0")
+        r.seek(4)
+        assert r.position == 4
+        assert r.read_bit() == 0
+
+    def test_seek_out_of_range_raises(self):
+        r = BitReader(b"\xff", 8)
+        with pytest.raises(ValueError):
+            r.seek(9)
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff", 3)
+        r.read_bits(3)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_remaining(self):
+        r = BitReader(b"\xff\xff", 12)
+        r.read_bits(5)
+        assert r.remaining == 7
+
+    def test_nbits_limits_logical_length(self):
+        r = BitReader(b"\xff", 4)
+        with pytest.raises(EOFError):
+            r.read_bits(5)
+
+
+class TestUnaryRun:
+    def test_immediate_one(self):
+        r = BitReader(b"\x80")
+        assert r.read_unary_run() == 0
+
+    def test_three_zeros(self):
+        r = BitReader(b"\x10")  # 0001 ...
+        assert r.read_unary_run() == 3
+
+    def test_run_spanning_bytes(self):
+        r = BitReader(b"\x00\x01")  # 15 zeros then a 1
+        assert r.read_unary_run() == 15
+
+    def test_run_from_unaligned_position(self):
+        r = BitReader(b"\xf0\x80")  # 1111 0000 1...
+        r.read_bits(4)
+        assert r.read_unary_run() == 4
+
+    def test_run_without_terminator_raises(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(EOFError):
+            r.read_unary_run()
+
+    def test_run_limited_by_nbits(self):
+        # The terminating 1 lies beyond the logical end.
+        r = BitReader(b"\x01", 7)
+        with pytest.raises(EOFError):
+            r.read_unary_run()
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0), st.integers(1, 80))))
+def test_property_write_read_roundtrip(pairs):
+    """Any mix of widths round-trips through writer -> bytes -> reader."""
+    pairs = [(v & ((1 << w) - 1), w) for v, w in pairs]
+    w = BitWriter()
+    for value, width in pairs:
+        w.write_bits(value, width)
+    r = BitReader(w.to_bytes(), len(w))
+    for value, width in pairs:
+        assert r.read_bits(width) == value
+    assert r.remaining == 0
+
+
+@given(st.lists(st.integers(0, 1), max_size=200))
+def test_property_bitwise_roundtrip(bits):
+    w = BitWriter()
+    for b in bits:
+        w.write_bit(b)
+    r = BitReader(w.to_bytes(), len(w))
+    assert [r.read_bit() for _ in bits] == bits
+
+
+@given(st.lists(st.integers(1, 300), max_size=50))
+def test_property_unary_runs(runs):
+    """Unary runs written via write_bits(1, n) decode to n - 1 zeros."""
+    w = BitWriter()
+    for n in runs:
+        w.write_bits(1, n)
+    r = BitReader(w.to_bytes(), len(w))
+    assert [r.read_unary_run() + 1 for _ in runs] == runs

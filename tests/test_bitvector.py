@@ -1,0 +1,115 @@
+"""Tests for the rank/select bitvector."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvector import BitVector
+
+
+class TestBasics:
+    def test_empty(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.count_ones == 0
+        assert bv.rank1(0) == 0
+
+    def test_indexing(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert [bv[i] for i in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_indexing_out_of_range(self):
+        bv = BitVector([1])
+        with pytest.raises(IndexError):
+            bv[1]
+
+    def test_iteration(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        assert list(BitVector(bits)) == bits
+
+    def test_counts(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert bv.count_ones == 3
+        assert bv.count_zeros == 2
+
+    def test_from_indices(self):
+        bv = BitVector.from_indices([0, 3, 4], 6)
+        assert list(bv) == [1, 0, 0, 1, 1, 0]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitVector.from_indices([6], 6)
+
+    def test_size_in_bits(self):
+        assert BitVector([0] * 100).size_in_bits() == 100
+
+
+class TestRank:
+    def test_rank_prefixes(self):
+        bv = BitVector([1, 0, 1, 1, 0, 1])
+        assert [bv.rank1(i) for i in range(7)] == [0, 1, 1, 2, 3, 3, 4]
+
+    def test_rank0_complements_rank1(self):
+        bv = BitVector([1, 0, 1])
+        for i in range(4):
+            assert bv.rank0(i) + bv.rank1(i) == i
+
+    def test_rank_out_of_range(self):
+        bv = BitVector([1])
+        with pytest.raises(IndexError):
+            bv.rank1(2)
+
+    def test_rank_across_word_boundaries(self):
+        bits = [1 if i % 3 == 0 else 0 for i in range(300)]
+        bv = BitVector(bits)
+        for i in (0, 63, 64, 65, 127, 128, 192, 300):
+            assert bv.rank1(i) == sum(bits[:i])
+
+
+class TestSelect:
+    def test_select1_positions(self):
+        bv = BitVector([0, 1, 0, 1, 1])
+        assert [bv.select1(j) for j in range(3)] == [1, 3, 4]
+
+    def test_select0_positions(self):
+        bv = BitVector([0, 1, 0, 1, 1])
+        assert [bv.select0(j) for j in range(2)] == [0, 2]
+
+    def test_select_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv.select1(1)
+        with pytest.raises(IndexError):
+            bv.select0(1)
+
+    def test_select_rank_inverse(self):
+        random.seed(7)
+        bits = [random.randint(0, 1) for _ in range(1000)]
+        bv = BitVector(bits)
+        for j in range(bv.count_ones):
+            pos = bv.select1(j)
+            assert bits[pos] == 1
+            assert bv.rank1(pos) == j
+
+    def test_select_on_long_zero_runs(self):
+        bits = [0] * 500 + [1] + [0] * 500 + [1]
+        bv = BitVector(bits)
+        assert bv.select1(0) == 500
+        assert bv.select1(1) == 1001
+
+
+@given(st.lists(st.integers(0, 1), max_size=600))
+def test_property_rank_select_match_naive(bits):
+    bv = BitVector(bits)
+    prefix = 0
+    for i, b in enumerate(bits):
+        assert bv.rank1(i) == prefix
+        prefix += b
+    assert bv.rank1(len(bits)) == prefix
+    ones = [i for i, b in enumerate(bits) if b]
+    zeros = [i for i, b in enumerate(bits) if not b]
+    for j, pos in enumerate(ones):
+        assert bv.select1(j) == pos
+    for j, pos in enumerate(zeros):
+        assert bv.select0(j) == pos

@@ -1,0 +1,106 @@
+"""Tests for burstiness analysis and Table III summaries."""
+
+import pytest
+
+from repro.analysis.burstiness import (
+    burstiness_coefficient,
+    edge_burstiness,
+    mean_burstiness,
+    node_burstiness,
+)
+from repro.cli import main
+from repro.datasets import wiki_edit_like
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+from repro.graph.stats import TABLE3_HEADERS, summarize
+
+
+class TestBurstinessCoefficient:
+    def test_regular_process_is_minus_one(self):
+        assert burstiness_coefficient([10, 10, 10, 10]) == pytest.approx(-1.0)
+
+    def test_needs_two_gaps(self):
+        with pytest.raises(ValueError):
+            burstiness_coefficient([5])
+
+    def test_bursty_process_is_positive(self):
+        gaps = [1, 1, 1, 1, 1, 1, 1, 1, 1000]
+        assert burstiness_coefficient(gaps) > 0.3
+
+    def test_all_zero_gaps(self):
+        assert burstiness_coefficient([0, 0, 0]) == -1.0
+
+    def test_bounded_in_minus_one_one(self):
+        for gaps in ([1, 2, 3], [5, 500], [7] * 10, [0, 1, 0, 100]):
+            b = burstiness_coefficient(gaps)
+            assert -1.0 <= b <= 1.0
+
+
+class TestGraphBurstiness:
+    def test_node_burstiness_skips_low_activity(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5), (0, 1, 9)])
+        assert node_burstiness(g) == {}
+
+    def test_node_burstiness_detects_bursts(self):
+        times = [0, 1, 2, 3, 1000, 1001, 1002]
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, t) for t in times], num_nodes=2
+        )
+        scores = node_burstiness(g)
+        assert scores[0] > 0.3
+
+    def test_edge_burstiness(self):
+        times = [0, 10, 20, 30, 40]
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, t) for t in times], num_nodes=2
+        )
+        scores = edge_burstiness(g)
+        assert scores[(0, 1)] == pytest.approx(-1.0)
+
+    def test_mean_burstiness_empty(self):
+        assert mean_burstiness({}) == 0.0
+
+    def test_generated_datasets_are_bursty(self):
+        """The Section IV-A premise holds for the stand-in generators."""
+        g = wiki_edit_like(num_users=60, num_articles=120, num_sessions=300)
+        assert mean_burstiness(node_burstiness(g)) > 0.2
+
+
+class TestSummaries:
+    def test_summarize_counts(self):
+        g = graph_from_contacts(
+            GraphKind.POINT,
+            [(0, 1, 5), (0, 1, 9), (2, 0, 5)],
+            num_nodes=4,
+            name="tiny",
+            granularity="second",
+        )
+        s = summarize(g)
+        assert s.num_nodes == 4
+        assert s.num_edges == 2
+        assert s.num_contacts == 3
+        assert s.time_steps == 2
+        assert s.lifetime == 4
+        assert s.contacts_per_node == pytest.approx(0.75)
+        assert s.contacts_per_edge == pytest.approx(1.5)
+        assert s.max_out_degree == 2
+        assert s.kind == "point"
+
+    def test_as_row_matches_headers(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)])
+        assert len(summarize(g).as_row()) == len(TABLE3_HEADERS)
+
+    def test_empty_graph(self):
+        g = graph_from_contacts(GraphKind.POINT, [], num_nodes=0)
+        s = summarize(g)
+        assert s.num_contacts == 0
+        assert s.max_out_degree == 0
+
+    def test_stats_cli(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        main(["generate", "yahoo-sub", "--scale", "0.05", "--out", str(path)])
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Contacts/node" in out
+        assert "burstiness" in out

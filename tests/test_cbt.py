@@ -1,0 +1,128 @@
+"""Tests for compressed binary trees (T-ABT substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.cbt import (
+    AlternatingCompressedBinaryTree,
+    CompressedBinaryTree,
+)
+
+
+class TestConstruction:
+    def test_empty_set(self):
+        t = CompressedBinaryTree([], universe_bits=4)
+        assert len(t) == 0
+        assert 3 not in t
+        assert t.members() == []
+        assert t.size_in_bits() == 2  # a single "empty" leaf
+
+    def test_full_set(self):
+        t = CompressedBinaryTree(range(8), universe_bits=3)
+        assert len(t) == 8
+        assert t.size_in_bits() == 2  # a single "full" leaf
+
+    def test_duplicates_collapse(self):
+        assert len(CompressedBinaryTree([1, 1, 1], universe_bits=2)) == 1
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ValueError):
+            CompressedBinaryTree([4], universe_bits=2)
+        with pytest.raises(ValueError):
+            CompressedBinaryTree([-1], universe_bits=2)
+
+    def test_rejects_negative_universe(self):
+        with pytest.raises(ValueError):
+            CompressedBinaryTree([], universe_bits=-1)
+
+    def test_zero_bit_universe(self):
+        t = CompressedBinaryTree([0], universe_bits=0)
+        assert 0 in t
+        assert t.size_in_bits() == 1
+
+
+class TestQueries:
+    def test_membership(self):
+        t = CompressedBinaryTree([1, 5, 6], universe_bits=3)
+        assert 1 in t and 5 in t and 6 in t
+        assert 0 not in t and 7 not in t
+        assert 100 not in t
+
+    def test_members_sorted(self):
+        assert CompressedBinaryTree([6, 1, 5], universe_bits=3).members() == [1, 5, 6]
+
+    def test_any_in_range(self):
+        t = CompressedBinaryTree([5], universe_bits=4)
+        assert t.any_in_range(0, 15)
+        assert t.any_in_range(5, 5)
+        assert not t.any_in_range(6, 15)
+        assert not t.any_in_range(9, 3)
+
+    def test_count_in_range(self):
+        t = CompressedBinaryTree([1, 2, 3, 9], universe_bits=4)
+        assert t.count_in_range(0, 15) == 4
+        assert t.count_in_range(2, 9) == 3
+        assert t.count_in_range(10, 5) == 0
+
+
+class TestRunCompression:
+    def test_aligned_run_of_ones_is_cheap(self):
+        """The premise of T-ABT: runs collapse into uniform subtrees."""
+        run = CompressedBinaryTree(range(64, 128), universe_bits=8)
+        scattered = CompressedBinaryTree(range(0, 128, 2), universe_bits=8)
+        assert run.size_in_bits() < scattered.size_in_bits()
+
+    def test_size_accounts_mixed_nodes(self):
+        # {0} in universe 4: 4 mixed nodes down the left spine + leaves.
+        t = CompressedBinaryTree([0], universe_bits=2)
+        # root mixed (1) -> left mixed (1) + right empty (2)
+        #   left child: leaf 1 (1 bit) + leaf 0 (1 bit)
+        assert t.size_in_bits() == 1 + 1 + 2 + 1 + 1
+
+
+class TestAlternating:
+    def test_point_mode_marks_exact_steps(self):
+        t = AlternatingCompressedBinaryTree([2, 5], universe_bits=3)
+        assert t.active_at(2) and t.active_at(5)
+        assert not t.active_at(3)
+
+    def test_toggle_mode_activates_between_events(self):
+        t = AlternatingCompressedBinaryTree([2, 5], universe_bits=3, mode="toggle")
+        assert t.active_at(2) and t.active_at(3) and t.active_at(4)
+        assert not t.active_at(5)
+        assert not t.active_at(1)
+
+    def test_toggle_mode_open_interval_runs_to_horizon(self):
+        t = AlternatingCompressedBinaryTree([6], universe_bits=3, mode="toggle")
+        assert t.active_at(6) and t.active_at(7)
+        assert not t.active_at(5)
+
+    def test_toggle_multiple_intervals(self):
+        t = AlternatingCompressedBinaryTree([1, 3, 5, 7], universe_bits=3, mode="toggle")
+        assert [t.active_at(i) for i in range(8)] == [
+            False, True, True, False, False, True, True, False,
+        ]
+
+    def test_active_in_range(self):
+        t = AlternatingCompressedBinaryTree([2, 4], universe_bits=3, mode="toggle")
+        assert t.active_in(0, 2)
+        assert not t.active_in(4, 7)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            AlternatingCompressedBinaryTree([1], universe_bits=2, mode="bogus")
+
+
+@given(st.integers(1, 8), st.data())
+def test_property_matches_set(universe_bits, data):
+    size = 1 << universe_bits
+    members = data.draw(st.lists(st.integers(0, size - 1), max_size=60))
+    t = CompressedBinaryTree(members, universe_bits=universe_bits)
+    expected = set(members)
+    assert t.members() == sorted(expected)
+    probe = data.draw(st.integers(0, size - 1))
+    assert (probe in t) == (probe in expected)
+    lo = data.draw(st.integers(0, size - 1))
+    hi = data.draw(st.integers(0, size - 1))
+    assert t.count_in_range(lo, hi) == sum(1 for m in expected if lo <= m <= hi)
+    assert t.any_in_range(lo, hi) == any(lo <= m <= hi for m in expected)

@@ -1,0 +1,221 @@
+"""Integration tests for the full ChronoGraph compressor.
+
+Every compressed graph is checked against the uncompressed reference
+queries of :class:`repro.graph.model.TemporalGraph`.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChronoGraphConfig, compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _random_point_graph(seed, n=30, contacts=200, t_max=10_000):
+    rng = random.Random(seed)
+    triples = [
+        (rng.randrange(n), rng.randrange(n), rng.randrange(t_max))
+        for _ in range(contacts)
+    ]
+    return graph_from_contacts(GraphKind.POINT, triples, num_nodes=n)
+
+
+def _random_interval_graph(seed, n=20, contacts=150, t_max=5_000):
+    rng = random.Random(seed)
+    quads = [
+        (rng.randrange(n), rng.randrange(n), rng.randrange(t_max), rng.randrange(0, 50))
+        for _ in range(contacts)
+    ]
+    return graph_from_contacts(GraphKind.INTERVAL, quads, num_nodes=n)
+
+
+class TestRoundTrip:
+    def test_empty_graph(self):
+        g = graph_from_contacts(GraphKind.POINT, [], num_nodes=5)
+        cg = compress(g)
+        assert cg.num_contacts == 0
+        assert cg.neighbors(0, 0, 100) == []
+        assert not cg.has_edge(0, 1, 0, 100)
+
+    def test_single_contact(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 42)])
+        cg = compress(g)
+        assert cg.contacts_of(0) == g.contacts_of(0)
+        assert cg.has_edge(0, 1, 42, 42)
+        assert not cg.has_edge(0, 1, 43, 100)
+
+    def test_full_decompression_point(self):
+        g = _random_point_graph(1)
+        assert compress(g).to_temporal_graph().contacts == g.contacts
+
+    def test_full_decompression_interval(self):
+        g = _random_interval_graph(2)
+        assert compress(g).to_temporal_graph().contacts == g.contacts
+
+    def test_full_decompression_incremental(self):
+        rng = random.Random(3)
+        triples = [(rng.randrange(10), rng.randrange(10), rng.randrange(100))
+                   for _ in range(60)]
+        g = graph_from_contacts(GraphKind.INCREMENTAL, triples, num_nodes=10)
+        assert compress(g).to_temporal_graph().contacts == g.contacts
+
+    def test_multiset_order_is_label_sorted(self):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 5, 1), (0, 2, 9), (0, 5, 3), (0, 2, 2)]
+        )
+        cg = compress(g)
+        assert cg.decode_multiset(0) == [2, 2, 5, 5]
+        assert [(c.v, c.time) for c in cg.contacts_of(0)] == [
+            (2, 2), (2, 9), (5, 1), (5, 3),
+        ]
+
+
+class TestQueries:
+    def test_neighbors_match_reference(self):
+        g = _random_point_graph(4)
+        cg = compress(g)
+        for u in range(g.num_nodes):
+            for (t1, t2) in [(0, 10_000), (100, 500), (5000, 5001), (9999, 0)]:
+                assert cg.neighbors(u, t1, t2) == g.ref_neighbors(u, t1, t2)
+
+    def test_has_edge_matches_reference(self):
+        g = _random_point_graph(5)
+        cg = compress(g)
+        rng = random.Random(55)
+        for _ in range(300):
+            u, v = rng.randrange(g.num_nodes), rng.randrange(g.num_nodes)
+            t1 = rng.randrange(10_000)
+            t2 = t1 + rng.randrange(2_000)
+            assert cg.has_edge(u, v, t1, t2) == g.ref_has_edge(u, v, t1, t2)
+
+    def test_interval_queries_match_reference(self):
+        g = _random_interval_graph(6)
+        cg = compress(g)
+        rng = random.Random(66)
+        for _ in range(300):
+            u, v = rng.randrange(g.num_nodes), rng.randrange(g.num_nodes)
+            t1 = rng.randrange(5_000)
+            t2 = t1 + rng.randrange(500)
+            assert cg.has_edge(u, v, t1, t2) == g.ref_has_edge(u, v, t1, t2)
+            assert cg.neighbors(u, t1, t2) == g.ref_neighbors(u, t1, t2)
+
+    def test_incremental_queries_match_reference(self):
+        rng = random.Random(7)
+        triples = [(rng.randrange(15), rng.randrange(15), rng.randrange(1000))
+                   for _ in range(100)]
+        g = graph_from_contacts(GraphKind.INCREMENTAL, triples, num_nodes=15)
+        cg = compress(g)
+        for u in range(15):
+            for t1, t2 in [(0, 0), (500, 600), (999, 2000)]:
+                assert cg.neighbors(u, t1, t2) == g.ref_neighbors(u, t1, t2)
+
+    def test_edge_timestamps(self):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 9), (0, 1, 2), (0, 1, 5), (0, 3, 7)]
+        )
+        cg = compress(g)
+        assert cg.edge_timestamps(0, 1) == [2, 5, 9]
+        assert cg.edge_timestamps(0, 3) == [7]
+        assert cg.edge_timestamps(0, 2) == []
+        assert cg.edge_timestamps(1, 0) == []
+
+    def test_snapshot_matches_reference(self):
+        g = _random_point_graph(8, n=12, contacts=80, t_max=100)
+        cg = compress(g)
+        for t1, t2 in [(0, 100), (10, 20), (50, 50)]:
+            assert cg.snapshot(t1, t2) == g.ref_snapshot(t1, t2)
+
+    def test_distinct_neighbors(self):
+        g = _random_point_graph(9)
+        cg = compress(g)
+        for u in range(g.num_nodes):
+            assert cg.distinct_neighbors(u) == g.distinct_neighbors(u)
+
+    def test_query_on_invalid_node_raises(self):
+        cg = compress(graph_from_contacts(GraphKind.POINT, [(0, 1, 1)]))
+        with pytest.raises(ValueError):
+            cg.neighbors(9, 0, 1)
+        with pytest.raises(ValueError):
+            cg.has_edge(9, 0, 0, 1)
+
+
+class TestAggregation:
+    def test_resolution_shrinks_size(self):
+        """Figure 6: coarser aggregation yields a smaller representation."""
+        g = _random_point_graph(10, contacts=500, t_max=1_000_000)
+        fine = compress(g, ChronoGraphConfig(resolution=1))
+        coarse = compress(g, ChronoGraphConfig(resolution=3600))
+        assert coarse.size_in_bits < fine.size_in_bits
+
+    def test_aggregated_queries_use_bucket_units(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 7200)])
+        cg = compress(g, ChronoGraphConfig(resolution=3600))
+        assert cg.has_edge(0, 1, 2, 2)  # 7200 s == bucket 2
+        assert not cg.has_edge(0, 1, 3, 10)
+
+    def test_aggregation_equivalent_to_pre_aggregated_graph(self):
+        from repro.graph.aggregate import aggregate
+
+        g = _random_point_graph(11, t_max=100_000)
+        via_config = compress(g, ChronoGraphConfig(resolution=60))
+        pre = compress(aggregate(g, 60))
+        assert via_config.size_in_bits == pre.size_in_bits
+        for u in range(g.num_nodes):
+            assert via_config.contacts_of(u) == pre.contacts_of(u)
+
+
+class TestSizeAccounting:
+    def test_size_decomposition(self):
+        cg = compress(_random_point_graph(12))
+        assert cg.size_in_bits == (
+            cg.structure_size_bits + cg.timestamp_size_bits + 320
+        )
+        assert cg.bits_per_contact == cg.size_in_bits / cg.num_contacts
+
+    def test_empty_graph_ratios_are_zero(self):
+        cg = compress(graph_from_contacts(GraphKind.POINT, [], num_nodes=3))
+        assert cg.bits_per_contact == 0.0
+        assert cg.timestamp_bits_per_contact == 0.0
+
+    def test_compression_beats_raw_on_clustered_graph(self):
+        """Sanity: a bursty, clustered graph compresses well below raw size."""
+        rng = random.Random(13)
+        contacts = []
+        t = 0
+        for u in range(50):
+            base = max(0, u - 5)
+            for v in range(base, min(50, base + 8)):
+                t += rng.randrange(1, 4)
+                contacts.append((u, v, t))
+        g = graph_from_contacts(GraphKind.POINT, contacts, num_nodes=50)
+        cg = compress(g)
+        raw_bits = g.num_contacts * 3 * 64
+        assert cg.size_in_bits < raw_bits / 4
+
+
+@settings(max_examples=25)
+@given(
+    st.sampled_from([GraphKind.POINT, GraphKind.INTERVAL, GraphKind.INCREMENTAL]),
+    st.data(),
+)
+def test_property_compress_roundtrip(kind, data):
+    n = data.draw(st.integers(1, 12))
+    contact_strategy = st.tuples(
+        st.integers(0, n - 1),
+        st.integers(0, n - 1),
+        st.integers(0, 10_000),
+        st.integers(0, 100) if kind is GraphKind.INTERVAL else st.just(0),
+    )
+    contacts = data.draw(st.lists(contact_strategy, max_size=80))
+    g = graph_from_contacts(kind, contacts, num_nodes=n)
+    cg = compress(g)
+    assert cg.to_temporal_graph().contacts == g.contacts
+    u = data.draw(st.integers(0, n - 1))
+    v = data.draw(st.integers(0, n - 1))
+    t1 = data.draw(st.integers(0, 10_000))
+    t2 = t1 + data.draw(st.integers(0, 1_000))
+    assert cg.has_edge(u, v, t1, t2) == g.ref_has_edge(u, v, t1, t2)
+    assert cg.neighbors(u, t1, t2) == g.ref_neighbors(u, t1, t2)

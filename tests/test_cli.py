@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def contact_file(tmp_path):
+    path = tmp_path / "g.txt"
+    assert main(["generate", "comm-net", "--scale", "0.1", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture()
+def chrono_file(contact_file, tmp_path):
+    path = tmp_path / "g.chrono"
+    assert main(["compress", str(contact_file), "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_contact_list(self, contact_file, capsys):
+        assert contact_file.exists()
+        text = contact_file.read_text()
+        assert text.startswith("# kind=interval")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "bogus", "--out", "x.txt"])
+
+
+class TestCompressInspect:
+    def test_compress_reports_ratio(self, contact_file, tmp_path, capsys):
+        out = tmp_path / "g.chrono"
+        assert main(["compress", str(contact_file), "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "bits/contact" in captured
+        assert out.exists()
+
+    def test_compress_with_aggregation_is_smaller(self, contact_file, tmp_path):
+        fine = tmp_path / "fine.chrono"
+        coarse = tmp_path / "coarse.chrono"
+        main(["compress", str(contact_file), "--out", str(fine)])
+        main(["compress", str(contact_file), "--out", str(coarse),
+              "--resolution", "50"])
+        assert coarse.stat().st_size < fine.stat().st_size
+
+    def test_compress_with_explicit_zeta(self, contact_file, tmp_path, capsys):
+        out = tmp_path / "g.chrono"
+        assert main(["compress", str(contact_file), "--out", str(out),
+                     "--zeta", "5"]) == 0
+        assert "k=5" in capsys.readouterr().out
+
+    def test_inspect(self, chrono_file, capsys):
+        assert main(["inspect", str(chrono_file)]) == 0
+        captured = capsys.readouterr().out
+        assert "bits/contact" in captured
+        assert "interval" in captured
+
+
+class TestQuery:
+    def test_neighbors_query(self, chrono_file, capsys):
+        assert main(["query", str(chrono_file), "neighbors", "0", "0", "100"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_edge_query(self, chrono_file, capsys):
+        assert main(["query", str(chrono_file), "edge", "0", "1", "0", "100"]) == 0
+        assert capsys.readouterr().out.strip() in ("active", "inactive")
+
+    def test_timestamps_query(self, chrono_file, capsys):
+        assert main(["query", str(chrono_file), "timestamps", "0", "1"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_wrong_arity_returns_error(self, chrono_file, capsys):
+        assert main(["query", str(chrono_file), "neighbors", "0"]) == 2
+        assert main(["query", str(chrono_file), "edge", "0", "1"]) == 2
+        assert main(["query", str(chrono_file), "timestamps", "0"]) == 2
+
+    def test_query_matches_library(self, contact_file, chrono_file, capsys):
+        from repro.graph.io import read_contact_text
+
+        graph = read_contact_text(contact_file)
+        main(["query", str(chrono_file), "neighbors", "0", "0", "1000"])
+        out = capsys.readouterr().out.strip()
+        got = [] if out == "(none)" else list(map(int, out.split()))
+        assert got == graph.ref_neighbors(0, 0, 1000)
+
+
+class TestSweepAndStats:
+    def test_sweep_prints_all_methods(self, capsys):
+        assert main(["sweep", "comm-net", "--scale", "0.1",
+                     "--methods", "Raw", "ChronoGraph"]) == 0
+        captured = capsys.readouterr().out
+        assert "Raw" in captured
+        assert "ChronoGraph" in captured
+
+    def test_gapstats(self, contact_file, capsys):
+        assert main(["gapstats", str(contact_file)]) == 0
+        captured = capsys.readouterr().out
+        assert "mean" in captured
+        assert "previous" in captured
+
+    def test_gapstats_with_resolution(self, contact_file, capsys):
+        assert main(["gapstats", str(contact_file), "--resolution", "10",
+                     "--strategy", "minimum"]) == 0
+        assert "minimum" in capsys.readouterr().out
+
+
+class TestFiguresCommand:
+    def test_exports_from_real_results(self, tmp_path, capsys):
+        code = main(["figures", "--out", str(tmp_path / "csv")])
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "wrote" in out
+            assert list((tmp_path / "csv").glob("*.csv"))
+        else:
+            assert "no figure results" in out
+
+    def test_empty_results_dir(self, tmp_path, capsys):
+        code = main(["figures", "--out", str(tmp_path / "csv"),
+                     "--dir", str(tmp_path / "none")])
+        assert code == 1
+        assert "no figure results" in capsys.readouterr().out

@@ -1,0 +1,297 @@
+"""Tests for the instantaneous codes, including the paper's worked examples."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits import codes
+from repro.bits.bitio import BitReader, BitWriter
+
+
+def _bits_of(writer: BitWriter) -> str:
+    nbits = len(writer)
+    r = BitReader(writer.to_bytes(), nbits)
+    return "".join(str(r.read_bit()) for _ in range(nbits))
+
+
+def _roundtrip(write, read, values):
+    w = BitWriter()
+    for v in values:
+        write(w, v)
+    r = BitReader(w.to_bytes(), len(w))
+    return [read(r) for _ in values]
+
+
+class TestUnary:
+    def test_paper_example_unary_of_2(self):
+        """Section IV-B: 'the unary coding of 2 is 01'."""
+        w = BitWriter()
+        codes.write_unary(w, 2)
+        assert _bits_of(w) == "01"
+
+    def test_unary_of_1(self):
+        w = BitWriter()
+        codes.write_unary(w, 1)
+        assert _bits_of(w) == "1"
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            codes.write_unary(BitWriter(), 0)
+
+    def test_length_matches_written(self):
+        for x in (1, 2, 17, 100):
+            w = BitWriter()
+            codes.write_unary(w, x)
+            assert len(w) == codes.unary_length(x) == x
+
+    @given(st.lists(st.integers(1, 500), max_size=40))
+    def test_property_roundtrip(self, values):
+        assert _roundtrip(codes.write_unary, codes.read_unary, values) == values
+
+
+class TestMinimalBinary:
+    def test_paper_example_8_over_56(self):
+        """Section IV-B: minimal binary of 8 in [0, 55] is 010000."""
+        w = BitWriter()
+        codes.write_minimal_binary(w, 8, 56)
+        assert _bits_of(w) == "010000"
+
+    def test_short_codeword_below_threshold(self):
+        # z = 6 -> s = 3, m = 2; x < 2 takes 2 bits.
+        w = BitWriter()
+        codes.write_minimal_binary(w, 1, 6)
+        assert len(w) == 2
+
+    def test_long_codeword_above_threshold(self):
+        w = BitWriter()
+        codes.write_minimal_binary(w, 5, 6)
+        assert len(w) == 3
+
+    def test_power_of_two_interval_is_plain_binary(self):
+        w = BitWriter()
+        codes.write_minimal_binary(w, 5, 8)
+        assert _bits_of(w) == "101"
+
+    def test_singleton_interval_needs_no_bits(self):
+        w = BitWriter()
+        assert codes.write_minimal_binary(w, 0, 1) == 0
+        r = BitReader(w.to_bytes(), 0)
+        assert codes.read_minimal_binary(r, 1) == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            codes.write_minimal_binary(BitWriter(), 6, 6)
+
+    @given(st.integers(1, 2000), st.data())
+    def test_property_roundtrip_all_values(self, z, data):
+        x = data.draw(st.integers(0, z - 1))
+        w = BitWriter()
+        n = codes.write_minimal_binary(w, x, z)
+        assert n == codes.minimal_binary_length(x, z)
+        r = BitReader(w.to_bytes(), len(w))
+        assert codes.read_minimal_binary(r, z) == x
+
+    def test_exhaustive_small_intervals(self):
+        for z in range(1, 20):
+            w = BitWriter()
+            for x in range(z):
+                codes.write_minimal_binary(w, x, z)
+            r = BitReader(w.to_bytes(), len(w))
+            assert [codes.read_minimal_binary(r, z) for _ in range(z)] == list(range(z))
+
+
+class TestGamma:
+    def test_known_codewords(self):
+        expected = {1: "1", 2: "010", 3: "011", 4: "00100", 9: "0001001"}
+        for x, bits in expected.items():
+            w = BitWriter()
+            codes.write_gamma(w, x)
+            assert _bits_of(w) == bits, x
+
+    def test_length_formula(self):
+        for x in (1, 2, 3, 4, 7, 8, 1023, 1024):
+            assert codes.gamma_length(x) == 2 * (x.bit_length() - 1) + 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            codes.write_gamma(BitWriter(), 0)
+
+    def test_natural_wrapper_shifts_by_one(self):
+        w = BitWriter()
+        codes.write_gamma_natural(w, 0)
+        assert _bits_of(w) == "1"
+
+    def test_integer_wrapper_uses_eq1(self):
+        values = [0, -1, 1, -143, 161, 3625, -4]
+        assert _roundtrip(
+            codes.write_gamma_integer, codes.read_gamma_integer, values
+        ) == values
+
+    @given(st.lists(st.integers(1, 10**9), max_size=40))
+    def test_property_roundtrip(self, values):
+        assert _roundtrip(codes.write_gamma, codes.read_gamma, values) == values
+
+    @given(st.integers(1, 10**9))
+    def test_property_length_matches_written(self, x):
+        w = BitWriter()
+        assert codes.write_gamma(w, x) == codes.gamma_length(x)
+
+
+class TestDelta:
+    def test_known_codewords(self):
+        expected = {1: "1", 2: "0100", 3: "0101", 4: "01100", 17: "001010001"}
+        for x, bits in expected.items():
+            w = BitWriter()
+            codes.write_delta(w, x)
+            assert _bits_of(w) == bits, x
+
+    @given(st.lists(st.integers(1, 10**9), max_size=40))
+    def test_property_roundtrip(self, values):
+        assert _roundtrip(codes.write_delta, codes.read_delta, values) == values
+
+    @given(st.integers(1, 10**9))
+    def test_property_length_matches_written(self, x):
+        w = BitWriter()
+        assert codes.write_delta(w, x) == codes.delta_length(x)
+
+    def test_delta_beats_gamma_for_large_values(self):
+        assert codes.delta_length(10**9) < codes.gamma_length(10**9)
+
+
+class TestZeta:
+    def test_paper_example_zeta3_of_16(self):
+        """Section IV-B: 16 is zeta_3-coded to 01010000."""
+        w = BitWriter()
+        codes.write_zeta(w, 16, k=3)
+        assert _bits_of(w) == "01010000"
+
+    def test_zeta1_equals_gamma(self):
+        for x in range(1, 200):
+            wz, wg = BitWriter(), BitWriter()
+            codes.write_zeta(wz, x, k=1)
+            codes.write_gamma(wg, x)
+            assert _bits_of(wz) == _bits_of(wg), x
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            codes.write_zeta(BitWriter(), 0, 3)
+        with pytest.raises(ValueError):
+            codes.write_zeta(BitWriter(), 5, 0)
+
+    @given(st.integers(2, 7), st.lists(st.integers(1, 10**9), max_size=30))
+    def test_property_roundtrip(self, k, values):
+        w = BitWriter()
+        for v in values:
+            codes.write_zeta(w, v, k)
+        r = BitReader(w.to_bytes(), len(w))
+        assert [codes.read_zeta(r, k) for _ in values] == values
+
+    @given(st.integers(1, 7), st.integers(1, 10**9))
+    def test_property_length_matches_written(self, k, x):
+        w = BitWriter()
+        assert codes.write_zeta(w, x, k) == codes.zeta_length(x, k)
+
+    def test_natural_and_integer_wrappers(self):
+        values = [0, -1, 7, -34637, 34637]
+        w = BitWriter()
+        for v in values:
+            codes.write_zeta_integer(w, v, 4)
+        r = BitReader(w.to_bytes(), len(w))
+        assert [codes.read_zeta_integer(r, 4) for _ in values] == values
+
+    def test_larger_k_wins_on_large_values(self):
+        """The Figure 7 premise: larger k suits heavy-tailed large gaps."""
+        big = 10**6
+        assert codes.zeta_length(big, 6) < codes.zeta_length(big, 2)
+
+    def test_smaller_k_wins_on_small_values(self):
+        assert codes.zeta_length(2, 2) < codes.zeta_length(2, 6)
+
+
+class TestGolombRice:
+    @given(st.integers(1, 256), st.lists(st.integers(0, 10**6), max_size=30))
+    def test_property_golomb_roundtrip(self, m, values):
+        w = BitWriter()
+        for v in values:
+            codes.write_golomb(w, v, m)
+        r = BitReader(w.to_bytes(), len(w))
+        assert [codes.read_golomb(r, m) for _ in values] == values
+
+    @given(st.integers(0, 12), st.lists(st.integers(0, 10**6), max_size=30))
+    def test_property_rice_roundtrip(self, b, values):
+        w = BitWriter()
+        for v in values:
+            codes.write_rice(w, v, b)
+        r = BitReader(w.to_bytes(), len(w))
+        assert [codes.read_rice(r, b) for _ in values] == values
+
+    def test_rice_is_golomb_power_of_two(self):
+        for x in (0, 1, 5, 100):
+            assert codes.rice_length(x, 3) == codes.golomb_length(x, 8)
+
+    def test_golomb_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            codes.write_golomb(BitWriter(), -1, 4)
+        with pytest.raises(ValueError):
+            codes.write_golomb(BitWriter(), 3, 0)
+
+    def test_length_matches_written(self):
+        for x, m in [(0, 1), (7, 3), (100, 10)]:
+            w = BitWriter()
+            assert codes.write_golomb(w, x, m) == codes.golomb_length(x, m)
+
+
+class TestVByte:
+    def test_single_byte_values(self):
+        w = BitWriter()
+        codes.write_vbyte(w, 127)
+        assert len(w) == 8
+
+    def test_two_byte_values(self):
+        w = BitWriter()
+        codes.write_vbyte(w, 128)
+        assert len(w) == 16
+
+    def test_zero(self):
+        w = BitWriter()
+        codes.write_vbyte(w, 0)
+        r = BitReader(w.to_bytes(), len(w))
+        assert codes.read_vbyte(r) == 0
+
+    @given(st.lists(st.integers(0, 10**12), max_size=30))
+    def test_property_roundtrip(self, values):
+        assert _roundtrip(codes.write_vbyte, codes.read_vbyte, values) == values
+
+    @given(st.integers(0, 10**12))
+    def test_property_length_matches_written(self, x):
+        w = BitWriter()
+        assert codes.write_vbyte(w, x) == codes.vbyte_length(x)
+
+
+class TestSimple16:
+    def test_small_values_pack_densely(self):
+        w = BitWriter()
+        codes.encode_simple16(w, [1] * 28)
+        assert len(w) == 32  # one word for 28 unit values
+
+    def test_large_value_takes_whole_word(self):
+        w = BitWriter()
+        codes.encode_simple16(w, [(1 << 28) - 1])
+        assert len(w) == 32
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            codes.encode_simple16(BitWriter(), [1 << 28])
+        with pytest.raises(ValueError):
+            codes.encode_simple16(BitWriter(), [-1])
+
+    def test_empty_sequence(self):
+        w = BitWriter()
+        assert codes.encode_simple16(w, []) == 0
+        assert codes.decode_simple16(BitReader(b""), 0) == []
+
+    @given(st.lists(st.integers(0, (1 << 28) - 1), max_size=120))
+    def test_property_roundtrip(self, values):
+        w = BitWriter()
+        codes.encode_simple16(w, values)
+        r = BitReader(w.to_bytes(), len(w))
+        assert codes.decode_simple16(r, len(values)) == values

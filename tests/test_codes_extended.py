@@ -1,0 +1,141 @@
+"""Extended code tests: exact tables, boundaries, cross-code relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits import codes
+from repro.bits.bitio import BitReader, BitWriter
+
+
+def _bits_of(write, *args) -> str:
+    w = BitWriter()
+    write(w, *args)
+    r = BitReader(w.to_bytes(), len(w))
+    return "".join(str(r.read_bit()) for _ in range(r.remaining))
+
+
+class TestGammaTable:
+    """The first 16 gamma codewords, verbatim from Elias's paper."""
+
+    TABLE = {
+        1: "1", 2: "010", 3: "011", 4: "00100", 5: "00101", 6: "00110",
+        7: "00111", 8: "0001000", 9: "0001001", 10: "0001010",
+        11: "0001011", 12: "0001100", 13: "0001101", 14: "0001110",
+        15: "0001111", 16: "000010000",
+    }
+
+    def test_all_values(self):
+        for x, expected in self.TABLE.items():
+            assert _bits_of(codes.write_gamma, x) == expected, x
+
+    def test_prefix_free(self):
+        words = list(self.TABLE.values())
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestZetaBoundaries:
+    """zeta_k behaviour at the 2**(h*k) bucket boundaries."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_bucket_edges_roundtrip(self, k):
+        values = []
+        for h in range(4):
+            low = 1 << (h * k)
+            high = (1 << ((h + 1) * k)) - 1
+            values.extend([low, low + 1, high])
+        w = BitWriter()
+        for v in values:
+            codes.write_zeta(w, v, k)
+        r = BitReader(w.to_bytes(), len(w))
+        assert [codes.read_zeta(r, k) for _ in values] == values
+
+    def test_zeta_length_jumps_at_bucket_boundary(self):
+        # Crossing from bucket h to h+1 adds one unary bit plus k payload.
+        for k in (2, 3, 4):
+            inside = codes.zeta_length((1 << k) - 1, k)
+            outside = codes.zeta_length(1 << k, k)
+            assert outside > inside
+
+    def test_first_bucket_codes_small_values_densely(self):
+        # Within [1, 2^k - 1]: 1 unary bit + minimal binary.
+        for k in (2, 3, 4, 5):
+            for x in range(1, 1 << k):
+                assert codes.zeta_length(x, k) <= 1 + k
+
+
+class TestCrossCodeRelations:
+    def test_gamma_vs_delta_crossover(self):
+        """Gamma wins for small values, delta for large -- the classic."""
+        assert codes.gamma_length(2) < codes.delta_length(2)
+        assert codes.delta_length(10**6) < codes.gamma_length(10**6)
+
+    def test_rice_matches_unary_for_zero_parameter(self):
+        for x in range(0, 20):
+            assert codes.rice_length(x, 0) == x + 1
+
+    def test_vbyte_never_beats_8_bits_per_small_value(self):
+        for x in range(128):
+            assert codes.vbyte_length(x) == 8
+
+    @given(st.integers(1, 10**9))
+    def test_property_minimal_binary_tightness(self, z):
+        """Codeword lengths differ by at most one bit within an interval."""
+        lengths = {
+            codes.minimal_binary_length(0, z),
+            codes.minimal_binary_length(z - 1, z),
+        }
+        assert max(lengths) - min(lengths) <= 1
+
+    @given(st.integers(1, 10**6), st.integers(1, 6))
+    def test_property_zeta_length_monotone_within_bucket(self, x, k):
+        """Within one zeta bucket, codeword length never decreases with x."""
+        h = (x.bit_length() - 1) // k
+        top = (1 << ((h + 1) * k)) - 1
+        if x < top:
+            assert codes.zeta_length(x, k) <= codes.zeta_length(top, k)
+        assert codes.zeta_length(x, k) >= h + 1  # at least the unary part
+
+    @given(st.integers(1, 10**6))
+    def test_property_zeta1_length_equals_gamma(self, x):
+        assert codes.zeta_length(x, 1) == codes.gamma_length(x)
+
+
+class TestMixedStreams:
+    """Codes of different families interleave safely in one stream."""
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["gamma", "delta", "zeta3", "rice4", "vbyte"]),
+                      st.integers(1, 10**6)),
+            max_size=60,
+        )
+    )
+    def test_property_interleaved_roundtrip(self, items):
+        w = BitWriter()
+        for family, value in items:
+            if family == "gamma":
+                codes.write_gamma(w, value)
+            elif family == "delta":
+                codes.write_delta(w, value)
+            elif family == "zeta3":
+                codes.write_zeta(w, value, 3)
+            elif family == "rice4":
+                codes.write_rice(w, value, 4)
+            else:
+                codes.write_vbyte(w, value)
+        r = BitReader(w.to_bytes(), len(w))
+        for family, value in items:
+            if family == "gamma":
+                assert codes.read_gamma(r) == value
+            elif family == "delta":
+                assert codes.read_delta(r) == value
+            elif family == "zeta3":
+                assert codes.read_zeta(r, 3) == value
+            elif family == "rice4":
+                assert codes.read_rice(r, 4) == value
+            else:
+                assert codes.read_vbyte(r) == value
+        assert r.remaining == 0

@@ -1,0 +1,108 @@
+"""Tests for temporal graph composition."""
+
+import pytest
+
+from repro.graph.builders import graph_from_contacts
+from repro.graph.compose import concatenate_epochs, disjoint_union, shift_time, union
+from repro.graph.model import Contact, GraphKind
+
+
+def _g(contacts, n, kind=GraphKind.POINT, name="g"):
+    return graph_from_contacts(kind, contacts, num_nodes=n, name=name)
+
+
+class TestUnion:
+    def test_merges_contacts(self):
+        a = _g([(0, 1, 5)], 2, name="a")
+        b = _g([(1, 0, 9)], 3, name="b")
+        merged = union([a, b])
+        assert merged.num_nodes == 3
+        assert merged.num_contacts == 2
+        assert merged.name == "a+b"
+
+    def test_duplicates_kept(self):
+        a = _g([(0, 1, 5)], 2)
+        assert union([a, a]).num_contacts == 2
+
+    def test_rejects_mixed_kinds(self):
+        a = _g([(0, 1, 5)], 2)
+        b = _g([(0, 1, 5, 2)], 2, kind=GraphKind.INTERVAL)
+        with pytest.raises(ValueError):
+            union([a, b])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            union([])
+
+
+class TestShift:
+    def test_shift_forward(self):
+        g = _g([(0, 1, 5)], 2)
+        assert shift_time(g, 100).contacts == [Contact(0, 1, 105)]
+
+    def test_shift_backward(self):
+        g = _g([(0, 1, 50)], 2)
+        assert shift_time(g, -50).contacts == [Contact(0, 1, 0)]
+
+    def test_rejects_negative_result(self):
+        g = _g([(0, 1, 5)], 2)
+        with pytest.raises(ValueError):
+            shift_time(g, -6)
+
+    def test_preserves_durations(self):
+        g = _g([(0, 1, 5, 9)], 2, kind=GraphKind.INTERVAL)
+        assert shift_time(g, 10).contacts == [Contact(0, 1, 15, 9)]
+
+    def test_activity_shifts_with_time(self):
+        g = _g([(0, 1, 5)], 2)
+        shifted = shift_time(g, 100)
+        assert shifted.ref_has_edge(0, 1, 105, 105)
+        assert not shifted.ref_has_edge(0, 1, 5, 5)
+
+
+class TestDisjointUnion:
+    def test_labels_offset(self):
+        a = _g([(0, 1, 5)], 2)
+        b = _g([(0, 1, 7)], 3)
+        merged = disjoint_union([a, b])
+        assert merged.num_nodes == 5
+        assert merged.contacts == [Contact(0, 1, 5), Contact(2, 3, 7)]
+
+    def test_no_cross_edges(self):
+        a = _g([(0, 1, 5)], 2)
+        merged = disjoint_union([a, a])
+        assert merged.ref_neighbors(0, 0, 10) == [1]
+        assert merged.ref_neighbors(2, 0, 10) == [3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            disjoint_union([])
+
+
+class TestConcatenateEpochs:
+    def test_epochs_follow_each_other(self):
+        a = _g([(0, 1, 0), (0, 1, 10)], 2, name="day1")
+        b = _g([(0, 1, 0)], 2, name="day2")
+        merged = concatenate_epochs([a, b], gap=5)
+        times = [c.time for c in merged.contacts]
+        assert times == [0, 10, 15]
+
+    def test_nonzero_start_normalised(self):
+        a = _g([(0, 1, 100)], 2)
+        b = _g([(0, 1, 100)], 2)
+        merged = concatenate_epochs([a, b], gap=1)
+        assert [c.time for c in merged.contacts] == [0, 1]
+
+    def test_rejects_negative_gap(self):
+        a = _g([(0, 1, 0)], 2)
+        with pytest.raises(ValueError):
+            concatenate_epochs([a], gap=-1)
+
+    def test_compresses_after_composition(self):
+        from repro.core import compress
+
+        a = _g([(0, 1, t) for t in range(20)], 2)
+        merged = concatenate_epochs([a, a, a], gap=100)
+        cg = compress(merged)
+        assert cg.num_contacts == 60
+        assert cg.to_temporal_graph().contacts == merged.contacts

@@ -1,0 +1,187 @@
+"""Unit tests for the structure codec building blocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.core.config import ChronoGraphConfig
+from repro.core.structure import (
+    copy_blocks,
+    decode_node_structure,
+    encode_node_structure,
+    expand_copy_blocks,
+    multiset_from_parts,
+    split_duplicates,
+    split_intervals,
+)
+
+CFG = ChronoGraphConfig()
+
+
+class TestSplitDuplicates:
+    def test_empty(self):
+        assert split_duplicates([]) == ([], [])
+
+    def test_no_duplicates(self):
+        assert split_duplicates([1, 2, 3]) == ([], [1, 2, 3])
+
+    def test_all_duplicates(self):
+        assert split_duplicates([5, 5, 5]) == ([(5, 3)], [])
+
+    def test_mixed(self):
+        dedup, singles = split_duplicates([1, 2, 2, 3, 4, 4, 4])
+        assert dedup == [(2, 2), (4, 3)]
+        assert singles == [1, 3]
+
+
+class TestSplitIntervals:
+    def test_empty(self):
+        assert split_intervals([], 4) == ([], [])
+
+    def test_run_below_threshold_goes_to_extras(self):
+        assert split_intervals([1, 2, 3], 4) == ([], [1, 2, 3])
+
+    def test_run_at_threshold_becomes_interval(self):
+        assert split_intervals([1, 2, 3, 4], 4) == ([(1, 4)], [])
+
+    def test_adjacent_runs_merge(self):
+        intervals, extras = split_intervals([1, 2, 3, 4, 5, 9], 4)
+        assert intervals == [(1, 5)]
+        assert extras == [9]
+
+    def test_lower_threshold(self):
+        intervals, extras = split_intervals([1, 2, 9], 2)
+        assert intervals == [(1, 2)]
+        assert extras == [9]
+
+
+class TestCopyBlocks:
+    def test_roundtrip_simple(self):
+        ref = [1, 2, 3, 4, 5]
+        copied = [1, 2, 5]
+        runs = copy_blocks(ref, copied)
+        assert expand_copy_blocks(ref, runs) == copied
+
+    def test_leading_zero_run(self):
+        ref = [1, 2, 3]
+        runs = copy_blocks(ref, [3])
+        assert runs[0] == 0
+        assert expand_copy_blocks(ref, runs) == [3]
+
+    def test_copy_everything(self):
+        ref = [1, 2, 3]
+        runs = copy_blocks(ref, ref)
+        assert runs == []
+        assert expand_copy_blocks(ref, runs) == ref
+
+    def test_copy_nothing(self):
+        ref = [1, 2, 3]
+        runs = copy_blocks(ref, [])
+        assert expand_copy_blocks(ref, runs) == []
+
+    def test_empty_reference(self):
+        assert copy_blocks([], []) == []
+        assert expand_copy_blocks([], []) == []
+
+    @given(st.sets(st.integers(0, 30)), st.data())
+    def test_property_roundtrip(self, ref_set, data):
+        ref = sorted(ref_set)
+        copied = sorted(data.draw(st.sets(st.sampled_from(ref))) if ref else [])
+        runs = copy_blocks(ref, copied)
+        assert expand_copy_blocks(ref, runs) == copied
+        # Runs after the first are strictly positive (required by encoding).
+        assert all(r >= 1 for r in runs[1:])
+
+
+def _roundtrip_nodes(multisets, config=CFG):
+    """Encode a sequence of per-node multisets, decode, compare."""
+    writer = BitWriter()
+    offsets = []
+    window_distinct, ref_depth = {}, {}
+    for u, multiset in enumerate(multisets):
+        offsets.append(len(writer))
+        encode_node_structure(writer, u, multiset, window_distinct, ref_depth, config)
+    data, nbits = writer.to_bytes(), len(writer)
+
+    decoded_cache = {}
+
+    def resolve(v):
+        if v not in decoded_cache:
+            reader = BitReader(data, nbits)
+            reader.seek(offsets[v])
+            dedup, singles = decode_node_structure(reader, v, resolve, config)
+            decoded_cache[v] = sorted({*(l for l, _ in dedup), *singles})
+        return decoded_cache[v]
+
+    out = []
+    for u in range(len(multisets)):
+        reader = BitReader(data, nbits)
+        reader.seek(offsets[u])
+        dedup, singles = decode_node_structure(reader, u, resolve, config)
+        out.append(multiset_from_parts(dedup, singles))
+    return out
+
+
+class TestRoundTrip:
+    def test_empty_node(self):
+        assert _roundtrip_nodes([[]]) == [[]]
+
+    def test_figure5_multiset(self):
+        multiset = [2, 3, 3, 3, 5, 6, 7, 8, 9, 11, 12, 13, 14, 17, 17, 33]
+        assert _roundtrip_nodes([[], multiset])[1] == multiset
+
+    def test_identical_nodes_use_reference(self):
+        base = [10, 20, 30, 41, 55]
+        multisets = [base, base, base]
+        assert _roundtrip_nodes(multisets) == multisets
+
+    def test_reference_saves_space(self):
+        base = list(range(0, 100, 3))  # non-consecutive: intervals cannot help
+        with_ref = ChronoGraphConfig(window=7)
+        without_ref = ChronoGraphConfig(window=0)
+
+        def total_bits(config):
+            writer = BitWriter()
+            wd, rd = {}, {}
+            for u, m in enumerate([base, base, base, base]):
+                encode_node_structure(writer, u, m, wd, rd, config)
+            return len(writer)
+
+        assert total_bits(with_ref) < total_bits(without_ref)
+
+    def test_window_zero_disables_references(self):
+        base = [3, 9, 27]
+        cfg = ChronoGraphConfig(window=0)
+        assert _roundtrip_nodes([base, base], cfg) == [base, base]
+
+    def test_consecutive_runs_roundtrip(self):
+        multiset = list(range(50, 80))
+        assert _roundtrip_nodes([multiset])[0] == multiset
+
+    def test_duplicates_with_high_multiplicity(self):
+        multiset = [4] * 10 + [7] * 3
+        assert _roundtrip_nodes([multiset])[0] == sorted(multiset)
+
+    def test_neighbors_below_node_label(self):
+        # Gaps relative to the node can be negative.
+        multisets = [[], [], [], [0, 1, 2]]
+        assert _roundtrip_nodes(multisets)[3] == [0, 1, 2]
+
+    def test_max_ref_chain_zero_disables_references(self):
+        cfg = ChronoGraphConfig(max_ref_chain=0)
+        base = [2, 4, 8, 16]
+        assert _roundtrip_nodes([base, base], cfg) == [base, base]
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(0, 40), max_size=30),
+        max_size=8,
+    ),
+    st.integers(0, 7),
+    st.integers(2, 5),
+)
+def test_property_structure_roundtrip(multisets, window, min_interval):
+    multisets = [sorted(m) for m in multisets]
+    cfg = ChronoGraphConfig(window=window, min_interval_length=min_interval)
+    assert _roundtrip_nodes(multisets, cfg) == multisets

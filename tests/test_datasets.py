@@ -1,0 +1,145 @@
+"""Tests for the dataset generators and registry."""
+
+import pytest
+
+from repro.analysis.gapstats import natural_gaps
+from repro.analysis.powerlawfit import fit_discrete_power_law
+from repro.datasets import (
+    comm_net,
+    dataset_names,
+    flickr_like,
+    load,
+    powerlaw_graph,
+    wiki_edit_like,
+    wiki_links_like,
+    yahoo_like,
+)
+from repro.graph.model import GraphKind
+
+
+class TestSynthetic:
+    def test_comm_net_shape(self):
+        g = comm_net(num_nodes=50, time_steps=40, contacts_per_step=10)
+        assert g.kind is GraphKind.INTERVAL
+        assert g.num_nodes == 50
+        assert g.num_contacts == 400
+        assert all(c.u != c.v for c in g.contacts)
+        assert all(1 <= c.duration <= 5 for c in g.contacts)
+
+    def test_comm_net_deterministic(self):
+        a = comm_net(num_nodes=30, time_steps=10, seed=7)
+        b = comm_net(num_nodes=30, time_steps=10, seed=7)
+        assert a.contacts == b.contacts
+
+    def test_comm_net_seed_changes_output(self):
+        a = comm_net(num_nodes=30, time_steps=10, seed=7)
+        b = comm_net(num_nodes=30, time_steps=10, seed=8)
+        assert a.contacts != b.contacts
+
+    def test_comm_net_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            comm_net(num_nodes=1)
+
+    def test_powerlaw_shape(self):
+        g = powerlaw_graph(num_nodes=300, edges_per_node=5)
+        assert g.kind is GraphKind.INTERVAL
+        assert g.num_contacts == (300 - 5) * 5
+
+    def test_powerlaw_degrees_are_skewed(self):
+        g = powerlaw_graph(num_nodes=500, edges_per_node=5)
+        indeg = {}
+        for c in g.contacts:
+            indeg[c.v] = indeg.get(c.v, 0) + 1
+        degrees = sorted(indeg.values(), reverse=True)
+        # Preferential attachment: the top node dominates the median heavily.
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] > 8 * median
+
+    def test_powerlaw_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(num_nodes=5, edges_per_node=5)
+
+
+class TestRealWorldLike:
+    def test_flickr_like_is_incremental_day_granularity(self):
+        g = flickr_like(num_nodes=100, num_contacts=500)
+        assert g.kind is GraphKind.INCREMENTAL
+        assert g.granularity == "day"
+        assert g.lifetime <= 134
+        assert g.num_contacts == 500
+
+    def test_wiki_edit_like_is_bipartite_point(self):
+        g = wiki_edit_like(num_users=30, num_articles=70, num_sessions=60)
+        assert g.kind is GraphKind.POINT
+        assert g.granularity == "second"
+        # Sources are users, destinations are articles.
+        assert all(c.u < 30 and c.v >= 30 for c in g.contacts)
+
+    def test_wiki_edit_like_repeats_edges(self):
+        g = wiki_edit_like(num_users=30, num_articles=70, num_sessions=120)
+        assert g.num_contacts > g.num_edges  # multi-contact edges exist
+
+    def test_wiki_links_like_is_interval_with_long_lifetime(self):
+        g = wiki_links_like(num_articles=120, num_links=300)
+        assert g.kind is GraphKind.INTERVAL
+        assert g.lifetime > 1_000_000
+        assert all(c.duration > 0 for c in g.contacts)
+
+    def test_yahoo_like_short_lifetime(self):
+        g = yahoo_like(num_hosts=80, num_flows=500)
+        assert g.kind is GraphKind.POINT
+        assert g.lifetime < 60_000
+        assert g.num_contacts == 500
+
+    def test_yahoo_gaps_concentrate_below_100_seconds(self):
+        """Figure 2's headline: ~40% of Yahoo previous-gaps under 100 s."""
+        g = yahoo_like()
+        gaps = natural_gaps(g, "previous")
+        below = sum(1 for x in gaps if x < 100) / len(gaps)
+        assert below > 0.25
+
+    def test_previous_gaps_are_power_law(self):
+        """Section IV-A: previous-strategy gaps are heavy-tailed."""
+        g = wiki_edit_like()
+        fit = fit_discrete_power_law(natural_gaps(g, "previous"))
+        assert fit.is_heavy_tailed
+
+
+class TestRegistry:
+    def test_names_match_table3(self):
+        assert dataset_names() == [
+            "flickr", "wiki-edit", "wiki-links-sub", "wiki-links-full",
+            "yahoo-sub", "yahoo-full", "comm-net", "powerlaw",
+        ]
+
+    def test_load_small_scale(self):
+        g = load("flickr", scale=0.05)
+        assert g.num_contacts >= 100
+        assert g.name == "flickr-like"
+
+    def test_full_graphs_bigger_than_sub(self):
+        sub = load("yahoo-sub", scale=0.05)
+        full = load("yahoo-full", scale=0.05)
+        assert full.num_contacts > sub.num_contacts
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            load("flickr", scale=0)
+
+    def test_kinds_match_table3(self):
+        expected = {
+            "flickr": GraphKind.INCREMENTAL,
+            "wiki-edit": GraphKind.POINT,
+            "wiki-links-sub": GraphKind.INTERVAL,
+            "wiki-links-full": GraphKind.INTERVAL,
+            "yahoo-sub": GraphKind.POINT,
+            "yahoo-full": GraphKind.POINT,
+            "comm-net": GraphKind.INTERVAL,
+            "powerlaw": GraphKind.INTERVAL,
+        }
+        for name, kind in expected.items():
+            assert load(name, scale=0.05).kind is kind, name

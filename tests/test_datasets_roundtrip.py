@@ -1,0 +1,83 @@
+"""Every registry dataset survives the full compress/serialise/query cycle.
+
+A wide-but-shallow safety net: each Table III stand-in (at a tiny scale,
+to keep the suite fast) is compressed with ChronoGraph, written to disk,
+reloaded, and spot-checked against the uncompressed oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.core import compress, load_compressed, save_compressed
+from repro.datasets import dataset_names, load
+from repro.datasets.rmat import rmat_graph
+
+SCALE = 0.04
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_registry_dataset_full_cycle(name, tmp_path):
+    graph = load(name, scale=SCALE)
+    cg = compress(graph)
+    path = tmp_path / f"{name}.chrono"
+    save_compressed(cg, path)
+    loaded = load_compressed(path)
+
+    assert loaded.num_contacts == graph.num_contacts
+    assert loaded.kind is graph.kind
+
+    rng = random.Random(hash(name) % 2**31)
+    span = max(1, graph.lifetime)
+    t0 = graph.t_min
+    for _ in range(40):
+        u = rng.randrange(graph.num_nodes)
+        t1 = t0 + rng.randrange(span)
+        t2 = t1 + rng.randrange(max(1, span // 5))
+        assert loaded.neighbors(u, t1, t2) == graph.ref_neighbors(u, t1, t2), (
+            name, u, t1, t2,
+        )
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_registry_dataset_compresses_below_raw(name):
+    graph = load(name, scale=SCALE)
+    cg = compress(graph)
+    fields = 4 if graph.kind.value == "interval" else 3
+    raw_bits = graph.num_contacts * fields * 64
+    assert cg.size_in_bits < raw_bits, name
+
+
+def test_rmat_full_cycle(tmp_path):
+    graph = rmat_graph(scale=7, edge_factor=4, seed=9)
+    cg = compress(graph)
+    path = tmp_path / "rmat.chrono"
+    save_compressed(cg, path)
+    loaded = load_compressed(path)
+    assert loaded.to_temporal_graph().contacts == graph.contacts
+
+
+class TestCliErrorPaths:
+    def test_missing_input_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "/nonexistent/graph.txt"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_malformed_chrono_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "junk.chrono"
+        path.write_bytes(b"not a container")
+        assert main(["inspect", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_compress_zeta(self, tmp_path, capsys):
+        from repro.cli import main
+
+        text = tmp_path / "g.txt"
+        text.write_text("0 1 5\n")
+        code = main(["compress", str(text), "--out",
+                     str(tmp_path / "g.chrono"), "--zeta", "99"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

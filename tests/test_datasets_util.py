@@ -1,0 +1,101 @@
+"""Tests for the random-process primitives behind the dataset generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.util import (
+    bursty_timestamps,
+    local_neighbor,
+    pareto_gap,
+    zipf_index,
+)
+
+
+class TestParetoGap:
+    def test_respects_minimum(self):
+        rng = random.Random(1)
+        assert all(pareto_gap(rng, x_min=5) >= 5 for _ in range(500))
+
+    def test_respects_cap(self):
+        rng = random.Random(2)
+        assert all(pareto_gap(rng, cap=100) <= 100 for _ in range(500))
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        heavy = sum(pareto_gap(rng_a, alpha=1.1, cap=10**9) for _ in range(3000))
+        light = sum(pareto_gap(rng_b, alpha=3.0, cap=10**9) for _ in range(3000))
+        assert heavy > light
+
+    def test_deterministic_per_seed(self):
+        a = [pareto_gap(random.Random(7)) for _ in range(1)]
+        b = [pareto_gap(random.Random(7)) for _ in range(1)]
+        assert a == b
+
+    @given(st.integers(0, 10_000), st.integers(1, 100))
+    @settings(max_examples=40)
+    def test_property_bounds(self, seed, x_min):
+        rng = random.Random(seed)
+        gap = pareto_gap(rng, x_min=x_min, cap=x_min + 1000)
+        assert x_min <= gap <= x_min + 1000
+
+
+class TestZipfIndex:
+    def test_in_range(self):
+        rng = random.Random(4)
+        for _ in range(500):
+            assert 0 <= zipf_index(rng, 100) < 100
+
+    def test_single_element(self):
+        assert zipf_index(random.Random(0), 1) == 0
+
+    def test_skew_favours_small_indices(self):
+        rng = random.Random(5)
+        draws = [zipf_index(rng, 1000, skew=1.5) for _ in range(5000)]
+        top_decile = sum(1 for d in draws if d < 100)
+        assert top_decile > 0.5 * len(draws)
+
+    def test_skew_one_handled(self):
+        rng = random.Random(6)
+        assert 0 <= zipf_index(rng, 50, skew=1.0) < 50
+
+
+class TestBurstyTimestamps:
+    def test_count_and_monotonicity(self):
+        rng = random.Random(8)
+        times = bursty_timestamps(rng, 50, start=1000)
+        assert len(times) == 50
+        assert times[0] == 1000
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_empty(self):
+        assert bursty_timestamps(random.Random(0), 0, start=5) == []
+
+    def test_gaps_are_heavy_tailed(self):
+        rng = random.Random(9)
+        times = bursty_timestamps(rng, 5000, start=0, alpha=1.2, cap=10**6)
+        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        median = gaps[len(gaps) // 2]
+        assert gaps[-1] > 50 * median  # tail events dwarf the median
+
+
+class TestLocalNeighbor:
+    def test_stays_in_range(self):
+        rng = random.Random(10)
+        for u in (0, 50, 99):
+            for _ in range(200):
+                v = local_neighbor(rng, u, 100)
+                assert 0 <= v < 100
+
+    def test_concentrates_near_u(self):
+        rng = random.Random(11)
+        u = 500
+        draws = [local_neighbor(rng, u, 1000, spread=16) for _ in range(2000)]
+        near = sum(1 for v in draws if abs(v - u) <= 16)
+        assert near == len(draws)  # spread caps the offset
+
+    def test_edge_clamping(self):
+        rng = random.Random(12)
+        assert all(local_neighbor(rng, 0, 10) >= 0 for _ in range(100))
+        assert all(local_neighbor(rng, 9, 10) <= 9 for _ in range(100))

@@ -1,0 +1,141 @@
+"""Tests for degree-distribution utilities and temporal similarity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.similarity import (
+    common_neighbors,
+    jaccard_similarity,
+    similarity_timeline,
+    top_link_predictions,
+)
+from repro.core import compress
+from repro.datasets import powerlaw_graph
+from repro.graph.builders import graph_from_contacts
+from repro.graph.degrees import (
+    degree_ccdf,
+    degree_histogram,
+    degree_sequences,
+    distinct_degree_sequences,
+    gini_coefficient,
+    hub_share,
+)
+from repro.graph.model import GraphKind
+
+
+def _g(contacts, n):
+    return graph_from_contacts(GraphKind.POINT, contacts, num_nodes=n)
+
+
+class TestDegreeSequences:
+    def test_multiset_vs_distinct(self):
+        g = _g([(0, 1, 1), (0, 1, 2), (0, 2, 1)], 3)
+        out_deg, in_deg = degree_sequences(g)
+        assert out_deg == [3, 0, 0]
+        assert in_deg == [0, 2, 1]
+        d_out, d_in = distinct_degree_sequences(g)
+        assert d_out == [2, 0, 0]
+        assert d_in == [0, 1, 1]
+
+    def test_histogram(self):
+        assert degree_histogram([0, 0, 2, 2, 5]) == {0: 2, 2: 2, 5: 1}
+
+    def test_ccdf_starts_at_one(self):
+        ccdf = degree_ccdf([1, 2, 2, 7])
+        assert ccdf[0] == (1, 1.0)
+        assert ccdf[-1][0] == 7
+        fractions = [f for _, f in ccdf]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_ccdf_empty(self):
+        assert degree_ccdf([]) == []
+
+
+class TestGini:
+    def test_equal_distribution(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_distribution(self):
+        assert gini_coefficient([0] * 99 + [100]) > 0.9
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_property_bounded(self, values):
+        assert 0.0 <= gini_coefficient(values) < 1.0
+
+    def test_powerlaw_dataset_is_skewed(self):
+        """The BA dataset's in-degrees are more concentrated than uniform."""
+        g = powerlaw_graph(num_nodes=400, edges_per_node=5)
+        _, in_deg = degree_sequences(g)
+        assert gini_coefficient(in_deg) > 0.4
+        assert hub_share(in_deg, 0.01) > 0.05
+
+
+class TestHubShare:
+    def test_star_graph_hub_owns_everything(self):
+        g = _g([(0, v, 1) for v in range(1, 50)], 50)
+        out_deg, _ = degree_sequences(g)
+        assert hub_share(out_deg, 0.02) == pytest.approx(1.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            hub_share([1, 2], 0.0)
+
+    def test_empty(self):
+        assert hub_share([], 0.5) == 0.0
+
+
+class TestSimilarity:
+    def _cg(self):
+        return compress(_g(
+            [(0, 2, 5), (0, 3, 5), (1, 2, 5), (1, 3, 5), (1, 4, 5), (5, 6, 5)],
+            7,
+        ))
+
+    def test_jaccard(self):
+        cg = self._cg()
+        # N(0) = {2,3}; N(1) = {2,3,4} -> 2/3.
+        assert jaccard_similarity(cg, 0, 1, 0, 10) == pytest.approx(2 / 3)
+
+    def test_jaccard_no_neighbors(self):
+        cg = self._cg()
+        assert jaccard_similarity(cg, 4, 6, 0, 10) == 0.0
+
+    def test_common_neighbors(self):
+        cg = self._cg()
+        assert common_neighbors(cg, 0, 1, 0, 10) == [2, 3]
+
+    def test_window_restricts_similarity(self):
+        cg = compress(_g([(0, 2, 5), (1, 2, 50)], 3))
+        assert jaccard_similarity(cg, 0, 1, 0, 10) == 0.0
+        assert jaccard_similarity(cg, 0, 1, 0, 100) == 1.0
+
+    def test_top_link_predictions(self):
+        cg = self._cg()
+        predictions = top_link_predictions(cg, 0, 10, k=3)
+        assert predictions
+        best = predictions[0]
+        assert (best[0], best[1]) == (0, 1)  # strongest unlinked pair
+        for u, v, score in predictions:
+            assert not cg.has_edge(u, v, 0, 10)
+            assert not cg.has_edge(v, u, 0, 10)
+            assert score > 0
+
+    def test_predictions_k_zero(self):
+        assert top_link_predictions(self._cg(), 0, 10, k=0) == []
+
+    def test_predictions_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            top_link_predictions(self._cg(), 0, 10, k=-1)
+
+    def test_similarity_timeline(self):
+        cg = compress(_g([(0, 2, 5), (1, 2, 5), (0, 3, 15), (1, 4, 15)], 5))
+        timeline = similarity_timeline(cg, 0, 1, 10, t_start=0, t_end=19)
+        assert timeline == [(0, 1.0), (10, 0.0)]

@@ -1,0 +1,96 @@
+"""Tests for the Elias-Fano monotone sequence representation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.eliasfano import EliasFano
+
+
+class TestBasics:
+    def test_empty_sequence(self):
+        ef = EliasFano([])
+        assert len(ef) == 0
+        assert list(ef) == []
+        assert ef.size_in_bits() == 0
+
+    def test_single_element(self):
+        ef = EliasFano([42])
+        assert ef.access(0) == 42
+
+    def test_access_matches_input(self):
+        values = [0, 0, 3, 7, 7, 20, 21, 100]
+        ef = EliasFano(values)
+        assert [ef.access(i) for i in range(len(values))] == values
+
+    def test_getitem_alias(self):
+        ef = EliasFano([5, 9])
+        assert ef[1] == 9
+
+    def test_iteration(self):
+        values = [1, 4, 4, 9]
+        assert list(EliasFano(values)) == values
+
+    def test_rejects_decreasing_sequence(self):
+        with pytest.raises(ValueError):
+            EliasFano([3, 2])
+
+    def test_rejects_universe_too_small(self):
+        with pytest.raises(ValueError):
+            EliasFano([5], universe=5)
+
+    def test_access_out_of_range(self):
+        ef = EliasFano([1, 2])
+        with pytest.raises(IndexError):
+            ef.access(2)
+
+    def test_all_zeros(self):
+        ef = EliasFano([0] * 10)
+        assert list(ef) == [0] * 10
+
+
+class TestSizeBound:
+    def test_size_close_to_information_bound(self):
+        """Section IV-E: at most ~2 + log2(u/n) bits per element."""
+        n, u = 1000, 1_000_000
+        values = sorted((i * 997) % u for i in range(n))
+        ef = EliasFano(values, universe=u)
+        per_element = ef.size_in_bits() / n
+        import math
+        assert per_element <= 2 + math.log2(u / n) + 1
+
+    def test_dense_sequences_are_cheap(self):
+        ef = EliasFano(list(range(1000)))
+        assert ef.size_in_bits() / 1000 <= 3
+
+
+class TestPredecessor:
+    def test_predecessor_basic(self):
+        ef = EliasFano([2, 5, 5, 9])
+        assert ef.predecessor_index(1) == -1
+        assert ef.predecessor_index(2) == 0
+        assert ef.predecessor_index(5) == 2
+        assert ef.predecessor_index(100) == 3
+
+    def test_predecessor_empty(self):
+        assert EliasFano([]).predecessor_index(5) == -1
+
+
+@given(st.lists(st.integers(0, 10**9), min_size=1, max_size=300))
+def test_property_access_roundtrip(values):
+    values.sort()
+    ef = EliasFano(values)
+    assert [ef.access(i) for i in range(len(values))] == values
+
+
+@given(
+    st.lists(st.integers(0, 10**6), min_size=1, max_size=100),
+    st.integers(0, 10**6),
+)
+def test_property_predecessor_matches_naive(values, probe):
+    values.sort()
+    ef = EliasFano(values)
+    expected = -1
+    for i, v in enumerate(values):
+        if v <= probe:
+            expected = i
+    assert ef.predecessor_index(probe) == expected

@@ -1,0 +1,96 @@
+"""Extended Elias-Fano and bitvector regime tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitvector import BitVector
+from repro.bits.eliasfano import EliasFano
+
+
+class TestRegimes:
+    def test_universe_smaller_than_count(self):
+        # More elements than distinct values: low_bits collapses to 0.
+        values = [0, 0, 1, 1, 1, 2]
+        ef = EliasFano(values, universe=3)
+        assert list(ef) == values
+        assert ef._low_bits == 0
+
+    def test_huge_universe_sparse_values(self):
+        values = [0, 10**12, 2 * 10**12]
+        ef = EliasFano(values)
+        assert [ef.access(i) for i in range(3)] == values
+
+    def test_explicit_universe_changes_split(self):
+        values = list(range(0, 100, 7))
+        tight = EliasFano(values)
+        loose = EliasFano(values, universe=10**6)
+        assert list(tight) == list(loose) == values
+        assert loose._low_bits > tight._low_bits
+
+    def test_single_huge_value(self):
+        ef = EliasFano([2**40])
+        assert ef.access(0) == 2**40
+
+    def test_repeated_value_runs(self):
+        values = [5] * 100 + [9] * 100
+        ef = EliasFano(values)
+        assert ef.access(0) == 5
+        assert ef.access(99) == 5
+        assert ef.access(100) == 9
+        assert ef.predecessor_index(5) == 99
+        assert ef.predecessor_index(8) == 99
+        assert ef.predecessor_index(9) == 199
+
+    @given(
+        st.integers(1, 200),
+        st.integers(0, 2**20),
+        st.data(),
+    )
+    @settings(max_examples=30)
+    def test_property_universe_invariance(self, n, base, data):
+        deltas = data.draw(st.lists(st.integers(0, 50), min_size=n, max_size=n))
+        values = []
+        acc = base
+        for d in deltas:
+            acc += d
+            values.append(acc)
+        slack = data.draw(st.integers(1, 1000))
+        ef = EliasFano(values, universe=values[-1] + slack)
+        assert list(ef) == values
+
+
+class TestBitVectorRegimes:
+    def test_all_ones(self):
+        bv = BitVector([1] * 300)
+        assert bv.rank1(300) == 300
+        assert bv.select1(299) == 299
+        with pytest.raises(IndexError):
+            bv.select0(0)
+
+    def test_all_zeros(self):
+        bv = BitVector([0] * 300)
+        assert bv.rank1(300) == 0
+        assert bv.select0(299) == 299
+        with pytest.raises(IndexError):
+            bv.select1(0)
+
+    def test_single_one_far_right(self):
+        bits = [0] * 999 + [1]
+        bv = BitVector(bits)
+        assert bv.select1(0) == 999
+        assert bv.rank1(999) == 0
+        assert bv.rank1(1000) == 1
+
+    def test_alternating_large(self):
+        bits = [i % 2 for i in range(1000)]
+        bv = BitVector(bits)
+        for j in range(0, 500, 37):
+            assert bv.select1(j) == 2 * j + 1
+            assert bv.select0(j) == 2 * j
+
+    def test_exact_word_boundary_lengths(self):
+        for n in (63, 64, 65, 127, 128, 129):
+            bits = [1] * n
+            bv = BitVector(bits)
+            assert bv.rank1(n) == n
+            assert bv.select1(n - 1) == n - 1

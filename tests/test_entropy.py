@@ -1,0 +1,69 @@
+"""Tests for the empirical-entropy accounting."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.entropy import (
+    code_efficiency,
+    empirical_entropy,
+    timestamp_entropy_bound,
+)
+from repro.datasets import yahoo_like
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+class TestEmpiricalEntropy:
+    def test_constant_sequence_has_zero_entropy(self):
+        assert empirical_entropy([7] * 100) == 0.0
+
+    def test_uniform_binary_is_one_bit(self):
+        assert empirical_entropy([0, 1] * 50) == pytest.approx(1.0)
+
+    def test_uniform_n_symbols(self):
+        values = list(range(16)) * 10
+        assert empirical_entropy(values) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert empirical_entropy([]) == 0.0
+
+    def test_skew_lowers_entropy(self):
+        skewed = [0] * 90 + list(range(1, 11))
+        uniform = list(range(10)) * 10
+        assert empirical_entropy(skewed) < empirical_entropy(uniform)
+
+
+class TestBounds:
+    def test_aggregation_lowers_the_bound(self):
+        g = yahoo_like(num_hosts=100, num_flows=1500, seed=5)
+        fine = timestamp_entropy_bound(g, resolution=1)
+        coarse = timestamp_entropy_bound(g, resolution=600)
+        assert coarse < fine
+
+    def test_achieved_at_least_bound(self):
+        """No static zeta code beats the zeroth-order entropy."""
+        g = yahoo_like(num_hosts=150, num_flows=2500, seed=6)
+        eff = code_efficiency(g)
+        assert (
+            eff["achieved_bits_per_contact"]
+            >= eff["entropy_bound_bits_per_contact"] * 0.99
+        )
+
+    def test_overhead_is_moderate_on_bursty_data(self):
+        """zeta captures most of the heavy-tailed gap entropy (<90% over)."""
+        g = yahoo_like(num_hosts=150, num_flows=2500, seed=7)
+        eff = code_efficiency(g)
+        assert eff["overhead_pct"] < 90.0
+
+    def test_reports_selected_k(self):
+        g = yahoo_like(num_hosts=80, num_flows=600, seed=8)
+        assert code_efficiency(g)["zeta_k"] in range(2, 8)
+
+    def test_deterministic_graph_bound(self):
+        # Evenly spaced contacts: all gaps equal, entropy ~ 0 except the
+        # per-node first gap.
+        contacts = [(0, 1, t * 10) for t in range(100)]
+        g = graph_from_contacts(GraphKind.POINT, contacts, num_nodes=2)
+        assert timestamp_entropy_bound(g) < 0.5

@@ -1,0 +1,86 @@
+"""Tests for the shared event normalisation of the event-log baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.events import edge_events, merged_intervals
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _interval(contacts, n=6):
+    return graph_from_contacts(GraphKind.INTERVAL, contacts, num_nodes=n)
+
+
+class TestMergedIntervals:
+    def test_disjoint_intervals_kept(self):
+        g = _interval([(0, 1, 0, 5), (0, 1, 10, 5)])
+        assert merged_intervals(g)[(0, 1)] == [(0, 5), (10, 15)]
+
+    def test_overlapping_intervals_merge(self):
+        g = _interval([(0, 1, 0, 10), (0, 1, 5, 10)])
+        assert merged_intervals(g)[(0, 1)] == [(0, 15)]
+
+    def test_touching_intervals_merge(self):
+        g = _interval([(0, 1, 0, 5), (0, 1, 5, 5)])
+        assert merged_intervals(g)[(0, 1)] == [(0, 10)]
+
+    def test_contained_interval_absorbed(self):
+        g = _interval([(0, 1, 0, 20), (0, 1, 5, 2)])
+        assert merged_intervals(g)[(0, 1)] == [(0, 20)]
+
+    def test_zero_duration_dropped(self):
+        g = _interval([(0, 1, 5, 0)])
+        assert (0, 1) not in merged_intervals(g)
+
+    def test_rejects_non_interval_graphs(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)])
+        with pytest.raises(ValueError):
+            merged_intervals(g)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 30)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_merge_preserves_activity(self, spans):
+        contacts = [(0, 1, t, d) for t, d in spans]
+        g = _interval(contacts, n=2)
+        merged = merged_intervals(g)[(0, 1)]
+        # Disjoint, sorted, non-touching.
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        # Same activity at every instant.
+        horizon = max(t + d for t, d in spans) + 2
+        for t in range(horizon):
+            original = any(s <= t < s + d for s, d in spans)
+            via_merge = any(s <= t < e for s, e in merged)
+            assert original == via_merge, t
+
+
+class TestEdgeEvents:
+    def test_point_graph_one_event_per_contact(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5), (1, 2, 3)])
+        assert edge_events(g) == [(3, 1, 2), (5, 0, 1)]
+
+    def test_interval_graph_paired_events(self):
+        g = _interval([(0, 1, 2, 3)])
+        assert edge_events(g) == [(2, 0, 1), (5, 0, 1)]
+
+    def test_events_time_sorted(self):
+        g = _interval([(0, 1, 10, 5), (2, 3, 1, 2)])
+        events = edge_events(g)
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+
+    def test_parity_invariant(self):
+        """Every interval edge has an even number of events."""
+        g = _interval([(0, 1, 0, 5), (0, 1, 3, 9), (2, 3, 1, 1)])
+        from collections import Counter
+
+        counts = Counter((u, v) for _, u, v in edge_events(g))
+        for edge, count in counts.items():
+            assert count % 2 == 0, edge

@@ -1,0 +1,126 @@
+"""Tests for time aggregation and the contact-list text format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.aggregate import RESOLUTIONS, aggregate, aggregate_timestamps
+from repro.graph.builders import graph_from_contacts
+from repro.graph.io import contacts_as_text, read_contact_text, write_contact_text
+from repro.graph.model import Contact, GraphKind
+
+
+PAPER_TIMESTAMPS = [
+    1209479772, 1209479933, 1209479965, 1209479822,
+    1209479825, 1209483450, 1209483446,
+]
+
+
+class TestAggregation:
+    def test_table2_hourly_aggregation(self):
+        """Table II: the paper's 7 timestamps bucket to 335966/335967 hourly."""
+        assert aggregate_timestamps(PAPER_TIMESTAMPS, 3600) == [
+            335966, 335966, 335966, 335966, 335966, 335967, 335967,
+        ]
+
+    def test_resolution_one_is_identity(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5), (0, 1, 77)])
+        assert aggregate(g, 1).contacts == g.contacts
+
+    def test_point_graph_buckets_timestamps(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 59), (0, 1, 60), (0, 1, 61)])
+        agg = aggregate(g, 60)
+        assert [c.time for c in agg.contacts] == [0, 1, 1]
+
+    def test_rejects_bad_resolution(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)])
+        with pytest.raises(ValueError):
+            aggregate(g, 0)
+
+    def test_interval_duration_covers_overlapped_buckets(self):
+        # [55, 125) overlaps minute buckets 0, 1 and 2.
+        g = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 55, 70)])
+        agg = aggregate(g, 60)
+        c = agg.contacts[0]
+        assert (c.time, c.duration) == (0, 3)
+
+    def test_interval_positive_duration_stays_positive(self):
+        g = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 10, 1)])
+        agg = aggregate(g, 3600)
+        assert agg.contacts[0].duration == 1
+
+    def test_interval_zero_duration_stays_zero(self):
+        g = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 10, 0)])
+        assert aggregate(g, 60).contacts[0].duration == 0
+
+    def test_aggregation_preserves_kind_and_counts(self):
+        g = graph_from_contacts(GraphKind.INCREMENTAL, [(0, 1, 5), (2, 3, 99)])
+        agg = aggregate(g, 10)
+        assert agg.kind is GraphKind.INCREMENTAL
+        assert agg.num_contacts == 2
+        assert agg.num_nodes == g.num_nodes
+
+    def test_named_resolutions(self):
+        assert RESOLUTIONS["hour"] == 3600
+        assert RESOLUTIONS["minute"] == 60
+
+    @given(
+        st.lists(st.integers(0, 10**9), min_size=1, max_size=50),
+        st.integers(1, 10**5),
+    )
+    def test_property_aggregated_activity_preserved(self, times, resolution):
+        """A point contact active at t is active in t's bucket after aggregation."""
+        contacts = [(0, 1, t) for t in times]
+        g = graph_from_contacts(GraphKind.POINT, contacts, num_nodes=2)
+        agg = aggregate(g, resolution)
+        for t in times:
+            bucket = t // resolution
+            assert agg.ref_has_edge(0, 1, bucket, bucket)
+
+
+class TestTextIO:
+    def test_point_roundtrip(self, tmp_path):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 5), (2, 0, 9)], name="tiny", granularity="second"
+        )
+        path = tmp_path / "g.txt"
+        write_contact_text(g, path)
+        h = read_contact_text(path)
+        assert h.kind is GraphKind.POINT
+        assert h.contacts == g.contacts
+        assert h.num_nodes == g.num_nodes
+        assert h.name == "tiny"
+        assert h.granularity == "second"
+
+    def test_interval_roundtrip(self, tmp_path):
+        g = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 5, 3)])
+        path = tmp_path / "g.txt"
+        write_contact_text(g, path)
+        h = read_contact_text(path)
+        assert h.contacts == [Contact(0, 1, 5, 3)]
+
+    def test_text_format_shape(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)])
+        text = contacts_as_text(g)
+        assert "# kind=point" in text
+        assert text.strip().endswith("0 1 5")
+
+    def test_headerless_text(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)])
+        text = contacts_as_text(g, header=False)
+        assert text == "0 1 5\n"
+
+    def test_read_infers_node_count_without_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9 1\n")
+        assert read_contact_text(path).num_nodes == 10
+
+    def test_read_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_contact_text(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n0 1 5\n\n")
+        assert read_contact_text(path).num_contacts == 1

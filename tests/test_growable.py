@@ -1,0 +1,148 @@
+"""Tests for the growable (base + delta) temporal graph."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.growable import GrowableChronoGraph
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _reference(contacts, n, kind=GraphKind.POINT):
+    return graph_from_contacts(kind, contacts, num_nodes=n)
+
+
+class TestGrowth:
+    def test_empty(self):
+        g = GrowableChronoGraph(GraphKind.POINT)
+        assert g.num_contacts == 0
+        assert g.size_in_bits == 0
+        assert not g.checkpoint_due()
+
+    def test_add_contact_grows_node_space(self):
+        g = GrowableChronoGraph(GraphKind.POINT)
+        g.add_contact(0, 7, 5)
+        assert g.num_nodes == 8
+        assert g.delta_contacts == 1
+
+    def test_rejects_bad_contacts(self):
+        g = GrowableChronoGraph(GraphKind.POINT)
+        with pytest.raises(ValueError):
+            g.add_contact(-1, 0, 5)
+        with pytest.raises(ValueError):
+            g.add_contact(0, 1, 5, duration=-1)
+        with pytest.raises(ValueError):
+            g.add_contact(0, 1, 5, duration=3)  # POINT carries no durations
+
+    def test_extend(self):
+        g = GrowableChronoGraph(GraphKind.INTERVAL)
+        g.extend([(0, 1, 5, 2), (1, 0, 3, 1)])
+        assert g.num_contacts == 2
+
+    def test_from_graph_starts_compressed(self):
+        base = _reference([(0, 1, 5), (1, 2, 9)], 3)
+        g = GrowableChronoGraph.from_graph(base)
+        assert g.num_contacts == 2
+        assert g.delta_contacts == 0
+        assert g.size_in_bits > 0
+
+
+class TestQueries:
+    def test_queries_span_base_and_delta(self):
+        base = _reference([(0, 1, 5)], 3)
+        g = GrowableChronoGraph.from_graph(base)
+        g.add_contact(0, 2, 50)
+        assert g.neighbors(0, 0, 100) == [1, 2]
+        assert g.has_edge(0, 1, 5, 5)
+        assert g.has_edge(0, 2, 50, 50)
+        assert not g.has_edge(0, 2, 0, 49)
+
+    def test_contacts_of_merges_in_order(self):
+        base = _reference([(0, 5, 10), (0, 2, 20)], 6)
+        g = GrowableChronoGraph.from_graph(base)
+        g.add_contact(0, 2, 5)
+        assert [(c.v, c.time) for c in g.contacts_of(0)] == [
+            (2, 5), (2, 20), (5, 10),
+        ]
+
+    def test_query_beyond_nodes_raises(self):
+        g = GrowableChronoGraph(GraphKind.POINT)
+        g.add_contact(0, 1, 5)
+        with pytest.raises(ValueError):
+            g.contacts_of(9)
+
+    def test_new_node_only_in_delta(self):
+        base = _reference([(0, 1, 5)], 2)
+        g = GrowableChronoGraph.from_graph(base)
+        g.add_contact(4, 0, 7)
+        assert g.num_nodes == 5
+        assert g.neighbors(4, 0, 10) == [0]
+
+
+class TestCheckpoint:
+    def test_checkpoint_compresses_delta(self):
+        g = GrowableChronoGraph(GraphKind.POINT)
+        for i in range(50):
+            g.add_contact(i % 5, (i + 1) % 5, i)
+        raw = g.size_in_bits
+        g.checkpoint()
+        assert g.delta_contacts == 0
+        assert g.size_in_bits < raw
+        assert g.num_contacts == 50
+
+    def test_checkpoint_preserves_queries(self):
+        rng = random.Random(3)
+        contacts = [(rng.randrange(8), rng.randrange(8), rng.randrange(100))
+                    for _ in range(60)]
+        ref = _reference(contacts, 8)
+        g = GrowableChronoGraph(GraphKind.POINT)
+        g.extend(contacts)
+        g.checkpoint()
+        for u in range(8):
+            for t1, t2 in [(0, 100), (10, 30)]:
+                assert g.neighbors(u, t1, t2) == ref.ref_neighbors(u, t1, t2)
+
+    def test_checkpoint_due_threshold(self):
+        base = _reference([(0, 1, t) for t in range(90)], 2)
+        g = GrowableChronoGraph.from_graph(base)
+        assert not g.checkpoint_due()
+        for t in range(11):
+            g.add_contact(0, 1, 100 + t)
+        assert g.checkpoint_due(delta_share=0.1)
+
+    def test_multiple_checkpoint_cycles(self):
+        g = GrowableChronoGraph(GraphKind.INTERVAL)
+        expected = []
+        for epoch in range(3):
+            for i in range(20):
+                row = (i % 4, (i + 1) % 4, epoch * 100 + i, 2)
+                g.add_contact(*row)
+                expected.append(row)
+            g.checkpoint()
+        ref = _reference(expected, 4, GraphKind.INTERVAL)
+        assert g.to_temporal_graph().contacts == ref.contacts
+
+
+@settings(max_examples=20)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 200)),
+        max_size=60,
+    ),
+    st.integers(0, 59),
+)
+def test_property_growable_matches_reference(contacts, split):
+    split = min(split, len(contacts))
+    g = GrowableChronoGraph(GraphKind.POINT, num_nodes=7)
+    g.extend(contacts[:split])
+    g.checkpoint()
+    g.extend(contacts[split:])
+    ref = _reference(contacts, 7)
+    for u in range(7):
+        assert g.contacts_of(u) == ref.contacts_of(u)
+        for t1, t2 in [(0, 200), (50, 100)]:
+            assert g.neighbors(u, t1, t2) == ref.ref_neighbors(u, t1, t2)
+            for v in range(7):
+                assert g.has_edge(u, v, t1, t2) == ref.ref_has_edge(u, v, t1, t2)

@@ -1,0 +1,83 @@
+"""Tests for canonical Huffman coding (EveLog substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.structures.huffman import HuffmanCode
+
+
+class TestConstruction:
+    def test_rejects_empty_alphabet(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({})
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({1: 0})
+        with pytest.raises(ValueError):
+            HuffmanCode({-1: 5})
+
+    def test_single_symbol_gets_one_bit(self):
+        code = HuffmanCode({7: 100})
+        assert code.code_of(7)[1] == 1
+
+    def test_from_sequence(self):
+        code = HuffmanCode.from_sequence([1, 1, 2])
+        assert sorted(code.symbols) == [1, 2]
+
+    def test_from_empty_sequence(self):
+        with pytest.raises(ValueError):
+            HuffmanCode.from_sequence([])
+
+
+class TestOptimality:
+    def test_frequent_symbols_get_shorter_codes(self):
+        code = HuffmanCode({0: 1000, 1: 10, 2: 10, 3: 1})
+        assert code.code_of(0)[1] <= code.code_of(1)[1]
+        assert code.code_of(1)[1] <= code.code_of(3)[1]
+
+    def test_uniform_frequencies_give_balanced_code(self):
+        code = HuffmanCode({i: 1 for i in range(8)})
+        assert all(code.code_of(i)[1] == 3 for i in range(8))
+
+    def test_canonical_codes_are_prefix_free(self):
+        code = HuffmanCode({0: 5, 1: 3, 2: 2, 3: 1, 4: 1})
+        words = [code.code_of(s) for s in code.symbols]
+        bit_strings = [format(c, f"0{l}b") for c, l in words]
+        for i, a in enumerate(bit_strings):
+            for j, b in enumerate(bit_strings):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_encoded_length_matches_entropy_bound(self):
+        freqs = {0: 900, 1: 50, 2: 25, 3: 25}
+        code = HuffmanCode(freqs)
+        seq = [s for s, f in freqs.items() for _ in range(f)]
+        import math
+        total = sum(freqs.values())
+        entropy = -sum(f / total * math.log2(f / total) for f in freqs.values())
+        assert code.encoded_length(seq) <= total * (entropy + 1)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        seq = [1, 2, 1, 1, 3, 2, 1]
+        code = HuffmanCode.from_sequence(seq)
+        w = BitWriter()
+        n = code.encode(w, seq)
+        assert n == len(w) == code.encoded_length(seq)
+        r = BitReader(w.to_bytes(), len(w))
+        assert code.decode(r, len(seq)) == seq
+
+    def test_codebook_size(self):
+        code = HuffmanCode({1: 1, 2: 1})
+        assert code.codebook_size_in_bits() == 2 * 13
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    def test_property_roundtrip(self, seq):
+        code = HuffmanCode.from_sequence(seq)
+        w = BitWriter()
+        code.encode(w, seq)
+        r = BitReader(w.to_bytes(), len(w))
+        assert code.decode(r, len(seq)) == seq

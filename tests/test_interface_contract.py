@@ -1,0 +1,102 @@
+"""Contract tests for the shared compressor interface itself."""
+
+import pytest
+
+from repro.baselines.interface import (
+    CompressedTemporalGraph,
+    CompressorFeatures,
+    TemporalGraphCompressor,
+    register,
+)
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+class _FakeCompressed(CompressedTemporalGraph):
+    """Minimal concrete representation for contract testing."""
+
+    def __init__(self, edges, num_nodes, num_contacts):
+        self.kind = GraphKind.POINT
+        self.num_nodes = num_nodes
+        self.num_contacts = num_contacts
+        self._edges = edges  # (u, v, t)
+
+    @property
+    def size_in_bits(self):
+        return 64
+
+    def neighbors(self, u, t_start, t_end):
+        return sorted({v for a, v, t in self._edges
+                       if a == u and t_start <= t <= t_end})
+
+    def has_edge(self, u, v, t_start, t_end):
+        return v in self.neighbors(u, t_start, t_end)
+
+
+class TestCompressedBase:
+    def test_bits_per_contact_handles_empty(self):
+        fake = _FakeCompressed([], 3, 0)
+        assert fake.bits_per_contact == 0.0
+
+    def test_bits_per_contact_divides(self):
+        fake = _FakeCompressed([], 3, 16)
+        assert fake.bits_per_contact == 4.0
+
+    def test_default_snapshot_sweeps_nodes(self):
+        fake = _FakeCompressed([(0, 1, 5), (2, 0, 5), (1, 2, 50)], 3, 3)
+        assert fake.snapshot(0, 10) == [(0, 1), (2, 0)]
+        assert fake.snapshot(0, 100) == [(0, 1), (1, 2), (2, 0)]
+
+
+class TestFeatures:
+    def test_supports_kind_mapping(self):
+        f = CompressorFeatures(incremental=False)
+        assert not f.supports_kind(GraphKind.INCREMENTAL)
+        assert f.supports_kind(GraphKind.POINT)
+        assert f.supports_kind(GraphKind.INTERVAL)
+
+    def test_check_supported_raises(self):
+        class Partial(TemporalGraphCompressor):
+            name = "_partial"
+            features = CompressorFeatures(interval=False)
+
+            def compress(self, graph):
+                self.check_supported(graph)
+                return _FakeCompressed([], graph.num_nodes, graph.num_contacts)
+
+        g = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 1, 2)], num_nodes=2)
+        with pytest.raises(ValueError, match="does not support interval"):
+            Partial().compress(g)
+
+    def test_features_frozen(self):
+        f = CompressorFeatures()
+        with pytest.raises(Exception):
+            f.point = False
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        @register
+        class First(TemporalGraphCompressor):
+            name = "_contract_dup"
+
+            def compress(self, graph):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="duplicate"):
+            @register
+            class Second(TemporalGraphCompressor):
+                name = "_contract_dup"
+
+                def compress(self, graph):  # pragma: no cover
+                    raise NotImplementedError
+
+    def test_reregistering_same_class_is_idempotent(self):
+        @register
+        class Thing(TemporalGraphCompressor):
+            name = "_contract_idem"
+
+            def compress(self, graph):  # pragma: no cover
+                raise NotImplementedError
+
+        assert register(Thing) is Thing

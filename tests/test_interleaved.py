@@ -1,0 +1,98 @@
+"""Tests for the interleaved wavelet tree (CET substrate)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.interleaved import (
+    InterleavedWaveletTree,
+    deinterleave,
+    interleave,
+)
+
+
+class TestInterleaving:
+    def test_simple_interleave(self):
+        # u = 0b10, v = 0b01 -> bits u1 v1 u0 v0 = 1 0 0 1.
+        assert interleave(0b10, 0b01, 2) == 0b1001
+
+    def test_deinterleave_inverts(self):
+        s = interleave(5, 3, 4)
+        assert deinterleave(s, 4) == (5, 3)
+
+    def test_rejects_values_too_wide(self):
+        with pytest.raises(ValueError):
+            interleave(4, 0, 2)
+
+    @given(st.integers(1, 12), st.data())
+    def test_property_roundtrip(self, bits, data):
+        u = data.draw(st.integers(0, (1 << bits) - 1))
+        v = data.draw(st.integers(0, (1 << bits) - 1))
+        assert deinterleave(interleave(u, v, bits), bits) == (u, v)
+
+
+EVENTS = [(0, 1), (2, 3), (0, 1), (0, 2), (1, 0), (0, 1), (3, 3)]
+
+
+class TestInterleavedTree:
+    def test_access(self):
+        t = InterleavedWaveletTree(EVENTS, num_nodes=4)
+        assert [t.access(i) for i in range(len(EVENTS))] == EVENTS
+
+    def test_count_edge_full_range(self):
+        t = InterleavedWaveletTree(EVENTS, num_nodes=4)
+        assert t.count_edge(0, 1, 0, len(EVENTS)) == 3
+        assert t.count_edge(2, 3, 0, len(EVENTS)) == 1
+        assert t.count_edge(3, 0, 0, len(EVENTS)) == 0
+
+    def test_count_edge_subrange(self):
+        t = InterleavedWaveletTree(EVENTS, num_nodes=4)
+        assert t.count_edge(0, 1, 1, 5) == 1
+
+    def test_neighbors_of(self):
+        t = InterleavedWaveletTree(EVENTS, num_nodes=4)
+        assert t.neighbors_of(0, 0, len(EVENTS)) == [(1, 3), (2, 1)]
+        assert t.neighbors_of(1, 0, len(EVENTS)) == [(0, 1)]
+
+    def test_neighbors_of_respects_range(self):
+        t = InterleavedWaveletTree(EVENTS, num_nodes=4)
+        assert t.neighbors_of(0, 3, 5) == [(2, 1)]
+
+    def test_sources_of(self):
+        t = InterleavedWaveletTree(EVENTS, num_nodes=4)
+        assert t.sources_of(1, 0, len(EVENTS)) == [(0, 3)]
+        assert t.sources_of(3, 0, len(EVENTS)) == [(2, 1), (3, 1)]
+
+    def test_empty_log(self):
+        t = InterleavedWaveletTree([], num_nodes=4)
+        assert len(t) == 0
+        assert t.neighbors_of(0, 0, 0) == []
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            InterleavedWaveletTree([], num_nodes=0)
+
+
+@given(
+    st.integers(2, 9),
+    st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=80),
+    st.data(),
+)
+def test_property_matches_naive(n, pairs, data):
+    n = 9
+    t = InterleavedWaveletTree(pairs, num_nodes=n)
+    lo = data.draw(st.integers(0, len(pairs)))
+    hi = data.draw(st.integers(lo, len(pairs)))
+    window = pairs[lo:hi]
+    u = data.draw(st.integers(0, n - 1))
+    v = data.draw(st.integers(0, n - 1))
+    assert t.count_edge(u, v, lo, hi) == window.count((u, v))
+    expected_neighbors = {}
+    for a, b in window:
+        if a == u:
+            expected_neighbors[b] = expected_neighbors.get(b, 0) + 1
+    assert t.neighbors_of(u, lo, hi) == sorted(expected_neighbors.items())
+    expected_sources = {}
+    for a, b in window:
+        if b == v:
+            expected_sources[a] = expected_sources.get(a, 0) + 1
+    assert t.sources_of(v, lo, hi) == sorted(expected_sources.items())

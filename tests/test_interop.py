@@ -1,0 +1,107 @@
+"""Tests for networkx/numpy interop and the interface-level snapshot."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import get_compressor
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.io import read_contact_text, write_contact_text
+from repro.graph.model import GraphKind
+from repro.interop import (
+    degree_matrix_series,
+    snapshot_series,
+    to_adjacency_matrix,
+    to_networkx,
+)
+
+CONTACTS = [(0, 1, 5), (1, 2, 8), (2, 0, 15), (0, 1, 20)]
+
+
+@pytest.fixture()
+def cg():
+    return compress(graph_from_contacts(GraphKind.POINT, CONTACTS, num_nodes=4))
+
+
+class TestNetworkx:
+    def test_directed_snapshot(self, cg):
+        g = to_networkx(cg, 0, 10)
+        assert set(g.edges()) == {(0, 1), (1, 2)}
+        assert g.number_of_nodes() == 4
+        assert isinstance(g, nx.DiGraph)
+
+    def test_undirected_snapshot(self, cg):
+        g = to_networkx(cg, 0, 10, undirected=True)
+        assert isinstance(g, nx.Graph)
+        assert g.has_edge(1, 0)
+
+    def test_window_filters(self, cg):
+        g = to_networkx(cg, 12, 25)
+        assert set(g.edges()) == {(2, 0), (0, 1)}
+
+    def test_works_on_uncompressed_reference(self):
+        raw = graph_from_contacts(GraphKind.POINT, CONTACTS, num_nodes=4)
+
+        class View:
+            num_nodes = raw.num_nodes
+            neighbors = staticmethod(raw.ref_neighbors)
+
+        g = to_networkx(View(), 0, 10)
+        assert set(g.edges()) == {(0, 1), (1, 2)}
+
+
+class TestNumpy:
+    def test_adjacency_matrix(self, cg):
+        m = to_adjacency_matrix(cg, 0, 10)
+        assert m.shape == (4, 4)
+        assert m[0, 1] == 1 and m[1, 2] == 1
+        assert m.sum() == 2
+
+    def test_matrix_dtype(self, cg):
+        m = to_adjacency_matrix(cg, 0, 10, dtype=np.float64)
+        assert m.dtype == np.float64
+
+    def test_degree_matrix_series(self, cg):
+        series = degree_matrix_series(cg, 0, 19, 10)
+        assert series.shape == (2, 4)
+        assert series[0, 0] == 1  # (0,1) in the first window
+        assert series[1, 2] == 1  # (2,0) in the second
+
+    def test_snapshot_series(self, cg):
+        frames = list(snapshot_series(cg, 0, 19, 10))
+        assert [start for start, _ in frames] == [0, 10]
+        assert frames[0][1].number_of_edges() == 2
+
+
+class TestInterfaceSnapshot:
+    @pytest.mark.parametrize(
+        "method", ["EveLog", "EdgeLog", "CET", "CAS", "ckd-trees", "T-ABT"]
+    )
+    def test_baseline_snapshots_match_reference(self, method):
+        g = graph_from_contacts(GraphKind.POINT, CONTACTS, num_nodes=4)
+        cg = get_compressor(method).compress(g)
+        assert cg.snapshot(0, 10) == g.ref_snapshot(0, 10)
+        assert cg.snapshot(12, 25) == g.ref_snapshot(12, 25)
+
+
+class TestGzipIO:
+    def test_gzip_roundtrip(self, tmp_path):
+        g = graph_from_contacts(GraphKind.POINT, CONTACTS, num_nodes=4)
+        path = tmp_path / "g.txt.gz"
+        write_contact_text(g, path)
+        assert read_contact_text(path).contacts == g.contacts
+
+    def test_gzip_smaller_than_plain(self, tmp_path):
+        contacts = [(i % 20, (i + 1) % 20, i) for i in range(2000)]
+        g = graph_from_contacts(GraphKind.POINT, contacts, num_nodes=20)
+        plain, gz = tmp_path / "g.txt", tmp_path / "g.txt.gz"
+        write_contact_text(g, plain)
+        write_contact_text(g, gz)
+        assert gz.stat().st_size < plain.stat().st_size
+
+    def test_gzip_file_is_actually_gzip(self, tmp_path):
+        g = graph_from_contacts(GraphKind.POINT, CONTACTS, num_nodes=4)
+        path = tmp_path / "g.txt.gz"
+        write_contact_text(g, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"

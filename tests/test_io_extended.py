@@ -1,0 +1,80 @@
+"""Extended IO tests: header variants, large files, odd whitespace."""
+
+import pytest
+
+from repro.graph.io import contacts_as_text, read_contact_text, write_contact_text
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import Contact, GraphKind
+
+
+class TestHeaderVariants:
+    def test_partial_header(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# kind=incremental\n0 1 5\n")
+        g = read_contact_text(path)
+        assert g.kind is GraphKind.INCREMENTAL
+        assert g.num_nodes == 2  # inferred
+
+    def test_unknown_header_keys_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# source=somewhere\n# kind=point\n0 1 5\n")
+        assert read_contact_text(path).num_contacts == 1
+
+    def test_comment_without_equals_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# just a comment\n0 1 5\n")
+        assert read_contact_text(path).num_contacts == 1
+
+    def test_nodes_header_allows_isolated_tail_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nodes=10\n0 1 5\n")
+        assert read_contact_text(path).num_nodes == 10
+
+    def test_name_with_spaces(self, tmp_path):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 5)], name="my graph v2"
+        )
+        path = tmp_path / "g.txt"
+        write_contact_text(g, path)
+        assert read_contact_text(path).name == "my graph v2"
+
+
+class TestWhitespaceTolerance:
+    def test_tabs_and_multiple_spaces(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\t5\n2   3   9\n")
+        g = read_contact_text(path)
+        assert g.contacts == [Contact(0, 1, 5), Contact(2, 3, 9)]
+
+    def test_trailing_whitespace(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5   \n")
+        assert read_contact_text(path).num_contacts == 1
+
+    def test_mixed_arity_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5\n0 1 5 3 9\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_contact_text(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b c\n")
+        with pytest.raises(ValueError):
+            read_contact_text(path)
+
+
+class TestLargeRoundTrip:
+    def test_ten_thousand_contacts(self, tmp_path):
+        contacts = [(i % 50, (i * 7) % 50, i) for i in range(10_000)]
+        g = graph_from_contacts(GraphKind.POINT, contacts, num_nodes=50)
+        path = tmp_path / "big.txt"
+        write_contact_text(g, path)
+        assert read_contact_text(path).contacts == g.contacts
+
+    def test_text_size_estimate_matches_raw_baseline(self):
+        from repro.baselines import RawCompressor
+
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)], num_nodes=2)
+        text = contacts_as_text(g, header=False)
+        assert RawCompressor().compress(g).size_in_bits == 8 * len(text)

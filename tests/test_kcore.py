@@ -1,0 +1,91 @@
+"""Tests for snapshot k-core decomposition, against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.kcore import core_numbers, core_timeline, max_core
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _cg(contacts, n):
+    return compress(graph_from_contacts(GraphKind.POINT, contacts, num_nodes=n))
+
+
+class TestCoreNumbers:
+    def test_triangle_is_2core(self):
+        cg = _cg([(0, 1, 1), (1, 2, 1), (2, 0, 1)], 4)
+        assert core_numbers(cg, 0, 10) == [2, 2, 2, 0]
+
+    def test_star_is_1core(self):
+        cg = _cg([(0, v, 1) for v in range(1, 5)], 5)
+        assert core_numbers(cg, 0, 10) == [1, 1, 1, 1, 1]
+
+    def test_clique_core(self):
+        contacts = [(u, v, 1) for u in range(5) for v in range(5) if u != v]
+        cg = _cg(contacts, 6)
+        cores = core_numbers(cg, 0, 10)
+        assert cores[:5] == [4] * 5
+        assert cores[5] == 0
+
+    def test_window_restricts(self):
+        cg = _cg([(0, 1, 1), (1, 2, 1), (2, 0, 50)], 3)
+        early = core_numbers(cg, 0, 10)
+        assert max(early) == 1
+        full = core_numbers(cg, 0, 100)
+        assert full == [2, 2, 2]
+
+    def test_empty_graph(self):
+        cg = _cg([], 0)
+        assert core_numbers(cg, 0, 10) == []
+
+    def test_self_loops_ignored(self):
+        cg = _cg([(0, 0, 1), (0, 1, 1)], 2)
+        assert core_numbers(cg, 0, 10) == [1, 1]
+
+
+class TestMaxCore:
+    def test_innermost_core_members(self):
+        contacts = [(u, v, 1) for u in range(4) for v in range(4) if u != v]
+        contacts += [(0, 4, 1)]
+        cg = _cg(contacts, 5)
+        k, members = max_core(cg, 0, 10)
+        assert k == 3
+        assert members == [0, 1, 2, 3]
+
+    def test_empty_window(self):
+        cg = _cg([(0, 1, 50)], 2)
+        k, members = max_core(cg, 0, 10)
+        assert k == 0
+        assert members == []
+
+
+class TestTimeline:
+    def test_core_changes_over_windows(self):
+        contacts = [(0, 1, 5)]
+        contacts += [(u, v, 15) for u in range(3) for v in range(3) if u != v]
+        cg = _cg(contacts, 3)
+        timeline = core_timeline(cg, 0, window=10, t_start=0, t_end=19)
+        assert timeline == [(0, 1), (10, 2)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=60
+    )
+)
+def test_property_matches_networkx(edges):
+    contacts = [(u, v, 1) for u, v in edges if u != v]
+    cg = _cg(contacts, 10)
+    ours = core_numbers(cg, 0, 10)
+
+    g = nx.Graph()
+    g.add_nodes_from(range(10))
+    g.add_edges_from((u, v) for u, v, _ in contacts)
+    expected = nx.core_number(g)
+    assert ours == [expected[u] for u in range(10)]

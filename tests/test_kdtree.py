@@ -1,0 +1,128 @@
+"""Tests for the k^d-tree against naive point-set references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.kdtree import KdTree
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = KdTree([], dims=2, side_bits=3)
+        assert len(t) == 0
+        assert t.size_in_bits() == 0
+        assert not t.contains((0, 0))
+        assert t.report_in_box([(0, 7), (0, 7)]) == []
+
+    def test_duplicates_collapse(self):
+        t = KdTree([(1, 1), (1, 1)], dims=2)
+        assert len(t) == 1
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            KdTree([(1, 2, 3)], dims=2)
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(ValueError):
+            KdTree([(-1, 0)], dims=2)
+
+    def test_rejects_coordinates_beyond_side_bits(self):
+        with pytest.raises(ValueError):
+            KdTree([(8, 0)], dims=2, side_bits=3)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            KdTree([], dims=0)
+
+    def test_side_bits_inferred(self):
+        assert KdTree([(7, 1)], dims=2).side_bits == 3
+
+
+class TestMembership:
+    def test_contains(self):
+        points = [(0, 0), (3, 5), (7, 7)]
+        t = KdTree(points, dims=2, side_bits=3)
+        for p in points:
+            assert t.contains(p)
+        assert not t.contains((3, 4))
+        assert not t.contains((1, 1))
+
+    def test_contains_wrong_dims_raises(self):
+        t = KdTree([(0, 0)], dims=2, side_bits=1)
+        with pytest.raises(ValueError):
+            t.contains((0,))
+
+
+class TestBoxQueries:
+    def test_report_full_box(self):
+        points = [(0, 0), (3, 5), (7, 7)]
+        t = KdTree(points, dims=2, side_bits=3)
+        assert t.report_in_box([(0, 7), (0, 7)]) == sorted(points)
+
+    def test_report_partial_box(self):
+        points = [(0, 0), (3, 5), (7, 7)]
+        t = KdTree(points, dims=2, side_bits=3)
+        assert t.report_in_box([(1, 7), (0, 6)]) == [(3, 5)]
+
+    def test_count_in_box(self):
+        t = KdTree([(0, 0), (1, 1), (2, 2)], dims=2, side_bits=2)
+        assert t.count_in_box([(0, 1), (0, 1)]) == 2
+
+    def test_box_clamped_to_universe(self):
+        t = KdTree([(0, 0)], dims=2, side_bits=2)
+        assert t.report_in_box([(-5, 100), (-5, 100)]) == [(0, 0)]
+
+    def test_empty_box(self):
+        t = KdTree([(0, 0)], dims=2, side_bits=2)
+        assert t.report_in_box([(3, 1), (0, 3)]) == []
+
+    def test_four_dimensional_points(self):
+        """The ck^d-tree use case: (u, v, t_start, t_end) tuples."""
+        points = [(1, 2, 0, 4), (1, 3, 2, 6), (2, 2, 5, 7)]
+        t = KdTree(points, dims=4, side_bits=3)
+        hits = t.report_in_box([(1, 1), (0, 7), (0, 7), (0, 7)])
+        assert hits == [(1, 2, 0, 4), (1, 3, 2, 6)]
+        hits = t.report_in_box([(1, 1), (0, 7), (0, 3), (5, 7)])
+        assert hits == [(1, 3, 2, 6)]
+
+
+class TestSize:
+    def test_size_grows_with_points(self):
+        small = KdTree([(0, 0)], dims=2, side_bits=4)
+        large = KdTree([(i, i) for i in range(16)], dims=2, side_bits=4)
+        assert small.size_in_bits() < large.size_in_bits()
+
+    def test_single_point_size(self):
+        # One point: one 4-bit bitmap per level.
+        t = KdTree([(0, 0)], dims=2, side_bits=3)
+        assert t.size_in_bits() == 3 * 4
+
+
+@given(
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.data(),
+)
+def test_property_matches_naive(dims, side_bits, data):
+    side = 1 << side_bits
+    points = data.draw(
+        st.lists(
+            st.tuples(*(st.integers(0, side - 1) for _ in range(dims))),
+            max_size=40,
+        )
+    )
+    t = KdTree(points, dims=dims, side_bits=side_bits)
+    unique = set(points)
+    assert len(t) == len(unique)
+    probe = data.draw(st.tuples(*(st.integers(0, side - 1) for _ in range(dims))))
+    assert t.contains(probe) == (probe in unique)
+    box = []
+    for _ in range(dims):
+        lo = data.draw(st.integers(0, side - 1))
+        hi = data.draw(st.integers(lo, side - 1))
+        box.append((lo, hi))
+    expected = sorted(
+        p for p in unique if all(box[d][0] <= p[d] <= box[d][1] for d in range(dims))
+    )
+    assert t.report_in_box(box) == expected
+    assert t.count_in_box(box) == len(expected)

@@ -1,0 +1,114 @@
+"""Tests for temporal motif counting, checked against brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.motifs import (
+    count_cyclic_triangles,
+    count_temporal_wedges,
+    motif_profile,
+)
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _brute_wedges(contacts, delta):
+    count = 0
+    for (u1, v1, t1), (u2, v2, t2) in itertools.permutations(contacts, 2):
+        if v1 == u2 and v2 != u1 and t1 < t2 <= t1 + delta:
+            count += 1
+    return count
+
+
+def _brute_triangles(contacts, delta):
+    count = 0
+    for triple in itertools.permutations(contacts, 3):
+        (u1, v1, t1), (u2, v2, t2), (u3, v3, t3) = triple
+        if not (t1 < t2 < t3 <= t1 + delta):
+            continue
+        if v1 == u2 and v2 == u3 and v3 == u1:
+            if len({u1, v1, v2}) == 3:
+                count += 1
+    return count
+
+
+def _graph(contacts, n):
+    return graph_from_contacts(GraphKind.POINT, contacts, num_nodes=n)
+
+
+class TestWedges:
+    def test_simple_wedge(self):
+        g = _graph([(0, 1, 5), (1, 2, 8)], 3)
+        assert count_temporal_wedges(g, delta=10) == 1
+
+    def test_out_of_window(self):
+        g = _graph([(0, 1, 5), (1, 2, 50)], 3)
+        assert count_temporal_wedges(g, delta=10) == 0
+
+    def test_wrong_order(self):
+        g = _graph([(0, 1, 8), (1, 2, 5)], 3)
+        assert count_temporal_wedges(g, delta=10) == 0
+
+    def test_return_excluded(self):
+        g = _graph([(0, 1, 5), (1, 0, 8)], 2)
+        assert count_temporal_wedges(g, delta=10) == 0
+
+    def test_window_boundary_inclusive(self):
+        g = _graph([(0, 1, 5), (1, 2, 15)], 3)
+        assert count_temporal_wedges(g, delta=10) == 1
+        assert count_temporal_wedges(g, delta=9) == 0
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            count_temporal_wedges(_graph([], 1), -1)
+
+
+class TestTriangles:
+    def test_simple_cycle(self):
+        g = _graph([(0, 1, 1), (1, 2, 2), (2, 0, 3)], 3)
+        assert count_cyclic_triangles(g, delta=5) == 1
+
+    def test_cycle_too_slow(self):
+        g = _graph([(0, 1, 1), (1, 2, 2), (2, 0, 30)], 3)
+        assert count_cyclic_triangles(g, delta=5) == 0
+
+    def test_equal_times_do_not_count(self):
+        g = _graph([(0, 1, 1), (1, 2, 1), (2, 0, 1)], 3)
+        assert count_cyclic_triangles(g, delta=5) == 0
+
+    def test_repeated_contacts_multiply(self):
+        g = _graph(
+            [(0, 1, 1), (1, 2, 2), (2, 0, 3), (2, 0, 4)], 3
+        )
+        assert count_cyclic_triangles(g, delta=10) == 2
+
+    def test_profile(self):
+        g = _graph([(0, 1, 1), (1, 2, 2), (2, 0, 3)], 3)
+        profile = motif_profile(g, delta=5)
+        assert profile == {"wedges": 2, "cyclic_triangles": 1}
+
+    def test_works_on_compressed_graph(self):
+        contacts = [(0, 1, 1), (1, 2, 2), (2, 0, 3), (1, 3, 4)]
+        g = _graph(contacts, 4)
+        cg = compress(g)
+        assert count_cyclic_triangles(cg, 5) == count_cyclic_triangles(g, 5)
+        assert count_temporal_wedges(cg, 5) == count_temporal_wedges(g, 5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    contacts=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 20)),
+        max_size=18,
+    ),
+    delta=st.integers(0, 25),
+)
+def test_property_matches_brute_force(contacts, delta):
+    contacts = [(u, v, t) for u, v, t in contacts if u != v]
+    g = _graph(contacts, 5)
+    assert count_temporal_wedges(g, delta) == _brute_wedges(contacts, delta)
+    assert count_cyclic_triangles(g, delta) == _brute_triangles(contacts, delta)

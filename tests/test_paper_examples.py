@@ -1,0 +1,91 @@
+"""Exactness tests against the worked examples printed in the paper.
+
+Every number asserted here appears verbatim in the paper: the gap rows of
+Table II, the deduplication / intervalisation / extra-node pairs of
+Figure 5, and the codeword examples of Section IV-B (covered in
+``tests/test_codes.py``).
+"""
+
+from repro.bits.zigzag import to_natural
+from repro.core.structure import (
+    dedup_gap_pairs,
+    extra_gaps,
+    interval_gap_pairs,
+    split_duplicates,
+    split_intervals,
+)
+from repro.core.timestamps import timestamp_gaps
+from repro.graph.aggregate import aggregate_timestamps
+
+#: Table II's example timestamps, in the (label, time) storage order.
+TABLE2_TIMESTAMPS = [
+    1209479772, 1209479933, 1209479965, 1209479822,
+    1209479825, 1209483450, 1209483446,
+]
+#: The global minimum implied by Table II's first gap (34637).
+TABLE2_TMIN = 1209479772 - 34637
+
+#: Figure 5(a): the neighbors' list of node 1 (outdegree 16).
+FIG5_NODE = 1
+FIG5_NEIGHBORS = [2, 3, 3, 3, 5, 6, 7, 8, 9, 11, 12, 13, 14, 17, 17, 33]
+
+
+class TestTable2:
+    def test_integer_gaps_without_aggregation(self):
+        assert timestamp_gaps(TABLE2_TIMESTAMPS, TABLE2_TMIN) == [
+            34637, 161, 32, -143, 3, 3625, -4,
+        ]
+
+    def test_natural_gaps_without_aggregation(self):
+        gaps = timestamp_gaps(TABLE2_TIMESTAMPS, TABLE2_TMIN)
+        naturals = [gaps[0]] + [to_natural(g) for g in gaps[1:]]
+        assert naturals == [34637, 322, 64, 285, 6, 7250, 7]
+
+    def test_hourly_timestamps(self):
+        assert aggregate_timestamps(TABLE2_TIMESTAMPS, 3600) == [
+            335966, 335966, 335966, 335966, 335966, 335967, 335967,
+        ]
+
+    def test_integer_gaps_hourly(self):
+        hourly = aggregate_timestamps(TABLE2_TIMESTAMPS, 3600)
+        assert timestamp_gaps(hourly, TABLE2_TMIN // 3600) == [
+            10, 0, 0, 0, 0, 1, 0,
+        ]
+
+    def test_natural_gaps_hourly(self):
+        hourly = aggregate_timestamps(TABLE2_TIMESTAMPS, 3600)
+        gaps = timestamp_gaps(hourly, TABLE2_TMIN // 3600)
+        naturals = [gaps[0]] + [to_natural(g) for g in gaps[1:]]
+        assert naturals == [10, 0, 0, 0, 0, 2, 0]
+
+
+class TestFigure5:
+    def test_5b_deduplication(self):
+        dedup, singles = split_duplicates(FIG5_NEIGHBORS)
+        assert dedup == [(3, 3), (17, 2)]
+        assert singles == [2, 5, 6, 7, 8, 9, 11, 12, 13, 14, 33]
+
+    def test_5b_dedup_gap_pairs(self):
+        dedup, _ = split_duplicates(FIG5_NEIGHBORS)
+        assert dedup_gap_pairs(FIG5_NODE, dedup) == [(2, 1), (13, 0)]
+
+    def test_5c_intervalisation(self):
+        _, singles = split_duplicates(FIG5_NEIGHBORS)
+        intervals, extras = split_intervals(singles, min_length=4)
+        assert intervals == [(5, 5), (11, 4)]
+        assert extras == [2, 33]
+
+    def test_5c_interval_gap_pairs(self):
+        _, singles = split_duplicates(FIG5_NEIGHBORS)
+        intervals, _ = split_intervals(singles, min_length=4)
+        assert interval_gap_pairs(FIG5_NODE, intervals, min_length=4) == [
+            (4, 1), (0, 0),
+        ]
+
+    def test_5d_extra_gaps(self):
+        _, singles = split_duplicates(FIG5_NEIGHBORS)
+        _, extras = split_intervals(singles, min_length=4)
+        assert extra_gaps(FIG5_NODE, extras) == [1, 30]
+
+    def test_outdegree_matches(self):
+        assert len(FIG5_NEIGHBORS) == 16

@@ -1,0 +1,110 @@
+"""Tests for the PForDelta block codec and EdgeLog's codec options."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.edgelog import EdgeLogCompressor, TIME_LIST_CODECS
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.pfordelta import BLOCK, decode_pfordelta, encode_pfordelta
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _roundtrip(values):
+    w = BitWriter()
+    encode_pfordelta(w, values)
+    r = BitReader(w.to_bytes(), len(w))
+    return decode_pfordelta(r, len(values))
+
+
+class TestPForDelta:
+    def test_empty(self):
+        assert _roundtrip([]) == []
+
+    def test_single_value(self):
+        assert _roundtrip([42]) == [42]
+
+    def test_uniform_block_has_no_exceptions(self):
+        values = [7] * BLOCK
+        w = BitWriter()
+        encode_pfordelta(w, values)
+        # width 3 bits * 128 + 14 header bits, no exception payload.
+        assert len(w) == 14 + 3 * BLOCK
+
+    def test_outliers_become_exceptions(self):
+        values = [1] * (BLOCK - 2) + [10**6, 10**6]
+        assert _roundtrip(values) == values
+
+    def test_multiple_blocks(self):
+        values = list(range(BLOCK * 3 + 7))
+        assert _roundtrip(values) == values
+
+    def test_all_zero_block(self):
+        values = [0] * 10
+        w = BitWriter()
+        encode_pfordelta(w, values)
+        assert len(w) == 14  # zero-width frame, header only
+        r = BitReader(w.to_bytes(), len(w))
+        assert decode_pfordelta(r, 10) == values
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_pfordelta(BitWriter(), [-1])
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            encode_pfordelta(BitWriter(), [1 << 60])
+
+    def test_exceptions_bounded_at_ten_percent(self):
+        rng = random.Random(3)
+        values = [rng.randrange(16) for _ in range(BLOCK)]
+        values[::13] = [10**6] * len(values[::13])
+        assert _roundtrip(values) == values
+
+    @given(st.lists(st.integers(0, 2**34), max_size=300))
+    def test_property_roundtrip(self, values):
+        assert _roundtrip(values) == values
+
+
+class TestEdgeLogCodecs:
+    def _graph(self, kind=GraphKind.POINT):
+        rng = random.Random(5)
+        rows = [
+            (
+                rng.randrange(12),
+                rng.randrange(12),
+                rng.randrange(5_000),
+                rng.randrange(60) if kind is GraphKind.INTERVAL else 0,
+            )
+            for _ in range(150)
+        ]
+        return graph_from_contacts(kind, rows, num_nodes=12)
+
+    @pytest.mark.parametrize("codec", TIME_LIST_CODECS)
+    @pytest.mark.parametrize("kind", list(GraphKind), ids=lambda k: k.value)
+    def test_all_codecs_match_oracle(self, codec, kind):
+        g = self._graph(kind)
+        cg = EdgeLogCompressor(codec=codec).compress(g)
+        rng = random.Random(7)
+        for _ in range(150):
+            u, v = rng.randrange(12), rng.randrange(12)
+            t1 = rng.randrange(5_500)
+            t2 = t1 + rng.randrange(400)
+            assert cg.has_edge(u, v, t1, t2) == g.ref_has_edge(u, v, t1, t2)
+        for u in range(12):
+            assert cg.neighbors(u, 0, 6_000) == g.ref_neighbors(u, 0, 6_000)
+
+    def test_unknown_codec_rejected(self):
+        g = self._graph()
+        with pytest.raises(ValueError):
+            EdgeLogCompressor(codec="lz77").compress(g)
+
+    def test_codecs_differ_in_size(self):
+        g = self._graph()
+        sizes = {
+            codec: EdgeLogCompressor(codec=codec).compress(g).size_in_bits
+            for codec in TIME_LIST_CODECS
+        }
+        assert len(set(sizes.values())) > 1  # genuinely different encodings

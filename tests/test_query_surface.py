@@ -1,0 +1,89 @@
+"""Tests for the extended Section IV-F query surface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _cg(contacts, kind=GraphKind.POINT, n=None):
+    return compress(graph_from_contacts(kind, contacts, num_nodes=n))
+
+
+class TestBeforeAfter:
+    def test_point_before(self):
+        cg = _cg([(0, 1, 5), (0, 2, 15)])
+        assert cg.neighbors_before(0, 10) == [1]
+        assert cg.neighbors_before(0, 5) == []
+        assert cg.neighbors_before(0, 100) == [1, 2]
+
+    def test_point_after(self):
+        cg = _cg([(0, 1, 5), (0, 2, 15)])
+        assert cg.neighbors_after(0, 10) == [2]
+        assert cg.neighbors_after(0, 16) == []
+        assert cg.neighbors_after(0, 0) == [1, 2]
+
+    def test_incremental_after_includes_everything(self):
+        cg = _cg([(0, 1, 5)], kind=GraphKind.INCREMENTAL)
+        assert cg.neighbors_after(0, 1000) == [1]
+
+    def test_interval_after_uses_activity_end(self):
+        cg = _cg([(0, 1, 5, 10), (0, 2, 5, 2)], kind=GraphKind.INTERVAL)
+        # (0,1) active [5,15): still active at 10; (0,2) ended at 7.
+        assert cg.neighbors_after(0, 10) == [1]
+
+    def test_before_at_global_minimum_is_empty(self):
+        cg = _cg([(0, 1, 5)])
+        assert cg.neighbors_before(0, 5) == []
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 60)),
+            max_size=40,
+        ),
+        st.integers(0, 70),
+    )
+    def test_property_before_after_cover_all_neighbors(self, rows, t):
+        g = graph_from_contacts(GraphKind.POINT, rows, num_nodes=5)
+        cg = compress(g)
+        for u in range(5):
+            before = set(cg.neighbors_before(u, t))
+            after = set(cg.neighbors_after(u, t))
+            everything = set(cg.distinct_neighbors(u))
+            assert before | after == everything
+            # "at t" contacts are in `after` and not in `before`.
+            at_t = set(cg.neighbors(u, t, t))
+            assert at_t <= after
+
+
+class TestEdgeActivity:
+    def test_point_unit_spans(self):
+        cg = _cg([(0, 1, 5), (0, 1, 9)])
+        assert cg.edge_activity(0, 1) == [(5, 6), (9, 10)]
+
+    def test_interval_spans(self):
+        cg = _cg([(0, 1, 5, 10)], kind=GraphKind.INTERVAL)
+        assert cg.edge_activity(0, 1) == [(5, 15)]
+
+    def test_zero_duration_excluded(self):
+        cg = _cg([(0, 1, 5, 0)], kind=GraphKind.INTERVAL)
+        assert cg.edge_activity(0, 1) == []
+
+    def test_absent_edge(self):
+        cg = _cg([(0, 1, 5)])
+        assert cg.edge_activity(0, 2) == []
+
+
+class TestStaticView:
+    def test_figure_1a_flattening(self):
+        """The paper's Figure 1: three calls flatten to three static edges."""
+        a, b, c = 0, 1, 2
+        cg = _cg([(a, b, 1), (b, c, 2), (a, b, 3), (a, c, 3)])
+        assert cg.to_static_graph() == [(a, b), (a, c), (b, c)]
+
+    def test_static_view_ignores_time(self):
+        cg = _cg([(0, 1, 5), (0, 1, 500), (0, 1, 5000)])
+        assert cg.to_static_graph() == [(0, 1)]

@@ -1,0 +1,51 @@
+"""Tests for the R-MAT generator."""
+
+import pytest
+
+from repro.core import compress
+from repro.datasets.rmat import rmat_graph
+from repro.graph.model import GraphKind
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat_graph(scale=6, edge_factor=4)
+        assert g.num_nodes == 64
+        assert g.num_contacts == 64 * 4
+        assert g.kind is GraphKind.POINT
+
+    def test_deterministic(self):
+        assert rmat_graph(scale=5, seed=3).contacts == rmat_graph(scale=5, seed=3).contacts
+
+    def test_seed_matters(self):
+        assert rmat_graph(scale=5, seed=3).contacts != rmat_graph(scale=5, seed=4).contacts
+
+    def test_interval_kind(self):
+        g = rmat_graph(scale=5, kind=GraphKind.INTERVAL, max_duration=10)
+        assert g.kind is GraphKind.INTERVAL
+        assert all(1 <= c.duration <= 10 for c in g.contacts)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            rmat_graph(scale=0)
+        with pytest.raises(ValueError):
+            rmat_graph(scale=4, a=0.6, b=0.3, c=0.3)
+
+    def test_skew_concentrates_low_labels(self):
+        skewed = rmat_graph(scale=8, edge_factor=8, a=0.7, b=0.1, c=0.1, seed=1)
+        sources = [c.u for c in skewed.contacts]
+        low_half = sum(1 for u in sources if u < 128)
+        assert low_half > 0.7 * len(sources)
+
+    def test_higher_a_compresses_better(self):
+        """More quadrant skew -> more locality -> fewer bits per contact."""
+        skewed = rmat_graph(scale=8, a=0.7, b=0.1, c=0.1, seed=2)
+        uniform = rmat_graph(scale=8, a=0.25, b=0.25, c=0.25, seed=2)
+        assert (
+            compress(skewed).structure_size_bits
+            < compress(uniform).structure_size_bits
+        )
+
+    def test_compress_roundtrip(self):
+        g = rmat_graph(scale=6, edge_factor=3, seed=5)
+        assert compress(g).to_temporal_graph().contacts == g.contacts

@@ -1,0 +1,52 @@
+"""Targeted tests for the snapshot-per-step strawman baseline."""
+
+import pytest
+
+from repro.baselines import SnapshotsCompressor, get_compressor
+from repro.baselines.snapshots import MAX_ACTIVE_STEPS
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+class TestSnapshots:
+    def test_point_graph_snapshot_count(self):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 5), (1, 2, 5), (0, 2, 9)], num_nodes=3
+        )
+        cg = SnapshotsCompressor().compress(g)
+        assert cg._steps == [5, 9]
+
+    def test_interval_graph_pays_per_active_step(self):
+        short = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 0, 2)], num_nodes=2)
+        long = graph_from_contacts(GraphKind.INTERVAL, [(0, 1, 0, 40)], num_nodes=2)
+        assert (
+            SnapshotsCompressor().compress(long).size_in_bits
+            > 5 * SnapshotsCompressor().compress(short).size_in_bits
+        )
+
+    def test_incremental_uses_cumulative_snapshots(self):
+        g = graph_from_contacts(
+            GraphKind.INCREMENTAL, [(0, 1, 5), (1, 2, 9)], num_nodes=3
+        )
+        cg = SnapshotsCompressor().compress(g)
+        assert cg.neighbors(0, 100, 200) == [1]
+        assert cg.has_edge(1, 2, 9, 9)
+        assert not cg.has_edge(1, 2, 0, 8)
+
+    def test_refuses_unbounded_interval_graphs(self):
+        g = graph_from_contacts(
+            GraphKind.INTERVAL, [(0, 1, 0, MAX_ACTIVE_STEPS + 1)], num_nodes=2
+        )
+        with pytest.raises(ValueError, match="aggregate"):
+            SnapshotsCompressor().compress(g)
+
+    def test_registered(self):
+        assert isinstance(get_compressor("snapshots"), SnapshotsCompressor)
+
+    def test_duplicate_point_contacts_collapse_per_step(self):
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 5), (0, 1, 5), (0, 1, 5)], num_nodes=2
+        )
+        cg = SnapshotsCompressor().compress(g)
+        assert cg.neighbors(0, 5, 5) == [1]
+        assert cg._steps == [5]

@@ -1,0 +1,146 @@
+"""Extended structure-codec tests: reference selection and aggregation laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.core import ChronoGraphConfig, compress
+from repro.core.structure import (
+    copy_blocks,
+    decode_node_structure,
+    encode_node_structure,
+    expand_copy_blocks,
+    multiset_from_parts,
+)
+from repro.graph.aggregate import aggregate
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+CFG = ChronoGraphConfig()
+
+
+def _encode_two(first, second, config=CFG):
+    """Encode two nodes; return (bits of second record, decoded second)."""
+    writer = BitWriter()
+    wd, rd = {}, {}
+    encode_node_structure(writer, 0, first, wd, rd, config)
+    mark = len(writer)
+    encode_node_structure(writer, 1, second, wd, rd, config)
+    data, nbits = writer.to_bytes(), len(writer)
+
+    def resolve(v):
+        reader = BitReader(data, nbits)
+        reader.seek(0 if v == 0 else mark)
+        dedup, singles = decode_node_structure(reader, v, resolve, config)
+        return sorted({*(l for l, _ in dedup), *singles})
+
+    reader = BitReader(data, nbits)
+    reader.seek(mark)
+    dedup, singles = decode_node_structure(reader, 1, resolve, config)
+    return len(writer) - mark, multiset_from_parts(dedup, singles)
+
+
+class TestReferenceSelection:
+    def test_identical_lists_reference_hard(self):
+        base = [10, 13, 17, 25, 99]
+        with_ref, decoded = _encode_two(base, base)
+        without_ref, _ = _encode_two([], base)
+        assert decoded == base
+        assert with_ref < without_ref
+
+    def test_disjoint_lists_skip_reference(self):
+        # No overlap: the encoder should not pay for an empty copy list.
+        bits_disjoint, decoded = _encode_two([1, 2, 3], [50, 60, 70])
+        assert decoded == [50, 60, 70]
+        bits_alone, _ = _encode_two([], [50, 60, 70])
+        assert bits_disjoint == bits_alone
+
+    def test_partial_overlap_still_helps(self):
+        base = [10, 20, 30, 40, 50, 61, 72, 83]
+        overlapping = [10, 20, 30, 40, 50, 99]
+        with_ref, decoded = _encode_two(base, overlapping)
+        without_ref, _ = _encode_two([], overlapping)
+        assert decoded == overlapping
+        assert with_ref <= without_ref
+
+    def test_duplicates_never_copied(self):
+        # Node 1 has duplicates of labels in node 0's list; dedup block
+        # stores them, reference covers at most the singles.
+        base = [10, 20, 30]
+        multiset = [10, 10, 20, 30]
+        _, decoded = _encode_two(base, multiset)
+        assert decoded == multiset
+
+
+class TestCopyBlockShapes:
+    def test_alternating_pattern(self):
+        ref = list(range(10))
+        copied = [0, 2, 4, 6, 8]
+        runs = copy_blocks(ref, copied)
+        assert expand_copy_blocks(ref, runs) == copied
+        # Fully alternating: every run has width 1; last implicit.
+        assert all(r == 1 for r in runs[1:]) or runs[0] == 1
+
+    def test_single_long_run_is_cheap(self):
+        ref = list(range(100))
+        runs_prefix = copy_blocks(ref, ref[:60])
+        runs_alternating = copy_blocks(ref, ref[::2])
+        assert len(runs_prefix) < len(runs_alternating)
+
+
+class TestAggregationLaws:
+    def _graph(self, seed=0):
+        import random
+
+        rng = random.Random(seed)
+        contacts = [
+            (rng.randrange(10), rng.randrange(10), rng.randrange(100_000))
+            for _ in range(150)
+        ]
+        return graph_from_contacts(GraphKind.POINT, contacts, num_nodes=10)
+
+    @given(st.integers(2, 50), st.integers(2, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_aggregation_composes(self, a, b):
+        """agg(agg(g, a), b) == agg(g, a*b) for point graphs."""
+        g = self._graph()
+        twice = aggregate(aggregate(g, a), b)
+        once = aggregate(g, a * b)
+        assert twice.contacts == once.contacts
+
+    def test_aggregation_never_grows_compressed_size(self):
+        g = self._graph(3)
+        sizes = [
+            compress(g, ChronoGraphConfig(resolution=r)).size_in_bits
+            for r in (1, 10, 100, 1000)
+        ]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b <= a
+
+    def test_aggregated_graph_has_fewer_distinct_times(self):
+        g = self._graph(5)
+        fine = len({c.time for c in g.contacts})
+        coarse = len({c.time for c in aggregate(g, 1000).contacts})
+        assert coarse < fine
+
+
+class TestStructureTimestampAlignment:
+    """The dual-representation invariant, stressed explicitly."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 500)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_ith_neighbor_matches_ith_timestamp(self, rows):
+        g = graph_from_contacts(GraphKind.POINT, rows, num_nodes=6)
+        cg = compress(g)
+        for u in range(6):
+            expected = g.contacts_of(u)
+            decoded = cg.contacts_of(u)
+            assert [(c.v, c.time) for c in decoded] == [
+                (c.v, c.time) for c in expected
+            ]

@@ -1,0 +1,93 @@
+"""Size-model assertions across the succinct structures.
+
+Every ``size_in_bits`` in the repository is a claim used by Table IV;
+these tests pin the models to first principles so refactors cannot
+silently change what a baseline is charged for.
+"""
+
+import pytest
+
+from repro.bits.bitio import BitWriter
+from repro.bits.eliasfano import EliasFano
+from repro.structures.cbt import AlternatingCompressedBinaryTree, CompressedBinaryTree
+from repro.structures.etdc import ETDC
+from repro.structures.huffman import HuffmanCode
+from repro.structures.kdtree import KdTree
+from repro.structures.wavelet import WaveletTree
+
+
+class TestWaveletSizeModel:
+    def test_exactly_n_bits_per_level(self):
+        for sigma, levels in ((2, 1), (4, 2), (5, 3), (16, 4), (17, 5)):
+            wt = WaveletTree([0] * 10, sigma=sigma)
+            assert wt.size_in_bits() == 10 * levels, sigma
+
+    def test_empty_sequence_is_free(self):
+        assert WaveletTree([], sigma=1024).size_in_bits() == 0
+
+
+class TestKdTreeSizeModel:
+    def test_full_grid_size(self):
+        # Every cell occupied: every level is completely dense.
+        side = 4  # side_bits = 2
+        points = [(x, y) for x in range(side) for y in range(side)]
+        t = KdTree(points, dims=2, side_bits=2)
+        # Level 0: 1 node * 4 bits; level 1: 4 nodes * 4 bits.
+        assert t.size_in_bits() == 4 + 16
+
+    def test_sparser_is_smaller(self):
+        dense = KdTree([(x, y) for x in range(8) for y in range(8)],
+                       dims=2, side_bits=3)
+        sparse = KdTree([(0, 0), (7, 7)], dims=2, side_bits=3)
+        assert sparse.size_in_bits() < dense.size_in_bits()
+
+
+class TestCbtSizeModel:
+    def test_uniform_subtrees_cost_two_bits(self):
+        assert CompressedBinaryTree([], 10).size_in_bits() == 2
+        assert CompressedBinaryTree(range(1024), 10).size_in_bits() == 2
+
+    def test_half_full_aligned(self):
+        # Lower half full: root mixed (1) + full (2) + empty (2).
+        t = CompressedBinaryTree(range(512), 10)
+        assert t.size_in_bits() == 1 + 2 + 2
+
+    def test_alternating_runs_cheaper_than_scatter(self):
+        runs = AlternatingCompressedBinaryTree(
+            [0, 256, 512, 768], universe_bits=10, mode="toggle"
+        )
+        scatter = AlternatingCompressedBinaryTree(
+            list(range(0, 1024, 4)), universe_bits=10, mode="point"
+        )
+        assert runs.size_in_bits() < scatter.size_in_bits()
+
+
+class TestModelSizeAccounting:
+    def test_huffman_codebook_charges_per_symbol(self):
+        code = HuffmanCode({i: 1 for i in range(10)})
+        assert code.codebook_size_in_bits() == 10 * 13
+        assert code.codebook_size_in_bits(symbol_bits=32) == 10 * 37
+
+    def test_etdc_vocabulary_charges_per_rank(self):
+        code = ETDC({i: i + 1 for i in range(20)})
+        assert code.vocabulary_size_in_bits() == 20 * 32
+
+    def test_etdc_payload_is_byte_multiples(self):
+        code = ETDC.from_sequence(list(range(200)))
+        w = BitWriter()
+        code.encode(w, list(range(200)))
+        assert len(w) % 8 == 0
+        assert len(w) >= 200 * 8  # at least one byte per symbol
+
+
+class TestEliasFanoSizeModel:
+    def test_payload_formula(self):
+        values = list(range(0, 1000, 10))  # n=100, u=991
+        ef = EliasFano(values)
+        n = len(values)
+        l = ef._low_bits
+        high_len = (values[-1] >> l) + n
+        assert ef.size_in_bits() == n * l + high_len
+
+    def test_empty_is_free(self):
+        assert EliasFano([]).size_in_bits() == 0

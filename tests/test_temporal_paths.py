@@ -1,0 +1,93 @@
+"""Tests for temporal path reconstruction and fastest journeys."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    earliest_arrival,
+    earliest_arrival_paths,
+    fastest_journey,
+)
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+
+
+def _cg(contacts, kind=GraphKind.POINT, n=None):
+    return compress(graph_from_contacts(kind, contacts, num_nodes=n))
+
+
+class TestPaths:
+    def test_path_reconstruction(self):
+        cg = _cg([(0, 1, 2), (1, 2, 7), (2, 3, 9)])
+        paths = earliest_arrival_paths(cg, 0)
+        assert paths[3] == [0, 1, 2, 3]
+        assert paths[0] == [0]
+
+    def test_paths_respect_time(self):
+        # Direct contact late, two-hop contact early: earliest path is 2-hop.
+        cg = _cg([(0, 2, 100), (0, 1, 1), (1, 2, 5)])
+        paths = earliest_arrival_paths(cg, 0)
+        assert paths[2] == [0, 1, 2]
+
+    def test_unreachable_nodes_absent(self):
+        cg = _cg([(0, 1, 5)], n=3)
+        paths = earliest_arrival_paths(cg, 0)
+        assert 2 not in paths
+
+    def test_paths_consistent_with_arrivals(self):
+        contacts = [(0, 1, 1), (1, 2, 3), (0, 2, 2), (2, 3, 5), (1, 3, 10)]
+        cg = _cg(contacts)
+        arrivals = earliest_arrival(cg, 0)
+        paths = earliest_arrival_paths(cg, 0)
+        assert set(paths) == set(arrivals)
+        for node, path in paths.items():
+            assert path[0] == 0 and path[-1] == node
+
+
+class TestFastestJourney:
+    def test_waiting_is_free_but_counted(self):
+        # Departing at 100 gives a 1-step journey; departing at 0 takes 101.
+        cg = _cg([(0, 1, 0), (0, 1, 100), (1, 2, 101)])
+        assert fastest_journey(cg, 0, 2) == (100, 101)
+
+    def test_direct_vs_indirect(self):
+        cg = _cg([(0, 1, 10), (1, 2, 11), (0, 2, 50)])
+        # Direct at t=50 is instantaneous (duration 0) vs 10->11 (duration 1).
+        assert fastest_journey(cg, 0, 2) == (50, 50)
+
+    def test_unreachable_returns_none(self):
+        cg = _cg([(0, 1, 5)], n=3)
+        assert fastest_journey(cg, 0, 2) is None
+
+    def test_same_node_returns_none(self):
+        cg = _cg([(0, 1, 5)])
+        assert fastest_journey(cg, 0, 0) is None
+
+    def test_incremental_journeys_are_instant_after_creation(self):
+        cg = _cg([(0, 1, 5), (1, 2, 3)], kind=GraphKind.INCREMENTAL)
+        depart, arrive = fastest_journey(cg, 0, 2)
+        assert arrive - depart == 0  # both edges exist from t=5 on
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 30)),
+            max_size=25,
+        )
+    )
+    def test_property_fastest_never_slower_than_first_departure(self, rows):
+        rows = [(u, v, t) for u, v, t in rows if u != v]
+        cg = _cg(rows, n=5)
+        for src, dst in itertools.permutations(range(5), 2):
+            fastest = fastest_journey(cg, src, dst)
+            departures = sorted({c.time for c in cg.contacts_of(src)})
+            if fastest is None:
+                continue
+            first = departures[0]
+            arrivals = earliest_arrival(cg, src, first)
+            baseline = arrivals.get(dst)
+            assert baseline is not None
+            assert fastest[1] - fastest[0] <= baseline - first

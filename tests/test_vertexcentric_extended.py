@@ -1,0 +1,111 @@
+"""Extended vertex-centric engine tests: limits, dangling mass, reruns."""
+
+import pytest
+
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+from repro.vertexcentric import (
+    BreadthFirstLevels,
+    ConnectedComponents,
+    PageRankProgram,
+    SuperstepEngine,
+    VertexProgram,
+)
+
+
+def _cg(contacts, n=None):
+    return compress(graph_from_contacts(GraphKind.POINT, contacts, num_nodes=n))
+
+
+class _CountSteps(VertexProgram):
+    """Runs forever; counts supersteps seen (for cutoff tests)."""
+
+    def initial_value(self, vertex, ctx):
+        return 0
+
+    def compute(self, vertex, value, messages, ctx):
+        ctx.send(vertex, 1)  # keep itself awake
+        return value + 1
+
+    def combine(self, a, b):
+        return a + b
+
+
+class TestLimits:
+    def test_max_supersteps_cuts_off(self):
+        cg = _cg([(0, 1, 1)], n=2)
+        engine = SuperstepEngine(cg, 0, 10, max_supersteps=7)
+        values = engine.run(_CountSteps())
+        assert values[0] == 7
+
+    def test_engine_reusable_across_runs(self):
+        cg = _cg([(0, 1, 1), (1, 2, 1)], n=3)
+        engine = SuperstepEngine(cg, 0, 10)
+        first = engine.run(BreadthFirstLevels(source=0))
+        second = engine.run(BreadthFirstLevels(source=0))
+        assert first == second
+
+    def test_different_programs_same_engine(self):
+        cg = _cg([(0, 1, 1), (1, 0, 1)], n=2)
+        engine = SuperstepEngine(cg, 0, 10, undirected=True)
+        levels = engine.run(BreadthFirstLevels(source=0))
+        components = engine.run(ConnectedComponents())
+        assert levels == [0, 1]
+        assert components == [0, 0]
+
+
+class TestPageRankDetails:
+    def test_dangling_nodes_keep_total_mass(self):
+        # 1 is a sink: its rank must be recycled, keeping the sum ~1.
+        cg = _cg([(0, 1, 1), (2, 1, 1)], n=3)
+        engine = SuperstepEngine(cg, 0, 10, max_supersteps=60)
+        scores = engine.run(PageRankProgram(supersteps=40))
+        assert sum(scores) == pytest.approx(1.0, abs=0.05)
+        assert scores[1] > scores[0]
+
+    def test_empty_window_gives_uniform_rank(self):
+        cg = _cg([(0, 1, 100)], n=4)
+        engine = SuperstepEngine(cg, 0, 10, max_supersteps=40)
+        scores = engine.run(PageRankProgram(supersteps=20))
+        for s in scores:
+            assert s == pytest.approx(0.25, abs=0.01)
+
+    def test_isolated_graph_components(self):
+        cg = _cg([], n=5)
+        engine = SuperstepEngine(cg, 0, 10, undirected=True)
+        assert engine.run(ConnectedComponents()) == list(range(5))
+
+
+class TestMessageCombining:
+    def test_default_combine_collects_lists(self):
+        received = {}
+
+        class Collect(VertexProgram):
+            """Records the combined payload each vertex receives."""
+
+            def initial_value(self, vertex, ctx):
+                return None
+
+            def compute(self, vertex, value, messages, ctx):
+                if ctx.superstep == 0:
+                    ctx.send(2, f"from-{vertex}")
+                    ctx.vote_to_halt()
+                    return None
+                if messages is not None:
+                    received[vertex] = messages
+                ctx.vote_to_halt()
+                return None
+
+        cg = _cg([(0, 2, 1), (1, 2, 1)], n=3)
+        SuperstepEngine(cg, 0, 10).run(Collect())
+        payload = received[2]
+        assert sorted(payload if isinstance(payload, list) else [payload]) == [
+            "from-0", "from-1", "from-2",
+        ] or sorted(payload) == ["from-0", "from-1"]
+
+    def test_min_combine_in_bfs(self):
+        # Two equal-length routes to 3: combine must pick the min level.
+        cg = _cg([(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)], n=4)
+        engine = SuperstepEngine(cg, 0, 10)
+        assert engine.run(BreadthFirstLevels(source=0))[3] == 2

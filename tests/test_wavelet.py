@@ -1,0 +1,133 @@
+"""Tests for the wavelet matrix against naive references."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.wavelet import WaveletTree
+
+
+class TestConstruction:
+    def test_empty_sequence(self):
+        wt = WaveletTree([])
+        assert len(wt) == 0
+        assert wt.range_distinct(0, 0) == []
+
+    def test_rejects_negative_symbols(self):
+        with pytest.raises(ValueError):
+            WaveletTree([-1])
+
+    def test_rejects_symbol_above_sigma(self):
+        with pytest.raises(ValueError):
+            WaveletTree([4], sigma=4)
+
+    def test_sigma_inferred(self):
+        assert WaveletTree([0, 5, 3]).sigma == 6
+
+    def test_num_levels(self):
+        assert WaveletTree([0], sigma=8).num_levels == 3
+        assert WaveletTree([0], sigma=9).num_levels == 4
+        assert WaveletTree([0], sigma=2).num_levels == 1
+
+    def test_size_is_n_times_levels(self):
+        wt = WaveletTree(list(range(16)))
+        assert wt.size_in_bits() == 16 * 4
+
+
+class TestAccess:
+    def test_access_roundtrip(self):
+        seq = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        wt = WaveletTree(seq)
+        assert [wt.access(i) for i in range(len(seq))] == seq
+
+    def test_getitem_and_iter(self):
+        seq = [2, 0, 2, 1]
+        wt = WaveletTree(seq)
+        assert wt[2] == 2
+        assert list(wt) == seq
+
+    def test_access_out_of_range(self):
+        with pytest.raises(IndexError):
+            WaveletTree([1]).access(1)
+
+
+class TestRankSelect:
+    def test_rank_counts_prefix(self):
+        seq = [1, 2, 1, 1, 3, 1]
+        wt = WaveletTree(seq)
+        assert [wt.rank(1, i) for i in range(7)] == [0, 1, 1, 2, 3, 3, 4]
+
+    def test_rank_of_absent_symbol(self):
+        wt = WaveletTree([1, 2, 3])
+        assert wt.rank(7, 3) == 0
+
+    def test_select_positions(self):
+        seq = [1, 2, 1, 1, 3, 1]
+        wt = WaveletTree(seq)
+        assert [wt.select(1, j) for j in range(4)] == [0, 2, 3, 5]
+
+    def test_select_out_of_range(self):
+        with pytest.raises(IndexError):
+            WaveletTree([1, 2]).select(1, 1)
+
+    def test_count_range(self):
+        seq = [5, 1, 5, 5, 2, 5]
+        wt = WaveletTree(seq)
+        assert wt.count_range(5, 1, 5) == 2
+        assert wt.count_range(5, 0, 6) == 4
+        assert wt.count_range(9, 0, 6) == 0
+
+
+class TestRangeDistinct:
+    def test_distinct_full_range(self):
+        seq = [3, 1, 3, 2, 1]
+        wt = WaveletTree(seq)
+        assert wt.range_distinct(0, 5) == [(1, 2), (2, 1), (3, 2)]
+
+    def test_distinct_subrange(self):
+        seq = [3, 1, 3, 2, 1]
+        wt = WaveletTree(seq)
+        assert wt.range_distinct(1, 4) == [(1, 1), (2, 1), (3, 1)]
+
+    def test_histogram(self):
+        assert WaveletTree([1, 1, 0]).histogram() == {0: 1, 1: 2}
+
+    def test_masked_traversal(self):
+        # 3-bit symbols; fix the top bit to 1.
+        seq = [0b000, 0b100, 0b101, 0b011, 0b110]
+        wt = WaveletTree(seq, sigma=8)
+        hits = wt.range_symbols_matching(0, 5, mask=0b100, fixed=0b100)
+        assert hits == [(0b100, 1), (0b101, 1), (0b110, 1)]
+
+    def test_masked_traversal_multiple_bits(self):
+        seq = [0b00, 0b01, 0b10, 0b11, 0b01]
+        wt = WaveletTree(seq, sigma=4)
+        hits = wt.range_symbols_matching(0, 5, mask=0b11, fixed=0b01)
+        assert hits == [(0b01, 2)]
+
+
+@given(st.lists(st.integers(0, 60), max_size=200), st.data())
+def test_property_matches_naive(seq, data):
+    wt = WaveletTree(seq, sigma=61)
+    if seq:
+        i = data.draw(st.integers(0, len(seq) - 1))
+        assert wt.access(i) == seq[i]
+    lo = data.draw(st.integers(0, len(seq)))
+    hi = data.draw(st.integers(lo, len(seq)))
+    symbol = data.draw(st.integers(0, 60))
+    assert wt.count_range(symbol, lo, hi) == seq[lo:hi].count(symbol)
+    naive = {}
+    for s in seq[lo:hi]:
+        naive[s] = naive.get(s, 0) + 1
+    assert wt.range_distinct(lo, hi) == sorted(naive.items())
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=120))
+def test_property_select_inverts_rank(seq):
+    wt = WaveletTree(seq, sigma=16)
+    random.seed(0)
+    for symbol in set(seq):
+        occurrences = [i for i, s in enumerate(seq) if s == symbol]
+        for j, pos in enumerate(occurrences):
+            assert wt.select(symbol, j) == pos

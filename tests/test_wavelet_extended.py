@@ -1,0 +1,92 @@
+"""Extended wavelet-matrix tests: boundaries, masks, large alphabets."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.wavelet import WaveletTree
+
+
+class TestAlphabetBoundaries:
+    def test_power_of_two_sigma(self):
+        seq = [0, 7, 3, 4]
+        wt = WaveletTree(seq, sigma=8)
+        assert wt.num_levels == 3
+        assert list(wt) == seq
+
+    def test_sigma_one(self):
+        wt = WaveletTree([0, 0, 0], sigma=1)
+        assert list(wt) == [0, 0, 0]
+        assert wt.rank(0, 3) == 3
+
+    def test_sigma_two(self):
+        seq = [0, 1, 1, 0]
+        wt = WaveletTree(seq, sigma=2)
+        assert wt.num_levels == 1
+        assert [wt.rank(1, i) for i in range(5)] == [0, 0, 1, 2, 2]
+
+    def test_large_sparse_alphabet(self):
+        seq = [0, 1_000_000, 524_288, 1]
+        wt = WaveletTree(seq)
+        assert list(wt) == seq
+        assert wt.count_range(524_288, 0, 4) == 1
+
+    def test_single_element(self):
+        wt = WaveletTree([5], sigma=8)
+        assert wt.access(0) == 5
+        assert wt.select(5, 0) == 0
+
+
+class TestMaskedTraversal:
+    def test_full_mask_equals_count(self):
+        seq = [3, 1, 3, 2]
+        wt = WaveletTree(seq, sigma=4)
+        hits = wt.range_symbols_matching(0, 4, mask=0b11, fixed=0b11)
+        assert hits == [(3, 2)]
+
+    def test_empty_mask_equals_distinct(self):
+        seq = [3, 1, 3, 2]
+        wt = WaveletTree(seq, sigma=4)
+        assert wt.range_symbols_matching(0, 4, 0, 0) == wt.range_distinct(0, 4)
+
+    def test_no_match(self):
+        wt = WaveletTree([0, 1, 2], sigma=4)
+        assert wt.range_symbols_matching(0, 3, 0b10, 0b10) == [(2, 1)]
+        assert wt.range_symbols_matching(0, 2, 0b10, 0b10) == []
+
+    @given(
+        st.lists(st.integers(0, 31), max_size=100),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_property_masked_matches_filter(self, seq, mask, fixed, data):
+        wt = WaveletTree(seq, sigma=32)
+        lo = data.draw(st.integers(0, len(seq)))
+        hi = data.draw(st.integers(lo, len(seq)))
+        got = wt.range_symbols_matching(lo, hi, mask, fixed)
+        expected = {}
+        for s in seq[lo:hi]:
+            if (s & mask) == (fixed & mask):
+                expected[s] = expected.get(s, 0) + 1
+        assert got == sorted(expected.items())
+
+
+class TestHistogramAndSize:
+    def test_histogram_totals(self):
+        random.seed(2)
+        seq = [random.randrange(10) for _ in range(500)]
+        wt = WaveletTree(seq, sigma=10)
+        hist = wt.histogram()
+        assert sum(hist.values()) == 500
+        for symbol, count in hist.items():
+            assert count == seq.count(symbol)
+
+    def test_size_scales_with_levels(self):
+        seq = list(range(64))
+        narrow = WaveletTree(seq, sigma=64)
+        wide = WaveletTree(seq, sigma=1 << 20)
+        assert wide.size_in_bits() > narrow.size_in_bits()
+        assert narrow.size_in_bits() == 64 * 6

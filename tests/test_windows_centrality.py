@@ -1,0 +1,108 @@
+"""Tests for the window utilities and centrality measures."""
+
+import pytest
+
+from repro.algorithms.centrality import degree_centrality, temporal_closeness, top_k
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+from repro.graph.windows import (
+    activity_series,
+    busiest_window,
+    edge_count_series,
+    sliding_windows,
+)
+
+
+def _cg(contacts, n=None):
+    return compress(graph_from_contacts(GraphKind.POINT, contacts, num_nodes=n))
+
+
+class TestSlidingWindows:
+    def test_tumbling_windows(self):
+        assert list(sliding_windows(0, 29, 10)) == [(0, 9), (10, 19), (20, 29)]
+
+    def test_final_window_clipped(self):
+        assert list(sliding_windows(0, 24, 10)) == [(0, 9), (10, 19), (20, 24)]
+
+    def test_overlapping_windows(self):
+        assert list(sliding_windows(0, 10, 10, step=5)) == [
+            (0, 9), (5, 10), (10, 10),
+        ]
+
+    def test_empty_range(self):
+        assert list(sliding_windows(10, 5, 3)) == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows(0, 10, 0))
+        with pytest.raises(ValueError):
+            list(sliding_windows(0, 10, 5, step=0))
+
+
+class TestSeries:
+    def test_activity_series(self):
+        cg = _cg([(0, 1, 5), (0, 2, 5), (0, 3, 15)], n=4)
+        assert activity_series(cg, 0, 0, 19, 10) == [(0, 2), (10, 1)]
+
+    def test_edge_count_series(self):
+        cg = _cg([(0, 1, 5), (2, 3, 5), (0, 1, 15)], n=4)
+        assert edge_count_series(cg, 0, 19, 10) == [(0, 2), (10, 1)]
+
+    def test_busiest_window(self):
+        cg = _cg([(0, 1, 5), (2, 3, 5), (0, 1, 15)], n=4)
+        assert busiest_window(cg, 0, 19, 10) == (0, 2)
+
+    def test_busiest_window_empty_range(self):
+        cg = _cg([(0, 1, 5)])
+        with pytest.raises(ValueError):
+            busiest_window(cg, 10, 5, 3)
+
+
+class TestTemporalCloseness:
+    def test_center_of_chain_scores_low_later(self):
+        # 0 reaches everyone quickly; 3 reaches nobody.
+        cg = _cg([(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+        scores = temporal_closeness(cg, t_depart=0)
+        assert scores[0] > scores[1] > scores[3]
+        assert scores[3] == 0.0
+
+    def test_horizon_limits_reach(self):
+        cg = _cg([(0, 1, 1), (1, 2, 100)])
+        unlimited = temporal_closeness(cg, t_depart=0)
+        limited = temporal_closeness(cg, t_depart=0, horizon=10)
+        assert limited[0] < unlimited[0]
+
+    def test_single_node_graph(self):
+        cg = _cg([], n=1)
+        assert temporal_closeness(cg) == [0.0]
+
+    def test_works_on_uncompressed_graph(self):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 1)])
+        assert temporal_closeness(g) == temporal_closeness(compress(g))
+
+
+class TestDegreeCentrality:
+    def test_star_graph(self):
+        cg = _cg([(0, 1, 1), (0, 2, 1), (0, 3, 1)])
+        out_c, in_c = degree_centrality(cg, 0, 10)
+        assert out_c[0] == pytest.approx(1.0)
+        assert in_c[0] == 0.0
+        assert in_c[1] == pytest.approx(1 / 3)
+
+    def test_window_restricts(self):
+        cg = _cg([(0, 1, 1), (0, 2, 100)])
+        out_c, _ = degree_centrality(cg, 0, 10)
+        assert out_c[0] == pytest.approx(1 / 2)
+
+
+class TestTopK:
+    def test_orders_by_score_then_id(self):
+        assert top_k([0.1, 0.9, 0.9, 0.2], 3) == [(1, 0.9), (2, 0.9), (3, 0.2)]
+
+    def test_k_larger_than_n(self):
+        assert len(top_k([0.5, 0.4], 10)) == 2
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            top_k([0.5], -1)

@@ -1,0 +1,36 @@
+"""Tests for the Eq. (1) integer-to-natural mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.zigzag import to_integer, to_natural
+
+
+class TestEquationOne:
+    def test_table2_values(self):
+        """The exact mappings visible in Table II of the paper."""
+        assert to_natural(161) == 322
+        assert to_natural(32) == 64
+        assert to_natural(-143) == 285
+        assert to_natural(3) == 6
+        assert to_natural(3625) == 7250
+        assert to_natural(-4) == 7
+
+    def test_small_values(self):
+        assert [to_natural(x) for x in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    def test_small_absolute_values_map_to_small_naturals(self):
+        for x in range(-50, 51):
+            assert to_natural(x) <= 2 * abs(x)
+
+    def test_inverse_rejects_negative(self):
+        with pytest.raises(ValueError):
+            to_integer(-1)
+
+    @given(st.integers(-10**12, 10**12))
+    def test_property_roundtrip(self, x):
+        assert to_integer(to_natural(x)) == x
+
+    @given(st.integers(0, 10**12))
+    def test_property_mapping_is_bijective_on_naturals(self, n):
+        assert to_natural(to_integer(n)) == n
