@@ -38,6 +38,7 @@ from repro.core import (
     load_compressed,
     save_compressed,
 )
+from repro.errors import FormatError
 from repro.graph import Contact, GraphKind, TemporalGraph, TemporalGraphBuilder
 
 __version__ = "1.0.0"
@@ -46,6 +47,7 @@ __all__ = [
     "ChronoGraphConfig",
     "CompressedChronoGraph",
     "GrowableChronoGraph",
+    "FormatError",
     "compress",
     "load_compressed",
     "save_compressed",

@@ -7,9 +7,16 @@ supports random repositioning, which the offset indexes rely on.
 
 The MSB-first convention matches the WebGraph framework the paper builds on:
 the first bit written is the highest bit of the first byte.
+
+Reading past the end of a stream raises :class:`repro.errors.EndOfStreamError`,
+which is both an :class:`EOFError` (the historical contract) and a
+:class:`repro.errors.FormatError` so corrupt-container decoding funnels into
+a single exception family.
 """
 
 from __future__ import annotations
+
+from repro.errors import EndOfStreamError
 
 
 class BitWriter:
@@ -114,7 +121,7 @@ class BitReader:
     def read_bit(self) -> int:
         """Read and return the next bit."""
         if self._pos >= self._nbits:
-            raise EOFError("read past end of bit stream")
+            raise EndOfStreamError("read past end of bit stream")
         byte = self._data[self._pos >> 3]
         bit = (byte >> (7 - (self._pos & 7))) & 1
         self._pos += 1
@@ -125,7 +132,7 @@ class BitReader:
         if width < 0:
             raise ValueError(f"negative width: {width}")
         if self._pos + width > self._nbits:
-            raise EOFError(
+            raise EndOfStreamError(
                 f"read of {width} bits at {self._pos} exceeds {self._nbits}"
             )
         end = self._pos + width
@@ -167,4 +174,4 @@ class BitReader:
             pos += lead + 1  # consume the 1 bit as well
             self._pos = pos
             return zeros
-        raise EOFError("unary run hit end of bit stream")
+        raise EndOfStreamError("unary run hit end of bit stream")

@@ -31,10 +31,14 @@ class EliasFano:
             self._lows: List[int] = []
             self._high = BitVector([])
             return
-        prev = -1
+        prev = 0
         for v in values:
+            if v < 0:
+                raise ValueError(f"negative value {v} in monotone sequence")
             if v < prev:
-                raise ValueError("sequence is not non-decreasing")
+                raise ValueError(
+                    f"sequence is not non-decreasing ({v} after {prev})"
+                )
             prev = v
         top = values[-1]
         if universe is None:

@@ -27,6 +27,11 @@ from repro.baselines import get_compressor
 from repro.bench.harness import BENCH_METHODS, format_table
 from repro.core import ChronoGraphConfig, compress
 from repro.core.serialize import load_compressed, save_compressed
+from repro.errors import (
+    ChecksumMismatchError,
+    CorruptStreamError,
+    LimitExceededError,
+)
 from repro.datasets import dataset_names, load
 from repro.graph.io import read_contact_text, write_contact_text
 
@@ -84,6 +89,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help=".chrono file")
     p.add_argument("--against", default=None,
                    help="contact list to diff the decoded graph against")
+    p.add_argument("--deep", action="store_true",
+                   help="additionally decode every node front to back")
+    p.add_argument("--salvage", action="store_true",
+                   help="best-effort decode; report the longest valid prefix")
 
     p = sub.add_parser(
         "figures", help="export figure series (CSV) and tables (LaTeX)"
@@ -240,9 +249,32 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    from repro.core.validate import validate_compressed
+    # Exit codes: 0 the container is sound, 1 it loaded or parsed as
+    # corrupt, 2 it could not be read at all (missing file, bad magic,
+    # truncated header, unknown version -- raised and mapped in main()).
+    from repro.core.validate import salvage_scan, validate_compressed
 
-    compressed = load_compressed(args.input)
+    if args.salvage:
+        report = load_compressed(args.input, salvage=True)
+        print(report.summary())
+        if report.graph is None:
+            return 2
+        return 0 if report.ok else 1
+
+    try:
+        compressed = load_compressed(args.input)
+    except (ChecksumMismatchError, CorruptStreamError, LimitExceededError) as exc:
+        print(f"corrupt: {exc}", file=sys.stderr)
+        return 1
+
+    if args.deep:
+        scan = salvage_scan(compressed)
+        if not scan.ok:
+            for error in scan.errors:
+                print(f"ERROR: {error}", file=sys.stderr)
+            return 1
+        print(f"deep scan: all {scan.nodes_recovered} nodes decode cleanly")
+
     reference = read_contact_text(args.against) if args.against else None
     report = validate_compressed(compressed, reference)
     print(f"checked {report.nodes_checked} nodes / "
@@ -298,9 +330,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except FileNotFoundError as exc:
-        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
         return 2
-    except (ValueError, KeyError) as exc:
+    except (ValueError, KeyError, OSError) as exc:
+        # FormatError subclasses ValueError, so malformed inputs and
+        # unreadable containers land here: one line, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -20,13 +20,28 @@ from repro.core.config import ChronoGraphConfig
 from repro.core.compressed import CompressedChronoGraph
 from repro.core.encoder import compress
 from repro.core.growable import GrowableChronoGraph
-from repro.core.serialize import load_compressed, save_compressed
+from repro.core.serialize import (
+    DEFAULT_LIMITS,
+    DecodeLimits,
+    dumps_compressed,
+    load_compressed,
+    load_compressed_bytes,
+    save_compressed,
+)
+from repro.core.validate import SalvageReport, salvage_scan, validate_compressed
 
 __all__ = [
     "ChronoGraphConfig",
     "CompressedChronoGraph",
     "GrowableChronoGraph",
+    "DecodeLimits",
+    "DEFAULT_LIMITS",
+    "SalvageReport",
     "compress",
+    "dumps_compressed",
     "load_compressed",
+    "load_compressed_bytes",
     "save_compressed",
+    "salvage_scan",
+    "validate_compressed",
 ]

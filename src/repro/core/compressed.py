@@ -22,7 +22,15 @@ from repro.bits.eliasfano import EliasFano
 from repro.core.config import ChronoGraphConfig
 from repro.core.structure import decode_node_structure, multiset_from_parts
 from repro.core.timestamps import decode_node_timestamps
+from repro.errors import CorruptStreamError, FormatError
 from repro.graph.model import Contact, GraphKind
+
+#: Exceptions a decoder may hit on a corrupt stream; every decode path
+#: converts them to :class:`repro.errors.CorruptStreamError` so callers can
+#: rely on the :class:`repro.errors.FormatError` hierarchy alone.
+_DECODE_FAILURES = (
+    EOFError, ValueError, IndexError, KeyError, OverflowError, TypeError,
+)
 
 #: Fixed metadata charged to every compressed graph: kind, node count,
 #: global minimum timestamp, configuration and stream lengths.
@@ -101,14 +109,25 @@ class CompressedChronoGraph:
         if not 0 <= u < self.num_nodes:
             raise ValueError(f"node {u} outside [0, {self.num_nodes})")
 
+    def _corrupt(self, u: int, stage: str, exc: Exception) -> CorruptStreamError:
+        return CorruptStreamError(f"node {u}: {stage} decode failed: {exc}")
+
     def _structure_reader(self, u: int) -> BitReader:
         reader = BitReader(self._sbytes, self._sbits)
         reader.seek(self._soffsets.access(u))
         return reader
 
     def _decode_structure(self, u: int):
-        reader = self._structure_reader(u)
-        return decode_node_structure(reader, u, self._resolve_distinct, self.config)
+        try:
+            reader = self._structure_reader(u)
+            return decode_node_structure(
+                reader, u, self._resolve_distinct, self.config,
+                limit=self.num_contacts,
+            )
+        except FormatError:
+            raise
+        except _DECODE_FAILURES as exc:
+            raise self._corrupt(u, "structure", exc) from exc
 
     def _reference_of(self, u: int) -> int:
         """The reference target of ``u``'s record (-1 when none).
@@ -117,15 +136,20 @@ class CompressedChronoGraph:
         reference chains iteratively so that unbounded chains
         (``max_ref_chain=None``) cannot exhaust the Python stack.
         """
-        reader = self._structure_reader(u)
-        dedup_count = codes.read_gamma_natural(reader)
-        for i in range(dedup_count):
-            if i == 0:
-                codes.read_gamma_integer(reader)
-            else:
+        try:
+            reader = self._structure_reader(u)
+            dedup_count = codes.read_gamma_natural(reader)
+            for i in range(dedup_count):
+                if i == 0:
+                    codes.read_gamma_integer(reader)
+                else:
+                    codes.read_gamma_natural(reader)
                 codes.read_gamma_natural(reader)
-            codes.read_gamma_natural(reader)
-        r = codes.read_gamma_natural(reader)
+            r = codes.read_gamma_natural(reader)
+        except FormatError:
+            raise
+        except _DECODE_FAILURES as exc:
+            raise self._corrupt(u, "reference", exc) from exc
         return u - r if r else -1
 
     def _resolve_distinct(self, v: int) -> List[int]:
@@ -158,16 +182,21 @@ class CompressedChronoGraph:
     def _decode_timestamps(
         self, u: int, count: int
     ) -> Tuple[List[int], Optional[List[int]]]:
-        reader = BitReader(self._tbytes, self._tbits)
-        reader.seek(self._toffsets.access(u))
-        return decode_node_timestamps(
-            reader,
-            count,
-            self.kind is GraphKind.INTERVAL,
-            self.t_min,
-            self.config.timestamp_zeta_k,
-            self.config.duration_zeta_k,
-        )
+        try:
+            reader = BitReader(self._tbytes, self._tbits)
+            reader.seek(self._toffsets.access(u))
+            return decode_node_timestamps(
+                reader,
+                count,
+                self.kind is GraphKind.INTERVAL,
+                self.t_min,
+                self.config.timestamp_zeta_k,
+                self.config.duration_zeta_k,
+            )
+        except FormatError:
+            raise
+        except _DECODE_FAILURES as exc:
+            raise self._corrupt(u, "timestamp", exc) from exc
 
     def contacts_of(self, u: int) -> List[Contact]:
         """All contacts of ``u``, decoded, in (label, time) order."""

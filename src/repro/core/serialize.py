@@ -1,76 +1,154 @@
-"""Binary on-disk format for compressed ChronoGraphs.
+"""Binary on-disk format for compressed ChronoGraphs (VERSION 2).
 
 A compressed graph is an in-memory artefact in the paper; persisting it
 makes the compression reusable across processes (compress once with the
-CLI, query from anywhere).  The format mirrors the in-memory layout:
+CLI, query from anywhere).  VERSION 2 hardens the container for crossing
+disk and network boundaries:
 
-* fixed header (magic, version, kind, counts, t_min, config),
-* the structure and timestamp bit streams verbatim,
-* the two offset sequences as VByte-coded deltas (the Elias-Fano indexes
-  are rebuilt on load -- they are derived structures, and rebuilding keeps
-  the format independent of index-internals).
+* a fixed preamble (magic, version, flags) followed by a length-prefixed
+  **header section** (kind, counts, t_min, config, name) with a CRC32
+  footer,
+* four length-prefixed, CRC32-guarded **payload sections** in fixed order:
+  structure stream, timestamp stream, structure offsets, timestamp offsets
+  (offsets are VByte-coded deltas; the Elias-Fano indexes are rebuilt on
+  load -- they are derived structures, and rebuilding keeps the format
+  independent of index internals),
+* **decode limits**: every declared count and size is cross-checked against
+  the actual file size *before* any proportional allocation, so a flipped
+  header byte can never trigger a multi-gigabyte allocation or an unbounded
+  loop.
 
-All integers are little-endian; streams are length-prefixed.
+All integers are little-endian.  Every failure mode raises an exception
+from the :class:`repro.errors.FormatError` hierarchy.  VERSION 1 containers
+(no checksums) continue to load read-only; saving always writes VERSION 2.
+
+``load_compressed(path, salvage=True)`` switches to best-effort decoding:
+instead of raising, it returns a :class:`repro.core.validate.SalvageReport`
+describing the longest valid prefix of nodes that could be recovered.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import pathlib
 import struct
-from typing import BinaryIO, List, Union
+import zlib
+from typing import BinaryIO, List, Optional, Tuple, Union
 
 from repro.bits.bitio import BitReader, BitWriter
 from repro.bits.codes import read_vbyte, write_vbyte
 from repro.bits.eliasfano import EliasFano
 from repro.core.compressed import CompressedChronoGraph
 from repro.core.config import ChronoGraphConfig
+from repro.core.validate import SalvageReport, salvage_scan
+from repro.errors import (
+    ChecksumMismatchError,
+    CorruptStreamError,
+    FormatError,
+    LimitExceededError,
+    TruncatedContainerError,
+    UnsupportedVersionError,
+)
 from repro.graph.model import GraphKind
 
+__all__ = [
+    "FormatError",
+    "DecodeLimits",
+    "DEFAULT_LIMITS",
+    "VERSION",
+    "save_compressed",
+    "dumps_compressed",
+    "load_compressed",
+    "load_compressed_bytes",
+]
+
 MAGIC = b"CHRG"
-VERSION = 1
+VERSION = 2
+
+#: Section tags, in the exact order they must appear in the container.
+_SECTION_STRUCTURE = 1
+_SECTION_TIMESTAMPS = 2
+_SECTION_SOFFSETS = 3
+_SECTION_TOFFSETS = 4
+_SECTION_NAMES = {
+    _SECTION_STRUCTURE: "structure stream",
+    _SECTION_TIMESTAMPS: "timestamp stream",
+    _SECTION_SOFFSETS: "structure offsets",
+    _SECTION_TOFFSETS: "timestamp offsets",
+}
+_SECTION_ORDER = (
+    _SECTION_STRUCTURE,
+    _SECTION_TIMESTAMPS,
+    _SECTION_SOFFSETS,
+    _SECTION_TOFFSETS,
+)
 
 _KIND_CODES = {GraphKind.POINT: 0, GraphKind.INTERVAL: 1, GraphKind.INCREMENTAL: 2}
 _KIND_FROM_CODE = {v: k for k, v in _KIND_CODES.items()}
 
+#: Minimum encoded size of one node's structure record, in bits: four
+#: gamma codes of zero (dedup count, reference gap, interval count, extra
+#: count) take one bit each.  Used to reject impossible node counts.
+_MIN_STRUCTURE_BITS_PER_NODE = 4
+
 PathLike = Union[str, pathlib.Path]
 
 
-class FormatError(ValueError):
-    """Raised when a file is not a valid ChronoGraph container."""
+@dataclasses.dataclass(frozen=True)
+class DecodeLimits:
+    """Hard ceilings applied while parsing an untrusted container.
+
+    These are sanity bounds, not tuning knobs: a legitimate container never
+    comes near them, and breaching one raises
+    :class:`repro.errors.LimitExceededError` before any allocation sized by
+    the offending field.
+    """
+
+    #: Largest accepted node count.
+    max_nodes: int = 1 << 40
+    #: Largest accepted contact count.
+    max_contacts: int = 1 << 48
+    #: Largest accepted single-section payload, in bytes.
+    max_section_bytes: int = 1 << 40
 
 
-def _read_exact(data: BinaryIO, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise :class:`FormatError`."""
-    chunk = data.read(n)
-    if len(chunk) != n:
-        raise FormatError(
-            f"truncated container: wanted {n} bytes, got {len(chunk)}"
-        )
-    return chunk
+#: Limits used when the caller does not supply their own.
+DEFAULT_LIMITS = DecodeLimits()
 
 
-def _write_offsets(out: BinaryIO, offsets: List[int]) -> None:
-    writer = BitWriter()
-    prev = 0
-    for value in offsets:
-        write_vbyte(writer, value - prev)
-        prev = value
-    data = writer.to_bytes()
-    out.write(struct.pack("<QQ", len(offsets), len(data)))
-    out.write(data)
+class _Cursor:
+    """Bounded reader over an in-memory container with typed failures."""
+
+    def __init__(self, data: bytes, source: str) -> None:
+        self._data = data
+        self._pos = 0
+        self.source = source
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left between the cursor and the end of the container."""
+        return len(self._data) - self._pos
+
+    def read_exact(self, n: int, what: str) -> bytes:
+        """Read exactly ``n`` bytes or raise :class:`TruncatedContainerError`."""
+        if n < 0 or n > self.remaining:
+            raise TruncatedContainerError(
+                f"{self.source}: truncated container: {what} wants {n} bytes, "
+                f"only {self.remaining} remain"
+            )
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def unpack(self, fmt: str, what: str) -> tuple:
+        """Read and unpack a fixed-width little-endian struct."""
+        return struct.unpack(fmt, self.read_exact(struct.calcsize(fmt), what))
 
 
-def _read_offsets(data: BinaryIO) -> List[int]:
-    count, nbytes = struct.unpack("<QQ", _read_exact(data, 16))
-    reader = BitReader(_read_exact(data, nbytes))
-    offsets: List[int] = []
-    value = 0
-    for _ in range(count):
-        value += read_vbyte(reader)
-        offsets.append(value)
-    return offsets
-
+# --------------------------------------------------------------------------
+# Writing
+# --------------------------------------------------------------------------
 
 def _config_tuple(config: ChronoGraphConfig) -> tuple:
     return (
@@ -84,70 +162,248 @@ def _config_tuple(config: ChronoGraphConfig) -> tuple:
     )
 
 
-def save_compressed(graph: CompressedChronoGraph, path: PathLike) -> int:
-    """Write the compressed graph to ``path``; returns bytes written."""
-    if graph.config.timestamp_zeta_k is None:  # pragma: no cover - encoder sets it
-        raise ValueError("cannot serialise a graph with unresolved zeta parameters")
+def _offsets_payload(offsets: List[int]) -> bytes:
+    writer = BitWriter()
+    prev = 0
+    for value in offsets:
+        write_vbyte(writer, value - prev)
+        prev = value
+    data = writer.to_bytes()
+    return struct.pack("<Q", len(offsets)) + data
+
+
+def _stream_payload(nbits: int, data: bytes) -> bytes:
+    return struct.pack("<Q", nbits) + data
+
+
+def _write_section(out: BinaryIO, tag: int, payload: bytes) -> None:
+    out.write(struct.pack("<BQ", tag, len(payload)))
+    out.write(payload)
+    out.write(struct.pack("<I", zlib.crc32(payload)))
+
+
+def _header_payload(graph: CompressedChronoGraph) -> bytes:
     buffer = io.BytesIO()
-    buffer.write(MAGIC)
-    buffer.write(struct.pack("<B", VERSION))
     buffer.write(struct.pack("<B", _KIND_CODES[graph.kind]))
-    buffer.write(struct.pack("<QQq", graph.num_nodes, graph.num_contacts, graph.t_min))
+    buffer.write(
+        struct.pack("<QQq", graph.num_nodes, graph.num_contacts, graph.t_min)
+    )
     buffer.write(struct.pack("<7I", *_config_tuple(graph.config)))
     name_bytes = graph.name.encode("utf-8")[:255]
     buffer.write(struct.pack("<B", len(name_bytes)))
     buffer.write(name_bytes)
+    return buffer.getvalue()
 
+
+def dumps_compressed(graph: CompressedChronoGraph) -> bytes:
+    """Serialise the compressed graph to VERSION 2 container bytes."""
+    if graph.config.timestamp_zeta_k is None:  # pragma: no cover - encoder sets it
+        raise ValueError("cannot serialise a graph with unresolved zeta parameters")
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    buffer.write(struct.pack("<BB", VERSION, 0))
+    header = _header_payload(graph)
+    buffer.write(struct.pack("<I", len(header)))
+    buffer.write(header)
+    buffer.write(struct.pack("<I", zlib.crc32(header)))
+    _write_section(
+        buffer, _SECTION_STRUCTURE, _stream_payload(graph._sbits, graph._sbytes)
+    )
+    _write_section(
+        buffer, _SECTION_TIMESTAMPS, _stream_payload(graph._tbits, graph._tbytes)
+    )
+    _write_section(
+        buffer, _SECTION_SOFFSETS, _offsets_payload(list(graph._soffsets))
+    )
+    _write_section(
+        buffer, _SECTION_TOFFSETS, _offsets_payload(list(graph._toffsets))
+    )
+    return buffer.getvalue()
+
+
+def save_compressed(graph: CompressedChronoGraph, path: PathLike) -> int:
+    """Write the compressed graph to ``path``; returns bytes written."""
+    payload = dumps_compressed(graph)
+    pathlib.Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def _save_v1_bytes(graph: CompressedChronoGraph) -> bytes:
+    """Serialise to the legacy VERSION 1 layout (testing / fixtures only).
+
+    The v1 writer is retained so compatibility tests can fabricate genuine
+    v1 containers; production code always writes VERSION 2.
+    """
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    buffer.write(struct.pack("<B", 1))
+    buffer.write(struct.pack("<B", _KIND_CODES[graph.kind]))
+    buffer.write(
+        struct.pack("<QQq", graph.num_nodes, graph.num_contacts, graph.t_min)
+    )
+    buffer.write(struct.pack("<7I", *_config_tuple(graph.config)))
+    name_bytes = graph.name.encode("utf-8")[:255]
+    buffer.write(struct.pack("<B", len(name_bytes)))
+    buffer.write(name_bytes)
     for nbits, data in (
         (graph._sbits, graph._sbytes),
         (graph._tbits, graph._tbytes),
     ):
         buffer.write(struct.pack("<QQ", nbits, len(data)))
         buffer.write(data)
-    _write_offsets(buffer, list(graph._soffsets))
-    _write_offsets(buffer, list(graph._toffsets))
+    for offsets in (list(graph._soffsets), list(graph._toffsets)):
+        payload = _offsets_payload(offsets)
+        # v1 framed offsets as (count u64, nbytes u64, bytes).
+        buffer.write(payload[:8] + struct.pack("<Q", len(payload) - 8))
+        buffer.write(payload[8:])
+    return buffer.getvalue()
 
-    payload = buffer.getvalue()
-    pathlib.Path(path).write_bytes(payload)
-    return len(payload)
+
+# --------------------------------------------------------------------------
+# Reading -- shared helpers
+# --------------------------------------------------------------------------
+
+def _decode_offset_deltas(
+    data: bytes, count: int, source: str, what: str
+) -> List[int]:
+    """Decode ``count`` VByte deltas into absolute offsets."""
+    if count > len(data):
+        # Every VByte delta occupies at least one byte.
+        raise LimitExceededError(
+            f"{source}: {what}: {count} offsets declared but only "
+            f"{len(data)} payload bytes"
+        )
+    reader = BitReader(data)
+    offsets: List[int] = []
+    value = 0
+    for _ in range(count):
+        value += read_vbyte(reader)
+        offsets.append(value)
+    return offsets
 
 
-def load_compressed(path: PathLike) -> CompressedChronoGraph:
-    """Read a compressed graph written by :func:`save_compressed`."""
-    data = io.BytesIO(pathlib.Path(path).read_bytes())
-    if data.read(4) != MAGIC:
-        raise FormatError(f"{path}: not a ChronoGraph file (bad magic)")
-    (version,) = struct.unpack("<B", _read_exact(data, 1))
-    if version != VERSION:
-        raise FormatError(f"{path}: unsupported version {version}")
-    (kind_code,) = struct.unpack("<B", _read_exact(data, 1))
+def _check_stream_geometry(
+    nbits: int, nbytes: int, source: str, what: str
+) -> None:
+    if nbits > 8 * nbytes or (nbits + 7) // 8 != nbytes:
+        raise CorruptStreamError(
+            f"{source}: {what}: declared {nbits} bits inconsistent with "
+            f"{nbytes} payload bytes"
+        )
+
+
+def _check_counts(
+    num_nodes: int,
+    num_contacts: int,
+    file_size: int,
+    limits: DecodeLimits,
+    source: str,
+) -> None:
+    """Reject node/contact counts no container of this size could hold."""
+    if num_nodes > limits.max_nodes:
+        raise LimitExceededError(
+            f"{source}: {num_nodes} nodes exceeds limit {limits.max_nodes}"
+        )
+    if num_contacts > limits.max_contacts:
+        raise LimitExceededError(
+            f"{source}: {num_contacts} contacts exceeds limit "
+            f"{limits.max_contacts}"
+        )
+    # Each node costs >= 4 structure bits plus >= 2 offset bytes; each
+    # contact >= 1 timestamp bit.  A count past these bounds cannot fit.
+    if num_nodes > 2 * file_size:
+        raise LimitExceededError(
+            f"{source}: {num_nodes} nodes impossible in a "
+            f"{file_size}-byte container"
+        )
+    if num_contacts > 8 * file_size:
+        raise LimitExceededError(
+            f"{source}: {num_contacts} contacts impossible in a "
+            f"{file_size}-byte container"
+        )
+
+
+def _parse_header_fields(
+    cur: _Cursor, source: str
+) -> Tuple[GraphKind, int, int, int, ChronoGraphConfig, str]:
+    (kind_code,) = cur.unpack("<B", "kind")
     try:
         kind = _KIND_FROM_CODE[kind_code]
     except KeyError:
-        raise FormatError(f"{path}: unknown graph kind code {kind_code}") from None
-    num_nodes, num_contacts, t_min = struct.unpack("<QQq", _read_exact(data, 24))
+        raise CorruptStreamError(
+            f"{source}: unknown graph kind code {kind_code}"
+        ) from None
+    num_nodes, num_contacts, t_min = cur.unpack("<QQq", "counts")
     (window, min_interval, max_ref, ts_k, dur_k, struct_k, resolution) = (
-        struct.unpack("<7I", _read_exact(data, 28))
+        cur.unpack("<7I", "config")
     )
-    (name_len,) = struct.unpack("<B", _read_exact(data, 1))
-    name = _read_exact(data, name_len).decode("utf-8")
-    config = ChronoGraphConfig(
-        window=window,
-        min_interval_length=min_interval,
-        max_ref_chain=None if max_ref == 0xFFFF else max_ref,
-        timestamp_zeta_k=ts_k or None,
-        duration_zeta_k=dur_k or None,
-        structure_zeta_k=struct_k,
-        resolution=resolution,
-    )
+    try:
+        config = ChronoGraphConfig(
+            window=window,
+            min_interval_length=min_interval,
+            max_ref_chain=None if max_ref == 0xFFFF else max_ref,
+            timestamp_zeta_k=ts_k or None,
+            duration_zeta_k=dur_k or None,
+            structure_zeta_k=struct_k,
+            resolution=resolution,
+        )
+    except ValueError as exc:
+        raise CorruptStreamError(f"{source}: invalid config: {exc}") from exc
+    (name_len,) = cur.unpack("<B", "name length")
+    try:
+        name = cur.read_exact(name_len, "name").decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptStreamError(f"{source}: name is not valid UTF-8") from exc
+    return kind, num_nodes, num_contacts, t_min, config, name
 
-    sbits, snbytes = struct.unpack("<QQ", _read_exact(data, 16))
-    sbytes = _read_exact(data, snbytes)
-    tbits, tnbytes = struct.unpack("<QQ", _read_exact(data, 16))
-    tbytes = _read_exact(data, tnbytes)
-    soffsets = _read_offsets(data)
-    toffsets = _read_offsets(data)
 
+def _assemble_graph(
+    *,
+    kind: GraphKind,
+    num_nodes: int,
+    num_contacts: int,
+    t_min: int,
+    config: ChronoGraphConfig,
+    name: str,
+    sbits: int,
+    sbytes: bytes,
+    tbits: int,
+    tbytes: bytes,
+    soffsets: List[int],
+    toffsets: List[int],
+    source: str,
+) -> CompressedChronoGraph:
+    for offsets, nbits, what in (
+        (soffsets, sbits, "structure offsets"),
+        (toffsets, tbits, "timestamp offsets"),
+    ):
+        if len(offsets) != num_nodes:
+            raise CorruptStreamError(
+                f"{source}: {what}: {len(offsets)} entries for "
+                f"{num_nodes} nodes"
+            )
+        if offsets and offsets[-1] > nbits:
+            raise CorruptStreamError(
+                f"{source}: {what}: offset {offsets[-1]} beyond "
+                f"{nbits}-bit stream"
+            )
+    if num_nodes > 0 and sbits < _MIN_STRUCTURE_BITS_PER_NODE * num_nodes:
+        raise LimitExceededError(
+            f"{source}: {num_nodes} nodes cannot fit in a "
+            f"{sbits}-bit structure stream"
+        )
+    if num_contacts > 0 and tbits < num_contacts:
+        raise LimitExceededError(
+            f"{source}: {num_contacts} contacts cannot fit in a "
+            f"{tbits}-bit timestamp stream"
+        )
+    try:
+        structure_index = EliasFano(soffsets, universe=sbits + 1)
+        timestamp_index = EliasFano(toffsets, universe=tbits + 1)
+    except ValueError as exc:
+        raise CorruptStreamError(
+            f"{source}: offset index rebuild failed: {exc}"
+        ) from exc
     return CompressedChronoGraph(
         kind=kind,
         num_nodes=num_nodes,
@@ -158,7 +414,415 @@ def load_compressed(path: PathLike) -> CompressedChronoGraph:
         structure_bits=sbits,
         timestamp_bytes=tbytes,
         timestamp_bits=tbits,
-        structure_offsets=EliasFano(soffsets, universe=sbits + 1),
-        timestamp_offsets=EliasFano(toffsets, universe=tbits + 1),
+        structure_offsets=structure_index,
+        timestamp_offsets=timestamp_index,
         name=name,
     )
+
+
+# --------------------------------------------------------------------------
+# Reading -- strict paths
+# --------------------------------------------------------------------------
+
+def _load_v2_body(
+    cur: _Cursor, limits: DecodeLimits, source: str
+) -> CompressedChronoGraph:
+    (flags,) = cur.unpack("<B", "flags")
+    if flags != 0:
+        raise UnsupportedVersionError(
+            f"{source}: unknown container flags 0x{flags:02x}"
+        )
+    (header_len,) = cur.unpack("<I", "header length")
+    header = cur.read_exact(header_len, "header")
+    (header_crc,) = cur.unpack("<I", "header checksum")
+    if zlib.crc32(header) != header_crc:
+        raise ChecksumMismatchError(f"{source}: header checksum mismatch")
+    hcur = _Cursor(header, source)
+    kind, num_nodes, num_contacts, t_min, config, name = _parse_header_fields(
+        hcur, source
+    )
+    _check_counts(num_nodes, num_contacts, len(cur._data), limits, source)
+
+    payloads = {}
+    for expected_tag in _SECTION_ORDER:
+        what = _SECTION_NAMES[expected_tag]
+        (tag,) = cur.unpack("<B", "section tag")
+        if tag != expected_tag:
+            raise CorruptStreamError(
+                f"{source}: expected {what} section (tag {expected_tag}), "
+                f"found tag {tag}"
+            )
+        (payload_len,) = cur.unpack("<Q", f"{what} length")
+        if payload_len > limits.max_section_bytes:
+            raise LimitExceededError(
+                f"{source}: {what}: {payload_len} bytes exceeds section "
+                f"limit {limits.max_section_bytes}"
+            )
+        payload = cur.read_exact(payload_len, what)
+        (crc,) = cur.unpack("<I", f"{what} checksum")
+        if zlib.crc32(payload) != crc:
+            raise ChecksumMismatchError(f"{source}: {what} checksum mismatch")
+        payloads[expected_tag] = payload
+    if cur.remaining:
+        raise CorruptStreamError(
+            f"{source}: {cur.remaining} trailing bytes after final section"
+        )
+
+    streams = {}
+    for tag in (_SECTION_STRUCTURE, _SECTION_TIMESTAMPS):
+        what = _SECTION_NAMES[tag]
+        payload = payloads[tag]
+        if len(payload) < 8:
+            raise TruncatedContainerError(f"{source}: {what}: payload too short")
+        (nbits,) = struct.unpack("<Q", payload[:8])
+        data = payload[8:]
+        _check_stream_geometry(nbits, len(data), source, what)
+        streams[tag] = (nbits, data)
+
+    offset_lists = {}
+    for tag in (_SECTION_SOFFSETS, _SECTION_TOFFSETS):
+        what = _SECTION_NAMES[tag]
+        payload = payloads[tag]
+        if len(payload) < 8:
+            raise TruncatedContainerError(f"{source}: {what}: payload too short")
+        (count,) = struct.unpack("<Q", payload[:8])
+        if count != num_nodes:
+            raise CorruptStreamError(
+                f"{source}: {what}: {count} entries for {num_nodes} nodes"
+            )
+        offset_lists[tag] = _decode_offset_deltas(
+            payload[8:], count, source, what
+        )
+
+    sbits, sbytes = streams[_SECTION_STRUCTURE]
+    tbits, tbytes = streams[_SECTION_TIMESTAMPS]
+    return _assemble_graph(
+        kind=kind,
+        num_nodes=num_nodes,
+        num_contacts=num_contacts,
+        t_min=t_min,
+        config=config,
+        name=name,
+        sbits=sbits,
+        sbytes=sbytes,
+        tbits=tbits,
+        tbytes=tbytes,
+        soffsets=offset_lists[_SECTION_SOFFSETS],
+        toffsets=offset_lists[_SECTION_TOFFSETS],
+        source=source,
+    )
+
+
+def _load_v1_body(
+    cur: _Cursor, limits: DecodeLimits, source: str
+) -> CompressedChronoGraph:
+    kind, num_nodes, num_contacts, t_min, config, name = _parse_header_fields(
+        cur, source
+    )
+    _check_counts(num_nodes, num_contacts, len(cur._data), limits, source)
+    streams = []
+    for what in ("structure stream", "timestamp stream"):
+        nbits, nbytes = cur.unpack("<QQ", f"{what} lengths")
+        if nbytes > cur.remaining:
+            raise TruncatedContainerError(
+                f"{source}: {what}: declared {nbytes} bytes but only "
+                f"{cur.remaining} remain"
+            )
+        data = cur.read_exact(nbytes, what)
+        _check_stream_geometry(nbits, nbytes, source, what)
+        streams.append((nbits, data))
+    offset_lists = []
+    for what in ("structure offsets", "timestamp offsets"):
+        count, nbytes = cur.unpack("<QQ", f"{what} lengths")
+        data = cur.read_exact(nbytes, what)
+        if count != num_nodes:
+            raise CorruptStreamError(
+                f"{source}: {what}: {count} entries for {num_nodes} nodes"
+            )
+        offset_lists.append(_decode_offset_deltas(data, count, source, what))
+    (sbits, sbytes), (tbits, tbytes) = streams
+    return _assemble_graph(
+        kind=kind,
+        num_nodes=num_nodes,
+        num_contacts=num_contacts,
+        t_min=t_min,
+        config=config,
+        name=name,
+        sbits=sbits,
+        sbytes=sbytes,
+        tbits=tbits,
+        tbytes=tbytes,
+        soffsets=offset_lists[0],
+        toffsets=offset_lists[1],
+        source=source,
+    )
+
+
+def load_compressed_bytes(
+    data: bytes,
+    *,
+    limits: Optional[DecodeLimits] = None,
+    source: str = "<bytes>",
+) -> CompressedChronoGraph:
+    """Parse an in-memory container produced by :func:`dumps_compressed`.
+
+    Verifies every checksum and applies all decode limits; raises a
+    :class:`repro.errors.FormatError` subclass on any integrity violation.
+    """
+    limits = limits or DEFAULT_LIMITS
+    cur = _Cursor(data, source)
+    if cur.read_exact(4, "magic") != MAGIC:
+        raise FormatError(f"{source}: not a ChronoGraph file (bad magic)")
+    (version,) = cur.unpack("<B", "version")
+    if version == 1:
+        return _load_v1_body(cur, limits, source)
+    if version == VERSION:
+        return _load_v2_body(cur, limits, source)
+    raise UnsupportedVersionError(f"{source}: unsupported version {version}")
+
+
+def load_compressed(
+    path: PathLike,
+    *,
+    salvage: bool = False,
+    limits: Optional[DecodeLimits] = None,
+):
+    """Read a compressed graph written by :func:`save_compressed`.
+
+    With ``salvage=False`` (the default) the container is verified strictly
+    -- checksums, section framing and decode limits -- and a
+    :class:`CompressedChronoGraph` is returned; any integrity violation
+    raises a :class:`repro.errors.FormatError` subclass.
+
+    With ``salvage=True`` nothing raises short of an unreadable *path*:
+    the longest valid prefix of nodes is decoded best-effort and a
+    :class:`repro.core.validate.SalvageReport` is returned, whose ``graph``
+    attribute holds the recovered prefix (or ``None`` when not even the
+    header survived).
+    """
+    blob = pathlib.Path(path).read_bytes()
+    if salvage:
+        return salvage_bytes(blob, limits=limits, source=str(path))
+    return load_compressed_bytes(blob, limits=limits, source=str(path))
+
+
+# --------------------------------------------------------------------------
+# Salvage (best-effort) reading
+# --------------------------------------------------------------------------
+
+def _salvage_offsets(
+    payload: bytes, want: int, nbits: int, errors: List[str], what: str
+) -> List[int]:
+    """Decode as many in-range offsets as the payload yields, never raising."""
+    if len(payload) < 8:
+        errors.append(f"{what}: payload too short for a count field")
+        return []
+    (count,) = struct.unpack("<Q", payload[:8])
+    if count != want:
+        errors.append(f"{what}: {count} entries declared for {want} nodes")
+    count = min(count, want, len(payload) - 8)
+    reader = BitReader(payload[8:])
+    offsets: List[int] = []
+    value = 0
+    for _ in range(count):
+        try:
+            value += read_vbyte(reader)
+        except EOFError:
+            errors.append(f"{what}: delta stream ended early")
+            break
+        if value > nbits:
+            errors.append(f"{what}: offset {value} beyond {nbits}-bit stream")
+            break
+        offsets.append(value)
+    return offsets
+
+
+def _salvage_stream(
+    payload: bytes, errors: List[str], what: str
+) -> Tuple[int, bytes]:
+    """Recover (nbits, data) from a stream payload, clipping as needed."""
+    if len(payload) < 8:
+        errors.append(f"{what}: payload too short for a length field")
+        return 0, b""
+    (nbits,) = struct.unpack("<Q", payload[:8])
+    data = payload[8:]
+    if nbits > 8 * len(data):
+        errors.append(
+            f"{what}: declared {nbits} bits exceed {len(data)} payload bytes"
+        )
+        nbits = 8 * len(data)
+    return nbits, data
+
+
+def salvage_bytes(
+    data: bytes,
+    *,
+    limits: Optional[DecodeLimits] = None,
+    source: str = "<bytes>",
+) -> SalvageReport:
+    """Best-effort decode of a possibly-corrupt container.
+
+    Walks the container leniently -- checksum mismatches, truncated
+    sections and out-of-range fields are recorded as report errors rather
+    than raised -- then decodes nodes from the start until the first decode
+    failure.  The result is the longest valid prefix, wrapped in a
+    :class:`repro.core.validate.SalvageReport`.
+    """
+    limits = limits or DEFAULT_LIMITS
+    errors: List[str] = []
+
+    # Fast path: a pristine container needs no leniency.
+    try:
+        graph = load_compressed_bytes(data, limits=limits, source=source)
+    except FormatError as exc:
+        errors.append(str(exc))
+    else:
+        return salvage_scan(graph, errors=[])
+
+    parts = _salvage_parts(data, limits, source, errors)
+    if parts is None:
+        return SalvageReport(
+            graph=None,
+            nodes_declared=0,
+            nodes_recovered=0,
+            contacts_declared=0,
+            contacts_recovered=0,
+            errors=errors,
+        )
+    return salvage_scan(parts, errors=errors)
+
+
+def _salvage_parts(
+    data: bytes, limits: DecodeLimits, source: str, errors: List[str]
+) -> Optional[CompressedChronoGraph]:
+    """Lenient parse returning a best-effort graph, or None if unreadable."""
+    if len(data) < 5 or data[:4] != MAGIC:
+        errors.append(f"{source}: not a ChronoGraph file (bad magic)")
+        return None
+    version = data[4]
+    if version == 1:
+        body_start = 5
+        framed = False
+    elif version == VERSION:
+        body_start = 6  # skip the flags byte; salvage tolerates any value
+        framed = True
+    else:
+        errors.append(f"{source}: unsupported version {version}")
+        return None
+
+    cur = _Cursor(data, source)
+    cur._pos = body_start
+    try:
+        if framed:
+            (header_len,) = cur.unpack("<I", "header length")
+            header = cur.read_exact(
+                min(header_len, cur.remaining), "header"
+            )
+            if cur.remaining >= 4:
+                (header_crc,) = cur.unpack("<I", "header checksum")
+                if zlib.crc32(header) != header_crc:
+                    errors.append("header checksum mismatch")
+            else:
+                errors.append("header checksum missing")
+            hcur = _Cursor(header, source)
+        else:
+            hcur = cur
+        kind, num_nodes, num_contacts, t_min, config, name = (
+            _parse_header_fields(hcur, source)
+        )
+    except FormatError as exc:
+        errors.append(f"header unreadable: {exc}")
+        return None
+    try:
+        _check_counts(num_nodes, num_contacts, len(data), limits, source)
+    except FormatError as exc:
+        errors.append(str(exc))
+        return None
+
+    payloads = {}
+    if framed:
+        for expected_tag in _SECTION_ORDER:
+            what = _SECTION_NAMES[expected_tag]
+            if cur.remaining < 9:
+                errors.append(f"{what}: section header missing")
+                break
+            (tag,) = cur.unpack("<B", "section tag")
+            (payload_len,) = cur.unpack("<Q", f"{what} length")
+            if tag != expected_tag:
+                errors.append(f"{what}: unexpected section tag {tag}")
+            take = min(payload_len, cur.remaining, limits.max_section_bytes)
+            if take != payload_len:
+                errors.append(
+                    f"{what}: declared {payload_len} bytes, clipped to {take}"
+                )
+            payload = cur.read_exact(take, what)
+            if cur.remaining >= 4:
+                (crc,) = cur.unpack("<I", f"{what} checksum")
+                if zlib.crc32(payload) != crc:
+                    errors.append(f"{what} checksum mismatch")
+            else:
+                errors.append(f"{what}: checksum missing")
+                cur._pos = len(data)
+            payloads[expected_tag] = payload
+    else:
+        try:
+            for tag in (_SECTION_STRUCTURE, _SECTION_TIMESTAMPS):
+                what = _SECTION_NAMES[tag]
+                nbits, nbytes = cur.unpack("<QQ", f"{what} lengths")
+                take = min(nbytes, cur.remaining)
+                if take != nbytes:
+                    errors.append(
+                        f"{what}: declared {nbytes} bytes, clipped to {take}"
+                    )
+                payloads[tag] = struct.pack("<Q", nbits) + cur.read_exact(
+                    take, what
+                )
+            for tag in (_SECTION_SOFFSETS, _SECTION_TOFFSETS):
+                what = _SECTION_NAMES[tag]
+                count, nbytes = cur.unpack("<QQ", f"{what} lengths")
+                take = min(nbytes, cur.remaining)
+                payloads[tag] = struct.pack("<Q", count) + cur.read_exact(
+                    take, what
+                )
+        except FormatError as exc:
+            errors.append(str(exc))
+
+    sbits, sbytes = _salvage_stream(
+        payloads.get(_SECTION_STRUCTURE, b""), errors, "structure stream"
+    )
+    tbits, tbytes = _salvage_stream(
+        payloads.get(_SECTION_TIMESTAMPS, b""), errors, "timestamp stream"
+    )
+    soffsets = _salvage_offsets(
+        payloads.get(_SECTION_SOFFSETS, b""),
+        num_nodes, sbits, errors, "structure offsets",
+    )
+    toffsets = _salvage_offsets(
+        payloads.get(_SECTION_TOFFSETS, b""),
+        num_nodes, tbits, errors, "timestamp offsets",
+    )
+    usable = min(num_nodes, len(soffsets), len(toffsets))
+    if usable < num_nodes:
+        errors.append(
+            f"only {usable} of {num_nodes} node offsets recoverable"
+        )
+    try:
+        graph = CompressedChronoGraph(
+            kind=kind,
+            num_nodes=usable,
+            num_contacts=num_contacts,
+            t_min=t_min,
+            config=config,
+            structure_bytes=sbytes,
+            structure_bits=sbits,
+            timestamp_bytes=tbytes,
+            timestamp_bits=tbits,
+            structure_offsets=EliasFano(soffsets[:usable], universe=sbits + 1),
+            timestamp_offsets=EliasFano(toffsets[:usable], universe=tbits + 1),
+            name=name,
+        )
+    except ValueError as exc:
+        errors.append(f"offset index rebuild failed: {exc}")
+        return None
+    graph._declared_nodes = num_nodes
+    return graph

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bits import codes
 from repro.bits.bitio import BitReader, BitWriter
 from repro.core.config import ChronoGraphConfig
+from repro.errors import LimitExceededError
 
 DedupPair = Tuple[int, int]  # (label, occurrence count >= 2)
 Interval = Tuple[int, int]  # (left extreme, length)
@@ -269,13 +270,32 @@ def decode_node_structure(
     node: int,
     resolve_distinct,
     config: ChronoGraphConfig,
+    limit: Optional[int] = None,
 ) -> Tuple[List[DedupPair], List[int]]:
     """Decode one structure record positioned at the reader's cursor.
 
     ``resolve_distinct(v)`` must return the distinct neighbor list of the
     (already encoded, hence decodable) node ``v``; it is called when the
     record carries a reference.  Returns ``(dedup_pairs, singles)``.
+
+    ``limit`` bounds the total number of neighbor labels the record may
+    expand to (a valid record never exceeds the graph's contact count); a
+    corrupt count or interval length that would breach it raises
+    :class:`repro.errors.LimitExceededError` *before* any proportional
+    allocation, so a flipped bit cannot trigger a multi-gigabyte list.
     """
+    budget = limit
+
+    def charge(n: int) -> None:
+        nonlocal budget
+        if budget is None:
+            return
+        budget -= n
+        if budget < 0:
+            raise LimitExceededError(
+                f"node {node}: structure record expands past {limit} labels"
+            )
+
     dedup: List[DedupPair] = []
     dedup_count = codes.read_gamma_natural(reader)
     prev: Optional[int] = None
@@ -287,6 +307,7 @@ def decode_node_structure(
             gap = codes.read_gamma_natural(reader)
             label = prev + gap + 1
         count = codes.read_gamma_natural(reader) + 2
+        charge(count)
         dedup.append((label, count))
         prev = label
 
@@ -300,6 +321,7 @@ def decode_node_structure(
             runs.append(run if i == 0 else run + 1)
         reference_list = resolve_distinct(node - r)
         copied = expand_copy_blocks(reference_list, runs)
+        charge(len(copied))
 
     intervals: List[int] = []
     interval_count = codes.read_gamma_natural(reader)
@@ -312,11 +334,13 @@ def decode_node_structure(
             gap = codes.read_gamma_natural(reader)
             left = prev_end + gap + 2
         length = codes.read_gamma_natural(reader) + config.min_interval_length
+        charge(length)
         intervals.extend(range(left, left + length))
         prev_end = left + length - 1
 
     extras: List[int] = []
     extra_count = codes.read_gamma_natural(reader)
+    charge(extra_count)
     prev = None
     for i in range(extra_count):
         if i == 0:

@@ -1,0 +1,66 @@
+"""Structured exception taxonomy for corrupt or untrusted inputs.
+
+Every failure mode of decoding a ``.chrono`` container, a compressed bit
+stream or a contact-list file funnels into the :class:`FormatError`
+hierarchy, so callers can write ``except FormatError`` and know they have
+covered *all* data-driven failures -- truncation, checksum mismatches,
+unsupported versions, resource-limit violations and plain stream
+corruption -- without accidentally swallowing programming errors.
+
+``FormatError`` subclasses :class:`ValueError` for backwards compatibility
+with callers written against the VERSION 1 container, where decode errors
+surfaced as assorted ``ValueError``/``EOFError``/``struct.error``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FormatError",
+    "TruncatedContainerError",
+    "ChecksumMismatchError",
+    "UnsupportedVersionError",
+    "LimitExceededError",
+    "CorruptStreamError",
+    "EndOfStreamError",
+]
+
+
+class FormatError(ValueError):
+    """A file or byte stream is not a valid ChronoGraph artefact.
+
+    Root of the taxonomy; raising the root class directly is reserved for
+    "not our file at all" failures (e.g. a bad magic number).
+    """
+
+
+class TruncatedContainerError(FormatError):
+    """The container ends before a declared section or field completes."""
+
+
+class ChecksumMismatchError(FormatError):
+    """A section's CRC32 footer does not match its payload."""
+
+
+class UnsupportedVersionError(FormatError):
+    """The container declares a version (or flags) this reader cannot parse."""
+
+
+class LimitExceededError(FormatError):
+    """A declared count or size is impossible or breaches a decode limit.
+
+    Raised *before* any allocation proportional to the declared value, so a
+    flipped header byte can never trigger a multi-gigabyte allocation.
+    """
+
+
+class CorruptStreamError(FormatError):
+    """A compressed bit stream decoded to something structurally invalid."""
+
+
+class EndOfStreamError(CorruptStreamError, EOFError):
+    """A bit-stream read ran past the end of the stream.
+
+    Subclasses both :class:`CorruptStreamError` (so container decoding
+    funnels into :class:`FormatError`) and :class:`EOFError` (the exception
+    :class:`repro.bits.bitio.BitReader` historically raised).
+    """

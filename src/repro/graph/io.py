@@ -13,8 +13,10 @@ from __future__ import annotations
 
 import gzip
 import pathlib
+import zlib
 from typing import Union
 
+from repro.errors import FormatError
 from repro.graph.model import Contact, GraphKind, TemporalGraph
 
 PathLike = Union[str, pathlib.Path]
@@ -30,8 +32,16 @@ def _write_text(path: pathlib.Path, text: str) -> None:
 
 def _read_text(path: pathlib.Path) -> str:
     if path.suffix == ".gz":
-        with gzip.open(path, "rt") as handle:
-            return handle.read()
+        try:
+            with gzip.open(path, "rt") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise
+        except (EOFError, OSError, UnicodeDecodeError, zlib.error) as exc:
+            # gzip.BadGzipFile is an OSError, a truncated stream raises
+            # EOFError, and corrupt deflate data raises zlib.error.  All
+            # three mean the file is bad, not the caller.
+            raise FormatError(f"{path}: corrupt gzip stream ({exc})") from exc
     return path.read_text()
 
 
@@ -74,24 +84,32 @@ def read_contact_text(path: PathLike) -> TemporalGraph:
                 key, _, value = body.partition("=")
                 key = key.strip()
                 value = value.strip()
-                if key == "kind":
-                    kind = GraphKind(value)
-                elif key == "nodes":
-                    num_nodes = int(value)
-                elif key == "granularity":
-                    granularity = value
-                elif key == "name":
-                    name = value
+                try:
+                    if key == "kind":
+                        kind = GraphKind(value)
+                    elif key == "nodes":
+                        num_nodes = int(value)
+                    elif key == "granularity":
+                        granularity = value
+                    elif key == "name":
+                        name = value
+                except ValueError as exc:
+                    raise FormatError(
+                        f"line {lineno}: bad header value {key}={value!r} ({exc})"
+                    ) from exc
             continue
         fields = line.split()
-        if len(fields) == 3:
-            u, v, t = map(int, fields)
-            contacts.append(Contact(u, v, t))
-        elif len(fields) == 4:
-            u, v, t, d = map(int, fields)
-            contacts.append(Contact(u, v, t, d))
-        else:
-            raise ValueError(f"line {lineno}: expected 3 or 4 fields, got {line!r}")
+        if len(fields) not in (3, 4):
+            raise FormatError(
+                f"line {lineno}: expected 3 or 4 fields, got {line!r}"
+            )
+        try:
+            values = [int(f) for f in fields]
+        except ValueError:
+            raise FormatError(
+                f"line {lineno}: non-integer field in {line!r}"
+            ) from None
+        contacts.append(Contact(*values))
     if num_nodes is None:
         num_nodes = max((max(c.u, c.v) for c in contacts), default=-1) + 1
     return TemporalGraph(

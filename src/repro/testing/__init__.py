@@ -1,0 +1,35 @@
+"""Fault-injection tooling for hardening the ``.chrono`` container.
+
+This package is part of the shipped library (not the test suite) so that
+downstream users can exercise their own containers against the same
+robustness contract the repository enforces: every mutation of a valid
+container either round-trips identically or raises
+:class:`repro.errors.FormatError` -- never a hang, crash or silently wrong
+graph.
+"""
+
+from repro.testing.faults import (
+    FaultInjectionReport,
+    FaultResult,
+    Mutation,
+    bit_flip_mutations,
+    default_mutations,
+    extend_mutations,
+    random_region_mutations,
+    run_fault_injection,
+    section_shuffle_mutations,
+    truncate_mutations,
+)
+
+__all__ = [
+    "Mutation",
+    "FaultResult",
+    "FaultInjectionReport",
+    "bit_flip_mutations",
+    "truncate_mutations",
+    "extend_mutations",
+    "section_shuffle_mutations",
+    "random_region_mutations",
+    "default_mutations",
+    "run_fault_injection",
+]

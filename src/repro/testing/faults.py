@@ -1,0 +1,275 @@
+"""Systematic fault injection over ``.chrono`` containers.
+
+The mutators each take the bytes of a *valid* container and yield
+:class:`Mutation` variants of it: single-bit flips on a stride, prefix
+truncations, junk extensions, permutations of the VERSION 2 sections and
+seeded random-region overwrites.  :func:`run_fault_injection` drives any
+iterable of mutations through a full load-and-decode cycle and classifies
+every outcome against the robustness contract:
+
+* ``identical`` -- the mutation decoded to exactly the baseline contacts
+  (e.g. the flip landed in a byte the decoder never dereferences);
+* ``detected`` -- decoding raised from the
+  :class:`repro.errors.FormatError` hierarchy;
+* ``mismatch`` -- decoded without error but to *different* contacts
+  (a silent corruption: always a failure);
+* ``escaped`` -- raised anything outside ``FormatError`` (a failure);
+* ``overbudget`` -- took longer than the per-mutation time budget
+  (a proxy for hangs; always a failure).
+
+All mutators are deterministic (random ones take a seed), so a passing
+campaign stays passing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import struct
+import time
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.serialize import (
+    DecodeLimits,
+    MAGIC,
+    load_compressed_bytes,
+    salvage_bytes,
+)
+from repro.errors import FormatError
+
+__all__ = [
+    "Mutation",
+    "FaultResult",
+    "FaultInjectionReport",
+    "bit_flip_mutations",
+    "truncate_mutations",
+    "extend_mutations",
+    "section_shuffle_mutations",
+    "random_region_mutations",
+    "default_mutations",
+    "run_fault_injection",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Mutation:
+    """One corrupted variant of a container, with a descriptive name."""
+
+    name: str
+    data: bytes
+
+
+# --------------------------------------------------------------------------
+# Mutators
+# --------------------------------------------------------------------------
+
+def bit_flip_mutations(
+    data: bytes, *, stride_bits: int = 64, start_bit: int = 0
+) -> Iterator[Mutation]:
+    """Flip every ``stride_bits``-th bit of the container, one at a time.
+
+    ``stride_bits=1`` exhausts every bit; the default keeps campaigns on
+    larger containers tractable while still touching every region.
+    """
+    if stride_bits < 1:
+        raise ValueError(f"stride_bits must be >= 1, got {stride_bits}")
+    for bit in range(start_bit, 8 * len(data), stride_bits):
+        mutated = bytearray(data)
+        mutated[bit >> 3] ^= 0x80 >> (bit & 7)
+        yield Mutation(f"bitflip@{bit}", bytes(mutated))
+
+
+def truncate_mutations(data: bytes, *, steps: int = 24) -> Iterator[Mutation]:
+    """Yield ``steps`` evenly spaced strict prefixes of the container."""
+    n = len(data)
+    seen = set()
+    for i in range(steps):
+        keep = (n * i) // steps
+        if keep >= n or keep in seen:
+            continue
+        seen.add(keep)
+        yield Mutation(f"truncate@{keep}", data[:keep])
+
+
+def extend_mutations(
+    data: bytes, *, tails: Sequence[int] = (1, 8, 64, 4096)
+) -> Iterator[Mutation]:
+    """Append junk tails (zero and 0xFF runs) after the final section."""
+    for tail in tails:
+        yield Mutation(f"extend+{tail}x00", data + b"\x00" * tail)
+        yield Mutation(f"extend+{tail}xff", data + b"\xff" * tail)
+
+
+def _v2_section_spans(data: bytes) -> Optional[List[tuple]]:
+    """(start, end) byte spans of the four framed sections, or None."""
+    if len(data) < 10 or data[:4] != MAGIC or data[4] != 2:
+        return None
+    (header_len,) = struct.unpack_from("<I", data, 6)
+    pos = 10 + header_len + 4
+    spans = []
+    for _ in range(4):
+        if pos + 9 > len(data):
+            return None
+        (payload_len,) = struct.unpack_from("<Q", data, pos + 1)
+        end = pos + 9 + payload_len + 4
+        if end > len(data):
+            return None
+        spans.append((pos, end))
+        pos = end
+    if pos != len(data):
+        return None
+    return spans
+
+
+def section_shuffle_mutations(data: bytes) -> Iterator[Mutation]:
+    """Permute the order of the four VERSION 2 sections.
+
+    Yields nothing for containers that are not well-formed VERSION 2 (the
+    section table cannot be located without valid framing).
+    """
+    spans = _v2_section_spans(data)
+    if spans is None:
+        return
+    prefix = data[: spans[0][0]]
+    sections = [data[a:b] for a, b in spans]
+    for order in ((1, 0, 2, 3), (0, 2, 1, 3), (0, 1, 3, 2), (3, 2, 1, 0)):
+        shuffled = prefix + b"".join(sections[i] for i in order)
+        yield Mutation(f"shuffle{order}", shuffled)
+
+
+def random_region_mutations(
+    data: bytes, *, seed: int = 0, count: int = 64, max_len: int = 16
+) -> Iterator[Mutation]:
+    """Overwrite ``count`` seeded-random regions with random bytes."""
+    rng = random.Random(seed)
+    if not data:
+        return
+    for i in range(count):
+        start = rng.randrange(len(data))
+        length = min(1 + rng.randrange(max_len), len(data) - start)
+        junk = bytes(rng.randrange(256) for _ in range(length))
+        mutated = bytearray(data)
+        mutated[start : start + length] = junk
+        yield Mutation(f"region@{start}+{length}#{i}", bytes(mutated))
+
+
+def default_mutations(
+    data: bytes, *, stride_bits: int = 8, seed: int = 0
+) -> Iterator[Mutation]:
+    """The standard campaign: all five mutator families, chained."""
+    yield from bit_flip_mutations(data, stride_bits=stride_bits)
+    yield from truncate_mutations(data)
+    yield from extend_mutations(data)
+    yield from section_shuffle_mutations(data)
+    yield from random_region_mutations(data, seed=seed)
+
+
+# --------------------------------------------------------------------------
+# Harness
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FaultResult:
+    """Classification of a single mutation's decode attempt."""
+
+    mutation: str
+    outcome: str
+    detail: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        """Whether this outcome violates the robustness contract."""
+        return self.outcome in ("mismatch", "escaped", "overbudget")
+
+
+@dataclasses.dataclass
+class FaultInjectionReport:
+    """Aggregate outcome of a fault-injection campaign."""
+
+    total: int = 0
+    identical: int = 0
+    detected: int = 0
+    failures: List[FaultResult] = dataclasses.field(default_factory=list)
+    slowest: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every mutation round-tripped or was cleanly detected."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account of the campaign."""
+        lines = [
+            f"{self.total} mutations: {self.identical} identical, "
+            f"{self.detected} detected, {len(self.failures)} failures "
+            f"(slowest {self.slowest * 1000:.1f} ms)"
+        ]
+        for failure in self.failures[:20]:
+            lines.append(
+                f"  - {failure.mutation}: {failure.outcome} {failure.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _decode_fully(blob: bytes, limits: Optional[DecodeLimits]) -> list:
+    graph = load_compressed_bytes(blob, limits=limits)
+    return list(graph.iter_contacts())
+
+
+def run_fault_injection(
+    container: bytes,
+    mutations: Iterable[Mutation],
+    *,
+    time_budget: float = 5.0,
+    limits: Optional[DecodeLimits] = None,
+    check_salvage: bool = False,
+) -> FaultInjectionReport:
+    """Drive mutations through load-and-full-decode and classify outcomes.
+
+    ``container`` must be a valid container; its decoded contacts are the
+    baseline every mutation is compared against.  ``time_budget`` is the
+    per-mutation ceiling in seconds (exceeding it is recorded as an
+    ``overbudget`` failure -- the hang proxy).  With ``check_salvage`` the
+    harness additionally asserts that salvage-mode loading never raises on
+    any mutation.
+    """
+    baseline = _decode_fully(container, limits)
+    report = FaultInjectionReport()
+    for mutation in mutations:
+        start = time.perf_counter()
+        detail = ""
+        try:
+            contacts = _decode_fully(mutation.data, limits)
+        except FormatError as exc:
+            outcome = "detected"
+            detail = f"{type(exc).__name__}"
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            outcome = "escaped"
+            detail = repr(exc)
+        else:
+            if contacts == baseline:
+                outcome = "identical"
+            else:
+                outcome = "mismatch"
+                detail = f"{len(contacts)} vs {len(baseline)} contacts"
+        elapsed = time.perf_counter() - start
+        if elapsed > time_budget:
+            outcome = "overbudget"
+            detail = f"{elapsed:.2f}s > {time_budget:.2f}s budget"
+        if check_salvage and outcome != "overbudget":
+            try:
+                salvage_bytes(mutation.data, limits=limits)
+            except Exception as exc:  # noqa: BLE001 - salvage must not raise
+                outcome = "escaped"
+                detail = f"salvage raised {exc!r}"
+        result = FaultResult(mutation.name, outcome, detail, elapsed)
+        report.total += 1
+        report.slowest = max(report.slowest, elapsed)
+        if outcome == "identical":
+            report.identical += 1
+        elif outcome == "detected":
+            report.detected += 1
+        if result.failed:
+            report.failures.append(result)
+    return report

@@ -9,7 +9,8 @@ import pytest
 import repro
 
 MODULES = [
-    "repro",
+    "repro", "repro.errors",
+    "repro.testing", "repro.testing.faults",
     "repro.bits", "repro.bits.bitio", "repro.bits.codes", "repro.bits.zigzag",
     "repro.bits.bitvector", "repro.bits.eliasfano", "repro.bits.pfordelta",
     "repro.graph", "repro.graph.model", "repro.graph.builders",

@@ -122,3 +122,108 @@ class TestFiguresCommand:
                      "--dir", str(tmp_path / "none")])
         assert code == 1
         assert "no figure results" in capsys.readouterr().out
+
+
+@pytest.fixture()
+def corrupt_chrono(chrono_file, tmp_path):
+    blob = bytearray(chrono_file.read_bytes())
+    blob[-2] ^= 0xFF  # lands in the final section's CRC32 footer
+    path = tmp_path / "corrupt.chrono"
+    path.write_bytes(bytes(blob))
+    return path
+
+
+class TestErrorHandling:
+    """Missing/corrupt inputs: one stderr line, nonzero exit, no traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["compress", "{missing}", "--out", "x.chrono"],
+        ["inspect", "{missing}"],
+        ["query", "{missing}", "neighbors", "0", "0", "9"],
+        ["verify", "{missing}"],
+        ["stats", "{missing}"],
+        ["gapstats", "{missing}"],
+    ])
+    def test_missing_file_exits_2(self, tmp_path, capsys, argv):
+        missing = str(tmp_path / "nope.bin")
+        argv = [a.format(missing=missing) for a in argv]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("argv", [
+        ["inspect", "{path}"],
+        ["query", "{path}", "neighbors", "0", "0", "9"],
+    ])
+    def test_corrupt_container_exits_2(self, corrupt_chrono, capsys, argv):
+        argv = [a.format(path=str(corrupt_chrono)) for a in argv]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_compress_malformed_lines_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 1 5\nnot a contact line at all\n")
+        assert main(["compress", str(bad), "--out", str(tmp_path / "o")]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+    def test_compress_corrupt_gzip_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt.gz"
+        bad.write_bytes(b"\x1f\x8b\x08\x00" + b"\xa5" * 40)
+        assert main(["compress", str(bad), "--out", str(tmp_path / "o")]) == 2
+        err = capsys.readouterr().err
+        assert "gzip" in err
+        assert "Traceback" not in err
+
+
+class TestVerifyExitCodes:
+    """verify: 0 sound, 1 corrupt, 2 unreadable."""
+
+    def test_sound_container_exits_0(self, chrono_file, capsys):
+        assert main(["verify", str(chrono_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_checksum_mismatch_exits_1(self, corrupt_chrono, capsys):
+        assert main(["verify", str(corrupt_chrono)]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_truncated_header_exits_2(self, chrono_file, tmp_path, capsys):
+        stub = tmp_path / "stub.chrono"
+        stub.write_bytes(chrono_file.read_bytes()[:7])
+        assert main(["verify", str(stub)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_magic_exits_2(self, tmp_path, capsys):
+        junk = tmp_path / "junk.chrono"
+        junk.write_bytes(b"this was never a chrono container")
+        assert main(["verify", str(junk)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_deep_scan_sound_container(self, chrono_file, capsys):
+        assert main(["verify", str(chrono_file), "--deep"]) == 0
+        assert "deep scan" in capsys.readouterr().out
+
+    def test_salvage_sound_container(self, chrono_file, capsys):
+        assert main(["verify", str(chrono_file), "--salvage"]) == 0
+        assert "intact" in capsys.readouterr().out
+
+    def test_salvage_corrupt_container_exits_1(self, corrupt_chrono, capsys):
+        assert main(["verify", str(corrupt_chrono), "--salvage"]) == 1
+        assert "recovered" in capsys.readouterr().out
+
+    def test_salvage_never_tracebacks_on_junk(self, tmp_path, capsys):
+        junk = tmp_path / "junk.chrono"
+        junk.write_bytes(b"CHRG" + b"\x02" + b"\x99" * 40)
+        code = main(["verify", str(junk), "--salvage"])
+        assert code in (1, 2)
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_verify_against_reference(self, contact_file, chrono_file, capsys):
+        assert main(["verify", str(chrono_file),
+                     "--against", str(contact_file)]) == 0
+        assert "OK" in capsys.readouterr().out

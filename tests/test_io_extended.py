@@ -78,3 +78,87 @@ class TestLargeRoundTrip:
         g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5)], num_nodes=2)
         text = contacts_as_text(g, header=False)
         assert RawCompressor().compress(g).size_in_bits == 8 * len(text)
+
+
+class TestMalformedInputs:
+    """Malformed contact lists raise FormatError naming the line."""
+
+    def test_wrong_field_count_names_line(self, tmp_path):
+        from repro.errors import FormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5\n1 2 6\n7 8\n")
+        with pytest.raises(FormatError, match="line 3"):
+            read_contact_text(path)
+
+    def test_non_integer_token_names_line(self, tmp_path):
+        from repro.errors import FormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5\nzero one two\n")
+        with pytest.raises(FormatError, match="line 2"):
+            read_contact_text(path)
+
+    def test_bad_kind_header_names_line(self, tmp_path):
+        from repro.errors import FormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("# kind=sideways\n0 1 5\n")
+        with pytest.raises(FormatError, match="line 1"):
+            read_contact_text(path)
+
+    def test_bad_nodes_header_names_line(self, tmp_path):
+        from repro.errors import FormatError
+
+        path = tmp_path / "g.txt"
+        path.write_text("# kind=point\n# nodes=lots\n0 1 5\n")
+        with pytest.raises(FormatError, match="line 2"):
+            read_contact_text(path)
+
+    def test_format_error_is_a_value_error(self):
+        from repro.errors import FormatError
+
+        assert issubclass(FormatError, ValueError)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_contact_text(tmp_path / "nope.txt")
+
+
+class TestCorruptGzip:
+    def test_truncated_gz_raises_format_error(self, tmp_path):
+        import gzip
+
+        from repro.errors import FormatError
+
+        blob = gzip.compress(b"# kind=point\n" + b"0 1 5\n" * 200)
+        path = tmp_path / "g.txt.gz"
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(FormatError, match="gzip"):
+            read_contact_text(path)
+
+    def test_not_gzip_at_all_raises_format_error(self, tmp_path):
+        from repro.errors import FormatError
+
+        path = tmp_path / "g.txt.gz"
+        path.write_bytes(b"plain text pretending to be gzip")
+        with pytest.raises(FormatError, match="gzip"):
+            read_contact_text(path)
+
+    def test_corrupt_deflate_payload_raises_format_error(self, tmp_path):
+        from repro.errors import FormatError
+
+        path = tmp_path / "g.txt.gz"
+        path.write_bytes(b"\x1f\x8b\x08\x00" + b"\xa5" * 40)
+        with pytest.raises(FormatError, match="gzip"):
+            read_contact_text(path)
+
+    def test_missing_gz_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_contact_text(tmp_path / "nope.txt.gz")
+
+    def test_intact_gz_round_trips(self, tmp_path):
+        g = graph_from_contacts(GraphKind.POINT, [(0, 1, 5), (1, 2, 9)])
+        path = tmp_path / "g.txt.gz"
+        write_contact_text(g, path)
+        assert read_contact_text(path).contacts == g.contacts
