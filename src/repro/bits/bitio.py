@@ -8,6 +8,10 @@ supports random repositioning, which the offset indexes rely on.
 The MSB-first convention matches the WebGraph framework the paper builds on:
 the first bit written is the highest bit of the first byte.
 
+``BitReader`` keeps a cached word of up to 64 bits ahead of the cursor so
+the hot decoders (``repro.bits.codes``) can ``peek_bits``/``skip`` on plain
+integer arithmetic instead of re-slicing the byte buffer per code word.
+
 Reading past the end of a stream raises :class:`repro.errors.EndOfStreamError`,
 which is both an :class:`EOFError` (the historical contract) and a
 :class:`repro.errors.FormatError` so corrupt-container decoding funnels into
@@ -17,6 +21,11 @@ a single exception family.
 from __future__ import annotations
 
 from repro.errors import EndOfStreamError
+
+#: Widest value ``peek_bits``/the cached-word fast paths serve; one refill
+#: loads at least this many bits when that much stream remains (64 bits of
+#: buffer minus up to 7 bits of byte-alignment slack).
+_WORD_MAX_BITS = 57
 
 
 class BitWriter:
@@ -70,11 +79,23 @@ class BitWriter:
         return width
 
     def extend(self, other: "BitWriter") -> int:
-        """Append the full contents of another writer. Returns bits appended."""
+        """Append the full contents of another writer. Returns bits appended.
+
+        Byte-aligned destinations take a bytes-level copy; unaligned ones
+        splice the whole source through one big-integer shift instead of
+        re-packing byte-by-byte, which is what makes the reference-selection
+        ``extend`` of the encoder cheap.
+        """
         nbits = len(other)
         data, tail_bits, tail = other._bytes, other._nacc, other._acc
-        for byte in data:
-            self.write_bits(byte, 8)
+        if self._nacc == 0:
+            self._bytes += data
+        elif data:
+            shift = self._nacc
+            body = (self._acc << (8 * len(data))) | int.from_bytes(data, "big")
+            # Flush whole bytes; the low `shift` bits stay in the accumulator.
+            self._bytes += (body >> shift).to_bytes(len(data), "big")
+            self._acc = body & ((1 << shift) - 1)
         if tail_bits:
             self.write_bits(tail, tail_bits)
         return nbits
@@ -93,12 +114,18 @@ class BitReader:
     Supports ``seek`` to an absolute bit position, which is what makes the
     Elias-Fano offset indexes useful: a node's record can be decoded by
     jumping straight to its first bit.
+
+    A cached word (``_word``/``_wbits``) always holds the next ``_wbits``
+    bits at the cursor, first unread bit as its MSB; every mutator keeps
+    that invariant so ``peek_bits``/``skip`` stay branch-light.
     """
 
     def __init__(self, data: bytes, nbits: int | None = None) -> None:
         self._data = data
         self._nbits = 8 * len(data) if nbits is None else nbits
         self._pos = 0
+        self._word = 0
+        self._wbits = 0
 
     @property
     def position(self) -> int:
@@ -117,24 +144,92 @@ class BitReader:
                 f"seek to {bit_position} outside stream of {self._nbits} bits"
             )
         self._pos = bit_position
+        self._word = 0
+        self._wbits = 0
+
+    def _refill(self) -> None:
+        """Reload the cached word with up to 64 bits at the cursor."""
+        pos = self._pos
+        chunk = self._data[pos >> 3 : (pos >> 3) + 8]
+        total = (len(chunk) << 3) - (pos & 7)
+        word = int.from_bytes(chunk, "big")
+        avail = self._nbits - pos
+        if total > avail:
+            word >>= total - avail
+            total = avail
+        self._word = word & ((1 << total) - 1)
+        self._wbits = total
+
+    def peek_bits(self, width: int) -> int:
+        """The next ``width`` bits without advancing; zero-padded past EOS.
+
+        ``width`` must be at most 57 (one cached word).  Padding with zeros
+        lets table-driven decoders probe a fixed-size window near the end of
+        the stream; they bound the *consumed* bits by ``remaining``.
+        """
+        wbits = self._wbits
+        if width > wbits:
+            self._refill()
+            wbits = self._wbits
+            if width > wbits:
+                return self._word << (width - wbits)
+        return self._word >> (wbits - width)
+
+    def skip(self, width: int) -> None:
+        """Advance the cursor ``width`` bits (bounds-checked)."""
+        if width > self._wbits:
+            if self._pos + width > self._nbits:
+                raise EndOfStreamError(
+                    f"skip of {width} bits at {self._pos} exceeds {self._nbits}"
+                )
+            self._pos += width
+            self._word = 0
+            self._wbits = 0
+            return
+        self._pos += width
+        self._wbits -= width
+        self._word &= (1 << self._wbits) - 1
 
     def read_bit(self) -> int:
         """Read and return the next bit."""
-        if self._pos >= self._nbits:
-            raise EndOfStreamError("read past end of bit stream")
-        byte = self._data[self._pos >> 3]
-        bit = (byte >> (7 - (self._pos & 7))) & 1
+        wbits = self._wbits
+        if not wbits:
+            if self._pos >= self._nbits:
+                raise EndOfStreamError("read past end of bit stream")
+            self._refill()
+            wbits = self._wbits
+        wbits -= 1
+        bit = self._word >> wbits
+        self._word &= (1 << wbits) - 1
+        self._wbits = wbits
         self._pos += 1
         return bit
 
     def read_bits(self, width: int) -> int:
         """Read ``width`` bits and return them as an unsigned integer."""
+        wbits = self._wbits
+        if 0 <= width <= wbits:
+            wbits -= width
+            value = self._word >> wbits
+            self._word &= (1 << wbits) - 1
+            self._wbits = wbits
+            self._pos += width
+            return value
         if width < 0:
             raise ValueError(f"negative width: {width}")
         if self._pos + width > self._nbits:
             raise EndOfStreamError(
                 f"read of {width} bits at {self._pos} exceeds {self._nbits}"
             )
+        if width <= _WORD_MAX_BITS:
+            self._refill()
+            wbits = self._wbits - width
+            value = self._word >> wbits
+            self._word &= (1 << wbits) - 1
+            self._wbits = wbits
+            self._pos += width
+            return value
+        # Wider than the cached word: slice the byte buffer directly.
         end = self._pos + width
         first_byte = self._pos >> 3
         last_byte = (end + 7) >> 3
@@ -142,6 +237,8 @@ class BitReader:
         chunk_bits = 8 * (last_byte - first_byte)
         chunk >>= chunk_bits - (end - 8 * first_byte)
         self._pos = end
+        self._word = 0
+        self._wbits = 0
         return chunk & ((1 << width) - 1)
 
     def read_unary_run(self) -> int:
@@ -149,29 +246,26 @@ class BitReader:
 
         Returns the number of zeros seen (so the unary code of ``x`` yields
         ``x - 1``). Provided here because it is the hot inner loop of every
-        decoder; scanning byte-at-a-time is markedly faster than bit-at-a-time.
+        decoder; scanning a cached word at a time is markedly faster than
+        bit-at-a-time.
         """
         zeros = 0
-        pos = self._pos
-        data = self._data
-        nbits = self._nbits
-        while pos < nbits:
-            byte = data[pos >> 3]
-            offset = pos & 7
-            # Remaining bits of the current byte, left-aligned in 8 bits.
-            window = (byte << offset) & 0xFF
-            avail = min(8 - offset, nbits - pos)
-            if window == 0:
-                zeros += avail
-                pos += avail
+        while True:
+            wbits = self._wbits
+            if not wbits:
+                if self._pos >= self._nbits:
+                    raise EndOfStreamError("unary run hit end of bit stream")
+                self._refill()
+                wbits = self._wbits
+            word = self._word
+            if not word:
+                zeros += wbits
+                self._pos += wbits
+                self._wbits = 0
                 continue
-            lead = 8 - window.bit_length()  # leading zeros within window
-            if lead >= avail:
-                zeros += avail
-                pos += avail
-                continue
-            zeros += lead
-            pos += lead + 1  # consume the 1 bit as well
-            self._pos = pos
-            return zeros
-        raise EndOfStreamError("unary run hit end of bit stream")
+            lead = wbits - word.bit_length()
+            wbits -= lead + 1
+            self._pos += lead + 1
+            self._wbits = wbits
+            self._word = word & ((1 << wbits) - 1)
+            return zeros + lead

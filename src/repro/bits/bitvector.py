@@ -122,27 +122,26 @@ class BitVector:
         """Position of the j-th one (0-based)."""
         if not 0 <= j < self._ones:
             raise IndexError(f"select1({j}) with only {self._ones} ones")
-        pos = self._select1_samples[j // _SELECT_SAMPLE]
-        seen = (j // _SELECT_SAMPLE) * _SELECT_SAMPLE
+        base = j // _SELECT_SAMPLE
+        pos = self._select1_samples[base]
+        seen = base * _SELECT_SAMPLE
         # Scan forward word by word from the sampled position.
-        word_index = pos // _BLOCK
-        offset = pos % _BLOCK
-        word = self._words[word_index] >> offset
+        words = self._words
+        word_index, offset = divmod(pos, _BLOCK)
+        word = words[word_index] >> offset
         while True:
             ones_here = bin(word).count("1")
             if seen + ones_here > j:
-                # The answer is inside this word fragment.
-                while True:
-                    if word & 1:
-                        if seen == j:
-                            return word_index * _BLOCK + offset
-                        seen += 1
-                    word >>= 1
-                    offset += 1
+                # The answer is inside this word fragment: drop the set bits
+                # below it, then locate the lowest survivor.
+                for _ in range(j - seen):
+                    word &= word - 1
+                low = word & -word
+                return word_index * _BLOCK + offset + low.bit_length() - 1
             seen += ones_here
             word_index += 1
             offset = 0
-            word = self._words[word_index]
+            word = words[word_index]
 
     def select0(self, j: int) -> int:
         """Position of the j-th zero (0-based)."""

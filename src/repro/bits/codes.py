@@ -16,7 +16,7 @@ without materialising them (e.g. reference selection and the Figure 7 sweep).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bits.bitio import BitReader, BitWriter
 from repro.bits.zigzag import to_integer, to_natural
@@ -35,7 +35,195 @@ __all__ = [
     "write_rice", "read_rice", "rice_length",
     "write_vbyte", "read_vbyte", "vbyte_length",
     "encode_simple16", "decode_simple16",
+    "read_many_unary", "read_many_gamma", "read_many_gamma_natural",
+    "read_many_zeta", "read_many_zeta_natural", "read_many_zeta_natural_pairs",
 ]
+
+
+# --------------------------------------------------------------------------
+# Table-driven prefix decoding
+#
+# A 16-bit window peeked at the cursor resolves the vast majority of unary,
+# gamma and zeta codes in one lookup (the Zuckerli trick): per window the
+# tables hold the decoded value and the bits consumed, with 0 consumed
+# meaning "code does not fit in 16 bits, take the scalar path".  Tables are
+# built lazily on first use (the zeta family is per-k) and shared by the
+# scalar readers and the ``read_many_*`` bulk readers below.
+# --------------------------------------------------------------------------
+
+_TABLE_BITS = 16
+_TABLE_SIZE = 1 << _TABLE_BITS
+
+_UNARY_TABLE: Optional[Tuple[List[int], List[int]]] = None
+_GAMMA_TABLE: Optional[Tuple[List[int], List[int]]] = None
+_ZETA_TABLES: Dict[int, Tuple[List[int], List[int]]] = {}
+
+
+def _fill(vals: List[int], lens: List[int], code: int, n: int, value: int) -> None:
+    """Claim every 16-bit window whose top ``n`` bits equal ``code``."""
+    span = 1 << (_TABLE_BITS - n)
+    start = code << (_TABLE_BITS - n)
+    vals[start : start + span] = [value] * span
+    lens[start : start + span] = [n] * span
+
+
+def _unary_table() -> Tuple[List[int], List[int]]:
+    global _UNARY_TABLE
+    if _UNARY_TABLE is None:
+        vals = [0] * _TABLE_SIZE
+        lens = [0] * _TABLE_SIZE
+        for zeros in range(_TABLE_BITS):
+            # `zeros` leading zeros then a 1: the code for value zeros + 1.
+            _fill(vals, lens, 1, zeros + 1, zeros + 1)
+        _UNARY_TABLE = (vals, lens)
+    return _UNARY_TABLE
+
+
+def _gamma_table() -> Tuple[List[int], List[int]]:
+    global _GAMMA_TABLE
+    if _GAMMA_TABLE is None:
+        vals = [0] * _TABLE_SIZE
+        lens = [0] * _TABLE_SIZE
+        for lead in range((_TABLE_BITS - 1) // 2 + 1):
+            n = 2 * lead + 1
+            # The n-bit gamma codeword of x is x itself (unary exponent
+            # prefix then the low bits), so the fill is direct.
+            for x in range(1 << lead, 1 << (lead + 1)):
+                _fill(vals, lens, x, n, x)
+        _GAMMA_TABLE = (vals, lens)
+    return _GAMMA_TABLE
+
+
+def _zeta_table(k: int) -> Tuple[List[int], List[int]]:
+    table = _ZETA_TABLES.get(k)
+    if table is not None:
+        return table
+    vals = [0] * _TABLE_SIZE
+    lens = [0] * _TABLE_SIZE
+    h = 0
+    while True:
+        un = h + 1  # unary part: h zeros then a 1
+        low = 1 << (h * k)
+        z = (low << k) - low
+        s = (z - 1).bit_length()
+        m = (1 << s) - z
+        shortest = un if z == 1 else un + (s - 1 if m > 0 else s)
+        if shortest > _TABLE_BITS:
+            break
+        if z == 1:
+            _fill(vals, lens, 1, un, low)
+        else:
+            if m > 0 and un + s - 1 <= _TABLE_BITS:
+                for d in range(m):  # short codes: s - 1 payload bits
+                    _fill(vals, lens, (1 << (s - 1)) | d, un + s - 1, low + d)
+            if un + s <= _TABLE_BITS:
+                for d in range(m, z):  # long codes: s payload bits of d + m
+                    _fill(vals, lens, (1 << s) | (d + m), un + s, low + d)
+        h += 1
+    _ZETA_TABLES[k] = (vals, lens)
+    return _ZETA_TABLES[k]
+
+
+def _read_many_table(reader, count, vals, lens, slow) -> List[int]:
+    """Decode ``count`` codes through a 16-bit table, ``slow`` as fallback.
+
+    Operates on the reader's cached-word internals directly (same-package
+    contract with :class:`repro.bits.bitio.BitReader`): the refill is inlined
+    so the per-code cost is a shift, two list lookups and a mask.
+    """
+    out: List[int] = []
+    if count <= 0:
+        return out
+    append = out.append
+    data = reader._data
+    nbits = reader._nbits
+    pos = reader._pos
+    word = reader._word
+    wbits = reader._wbits
+    for _ in range(count):
+        if wbits < 16:
+            i = pos >> 3
+            chunk = data[i : i + 8]
+            total = (len(chunk) << 3) - (pos & 7)
+            word = int.from_bytes(chunk, "big")
+            avail = nbits - pos
+            if total > avail:
+                word >>= total - avail
+                total = avail
+            word &= (1 << total) - 1
+            wbits = total
+        w16 = (word >> (wbits - 16)) if wbits >= 16 else (word << (16 - wbits))
+        n = lens[w16]
+        if 0 < n <= wbits:
+            append(vals[w16])
+            wbits -= n
+            word &= (1 << wbits) - 1
+            pos += n
+        else:
+            # Long code or end-of-stream: sync, take the scalar path, resync.
+            reader._pos = pos
+            reader._word = word
+            reader._wbits = wbits
+            append(slow(reader))
+            pos = reader._pos
+            word = reader._word
+            wbits = reader._wbits
+    reader._pos = pos
+    reader._word = word
+    reader._wbits = wbits
+    return out
+
+
+def _read_many_table_pairs(
+    reader, count, vals_a, lens_a, slow_a, vals_b, lens_b, slow_b
+) -> Tuple[List[int], List[int]]:
+    """Decode ``count`` interleaved (a, b) code pairs; two result lists."""
+    out_a: List[int] = []
+    out_b: List[int] = []
+    if count <= 0:
+        return out_a, out_b
+    append_a = out_a.append
+    append_b = out_b.append
+    data = reader._data
+    nbits = reader._nbits
+    pos = reader._pos
+    word = reader._word
+    wbits = reader._wbits
+    for _ in range(count):
+        for append, vals, lens, slow in (
+            (append_a, vals_a, lens_a, slow_a),
+            (append_b, vals_b, lens_b, slow_b),
+        ):
+            if wbits < 16:
+                i = pos >> 3
+                chunk = data[i : i + 8]
+                total = (len(chunk) << 3) - (pos & 7)
+                word = int.from_bytes(chunk, "big")
+                avail = nbits - pos
+                if total > avail:
+                    word >>= total - avail
+                    total = avail
+                word &= (1 << total) - 1
+                wbits = total
+            w16 = (word >> (wbits - 16)) if wbits >= 16 else (word << (16 - wbits))
+            n = lens[w16]
+            if 0 < n <= wbits:
+                append(vals[w16])
+                wbits -= n
+                word &= (1 << wbits) - 1
+                pos += n
+            else:
+                reader._pos = pos
+                reader._word = word
+                reader._wbits = wbits
+                append(slow(reader))
+                pos = reader._pos
+                word = reader._word
+                wbits = reader._wbits
+    reader._pos = pos
+    reader._word = word
+    reader._wbits = wbits
+    return out_a, out_b
 
 
 # --------------------------------------------------------------------------
@@ -135,8 +323,14 @@ def write_gamma(writer: BitWriter, x: int) -> int:
 
 def read_gamma(reader: BitReader) -> int:
     """Read an Elias gamma code."""
-    # Calls read_unary_run directly: gamma decoding is the hottest loop of
-    # every structure-record decode, so the wrapper hop matters.
+    # Table probe first: gamma decoding is the hottest loop of every
+    # structure-record decode, and nearly every code fits 16 bits.
+    vals, lens = _gamma_table()
+    w16 = reader.peek_bits(16)
+    n = lens[w16]
+    if n:
+        reader.skip(n)
+        return vals[w16]
     l = reader.read_unary_run()
     if l == 0:
         return 1
@@ -221,7 +415,13 @@ def write_zeta(writer: BitWriter, x: int, k: int) -> int:
 
 def read_zeta(reader: BitReader, k: int) -> int:
     """Read a zeta_k code."""
-    h = read_unary(reader) - 1
+    vals, lens = _zeta_table(k)
+    w16 = reader.peek_bits(16)
+    n = lens[w16]
+    if n:
+        reader.skip(n)
+        return vals[w16]
+    h = reader.read_unary_run()
     low = 1 << (h * k)
     return low + read_minimal_binary(reader, (low << k) - low)
 
@@ -403,6 +603,64 @@ def decode_simple16(reader: BitReader, count: int) -> List[int]:
         for width in _SIMPLE16_MODES[selector]:
             out.append(reader.read_bits(width))
     return out[:count]
+
+
+# --------------------------------------------------------------------------
+# Bulk readers
+#
+# Decode whole runs of codes through the 16-bit tables with the reader
+# state held in locals; the per-record decoders (structure, timestamps)
+# are built on these.  Each returns exactly ``count`` values or raises the
+# same exceptions as its scalar counterpart mid-run.
+# --------------------------------------------------------------------------
+
+def read_many_unary(reader: BitReader, count: int) -> List[int]:
+    """Read ``count`` unary codes (values >= 1)."""
+    vals, lens = _unary_table()
+    return _read_many_table(reader, count, vals, lens, read_unary)
+
+
+def read_many_gamma(reader: BitReader, count: int) -> List[int]:
+    """Read ``count`` Elias gamma codes (values >= 1)."""
+    vals, lens = _gamma_table()
+    return _read_many_table(reader, count, vals, lens, read_gamma)
+
+
+def read_many_gamma_natural(reader: BitReader, count: int) -> List[int]:
+    """Read ``count`` gamma-coded naturals (values >= 0)."""
+    vals, lens = _gamma_table()
+    return [x - 1 for x in _read_many_table(reader, count, vals, lens, read_gamma)]
+
+
+def read_many_zeta(reader: BitReader, count: int, k: int) -> List[int]:
+    """Read ``count`` zeta_k codes (values >= 1)."""
+    vals, lens = _zeta_table(k)
+    return _read_many_table(
+        reader, count, vals, lens, lambda r: read_zeta(r, k)
+    )
+
+
+def read_many_zeta_natural(reader: BitReader, count: int, k: int) -> List[int]:
+    """Read ``count`` zeta_k-coded naturals (values >= 0)."""
+    return [x - 1 for x in read_many_zeta(reader, count, k)]
+
+
+def read_many_zeta_natural_pairs(
+    reader: BitReader, count: int, k_a: int, k_b: int
+) -> Tuple[List[int], List[int]]:
+    """Read ``count`` interleaved (zeta_k_a, zeta_k_b) natural pairs.
+
+    This is the layout of interval-graph timestamp records: a timestamp gap
+    followed by its duration, each with its own shrinking parameter.
+    """
+    vals_a, lens_a = _zeta_table(k_a)
+    vals_b, lens_b = _zeta_table(k_b)
+    raw_a, raw_b = _read_many_table_pairs(
+        reader, count,
+        vals_a, lens_a, lambda r: read_zeta(r, k_a),
+        vals_b, lens_b, lambda r: read_zeta(r, k_b),
+    )
+    return [x - 1 for x in raw_a], [x - 1 for x in raw_b]
 
 
 def iter_code_lengths(values: Iterable[int], k: int) -> int:

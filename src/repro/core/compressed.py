@@ -9,12 +9,24 @@ Every query seeks straight to a node's records through the offset indexes,
 decodes only what it needs, and never touches the rest of the graph -- this
 is why the paper's access times depend on the average degree, not the graph
 size (Section V-D).
+
+Two layers keep the decode cost off the hot path:
+
+* a bounded, memory-budgeted LRU of fully decoded node records (neighbor
+  multiset, timestamps, durations) so repeated queries against the same
+  node decode it once -- see :meth:`CompressedChronoGraph.cache_stats`,
+  :meth:`configure_cache` and :meth:`clear_cache`;
+* sequential-scan fast paths (:meth:`snapshot`, :meth:`to_static_graph`,
+  :meth:`iter_contacts`, :meth:`iter_window_neighbors`) that walk the
+  streams in storage order and decode every node at most once per pass,
+  resolving reference chains from a rolling window instead of re-seeking.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bits import codes
 from repro.bits.bitio import BitReader
@@ -37,6 +49,14 @@ _DECODE_FAILURES = (
 HEADER_BITS = 5 * 64
 
 _DISTINCT_CACHE_CAP = 4096
+
+#: Default memory budget of the decoded-record cache, in (estimated) bytes.
+DEFAULT_CACHE_BUDGET_BYTES = 32 << 20
+
+_UNSET = object()
+
+#: A decoded node record: (neighbor multiset, timestamps, durations-or-None).
+NodeRecord = Tuple[List[int], List[int], Optional[List[int]]]
 
 
 class CompressedChronoGraph:
@@ -71,6 +91,13 @@ class CompressedChronoGraph:
         self._soffsets = structure_offsets
         self._toffsets = timestamp_offsets
         self._distinct_cache: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._record_cache: "OrderedDict[int, NodeRecord]" = OrderedDict()
+        self._cache_bytes = 0
+        self._cache_max_bytes: Optional[int] = DEFAULT_CACHE_BUDGET_BYTES
+        self._cache_max_entries: Optional[int] = None
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
 
     # -- size accounting -----------------------------------------------------
 
@@ -102,6 +129,101 @@ class CompressedChronoGraph:
         if self.num_contacts == 0:
             return 0.0
         return self.timestamp_size_bits / self.num_contacts
+
+    # -- decoded-record cache ------------------------------------------------
+
+    @staticmethod
+    def _record_cost(record: NodeRecord) -> int:
+        """Deterministic byte estimate of a cached record.
+
+        Roughly a CPython small int (28 bytes) plus a list slot (8) per
+        element, plus fixed list/tuple overhead; exactness does not matter,
+        only that the budget scales with decoded size.
+        """
+        multiset, times, durations = record
+        elements = len(multiset) + len(times)
+        if durations is not None:
+            elements += len(durations)
+        return 120 + 36 * elements
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Hit/miss/eviction counters and current occupancy of the record cache.
+
+        Every record-level lookup (one per query, one per node of a
+        sequential pass) counts exactly one hit or one miss; evictions
+        count records dropped to honour the budget, not overwrites.
+        """
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+            "entries": len(self._record_cache),
+            "current_bytes": self._cache_bytes,
+            "max_bytes": self._cache_max_bytes,
+            "max_entries": self._cache_max_entries,
+        }
+
+    def configure_cache(self, *, max_bytes=_UNSET, max_entries=_UNSET) -> None:
+        """Re-bound the record cache; ``None`` lifts that bound.
+
+        ``max_bytes`` budgets the estimated decoded footprint
+        (:meth:`_record_cost`); ``max_entries`` caps the record count.
+        Shrinking evicts least-recently-used records immediately.
+        """
+        if max_bytes is not _UNSET:
+            self._cache_max_bytes = max_bytes
+        if max_entries is not _UNSET:
+            self._cache_max_entries = max_entries
+        self._evict_to_fit()
+
+    def clear_cache(self) -> None:
+        """Drop every cached decoded record (counters are preserved)."""
+        self._record_cache.clear()
+        self._cache_bytes = 0
+
+    def _evict_to_fit(self) -> None:
+        cache = self._record_cache
+        max_bytes = self._cache_max_bytes
+        max_entries = self._cache_max_entries
+        while cache and (
+            (max_entries is not None and len(cache) > max_entries)
+            or (max_bytes is not None and self._cache_bytes > max_bytes)
+        ):
+            _, evicted = cache.popitem(last=False)
+            self._cache_bytes -= self._record_cost(evicted)
+            self._cache_evictions += 1
+
+    def _cache_put(self, u: int, record: NodeRecord) -> None:
+        max_entries = self._cache_max_entries
+        if max_entries is not None and max_entries <= 0:
+            return
+        cost = self._record_cost(record)
+        max_bytes = self._cache_max_bytes
+        if max_bytes is not None and cost > max_bytes:
+            return  # would evict the whole cache for a single-use record
+        cache = self._record_cache
+        old = cache.pop(u, None)
+        if old is not None:
+            self._cache_bytes -= self._record_cost(old)
+        cache[u] = record
+        self._cache_bytes += cost
+        self._evict_to_fit()
+
+    def _decode_record(self, u: int) -> NodeRecord:
+        """The fully decoded record of ``u``, through the LRU cache."""
+        self._check_node(u)
+        record = self._record_cache.get(u)
+        if record is not None:
+            self._cache_hits += 1
+            self._record_cache.move_to_end(u)
+            return record
+        self._cache_misses += 1
+        dedup, singles = self._decode_structure(u)
+        multiset = multiset_from_parts(dedup, singles)
+        times, durations = self._decode_timestamps(u, len(multiset))
+        record = (multiset, times, durations)
+        self._cache_put(u, record)
+        return record
 
     # -- decoding ------------------------------------------------------------
 
@@ -139,12 +261,8 @@ class CompressedChronoGraph:
         try:
             reader = self._structure_reader(u)
             dedup_count = codes.read_gamma_natural(reader)
-            for i in range(dedup_count):
-                if i == 0:
-                    codes.read_gamma_integer(reader)
-                else:
-                    codes.read_gamma_natural(reader)
-                codes.read_gamma_natural(reader)
+            if dedup_count:
+                codes.read_many_gamma_natural(reader, 2 * dedup_count)
             r = codes.read_gamma_natural(reader)
         except FormatError:
             raise
@@ -175,9 +293,7 @@ class CompressedChronoGraph:
 
     def decode_multiset(self, u: int) -> List[int]:
         """The label-sorted neighbor multiset of ``u`` (Figure 5(a) order)."""
-        self._check_node(u)
-        dedup, singles = self._decode_structure(u)
-        return multiset_from_parts(dedup, singles)
+        return list(self._decode_record(u)[0])
 
     def _decode_timestamps(
         self, u: int, count: int
@@ -200,8 +316,7 @@ class CompressedChronoGraph:
 
     def contacts_of(self, u: int) -> List[Contact]:
         """All contacts of ``u``, decoded, in (label, time) order."""
-        multiset = self.decode_multiset(u)
-        times, durations = self._decode_timestamps(u, len(multiset))
+        multiset, times, durations = self._decode_record(u)
         if durations is None:
             return [Contact(u, v, t) for v, t in zip(multiset, times)]
         return [
@@ -213,18 +328,96 @@ class CompressedChronoGraph:
         self._check_node(u)
         return self._resolve_distinct(u)
 
-    # -- temporal queries (Section IV-F) --------------------------------------
+    # -- sequential scans ------------------------------------------------------
 
-    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
-        """Sorted distinct neighbors of ``u`` active within [t_start, t_end]."""
-        multiset = self.decode_multiset(u)
-        times, durations = self._decode_timestamps(u, len(multiset))
+    def _iter_records(self) -> Iterator[Tuple[int, NodeRecord]]:
+        """Yield ``(u, record)`` in storage order, decoding each node once.
+
+        Both streams are walked with a single reader each; reference chains
+        resolve against the distinct lists of the last ``config.window``
+        nodes (the only legal targets), so a full pass never re-seeks or
+        re-decodes an earlier record.  Cached records short-circuit their
+        decode but still feed the rolling reference window.
+        """
+        n = self.num_nodes
+        if n == 0:
+            return
+        config = self.config
+        window = config.window
+        limit = self.num_contacts
+        with_durations = self.kind is GraphKind.INTERVAL
+        sreader = BitReader(self._sbytes, self._sbits)
+        treader = BitReader(self._tbytes, self._tbits)
+        cache = self._record_cache
+        recent: Dict[int, List[int]] = {}
+
+        def resolve(v: int) -> List[int]:
+            got = recent.get(v)
+            if got is not None:
+                return got
+            # Out-of-window reference: only reachable on corrupt streams or
+            # window=0 configs; fall back to the random-access resolver.
+            return self._resolve_distinct(v)
+
+        for u in range(n):
+            record = cache.get(u)
+            if record is not None:
+                self._cache_hits += 1
+                cache.move_to_end(u)
+            else:
+                self._cache_misses += 1
+                try:
+                    sreader.seek(self._soffsets.access(u))
+                    dedup, singles = decode_node_structure(
+                        sreader, u, resolve, config, limit=limit
+                    )
+                except FormatError:
+                    raise
+                except _DECODE_FAILURES as exc:
+                    raise self._corrupt(u, "structure", exc) from exc
+                multiset = multiset_from_parts(dedup, singles)
+                try:
+                    treader.seek(self._toffsets.access(u))
+                    times, durations = decode_node_timestamps(
+                        treader,
+                        len(multiset),
+                        with_durations,
+                        self.t_min,
+                        config.timestamp_zeta_k,
+                        config.duration_zeta_k,
+                    )
+                except FormatError:
+                    raise
+                except _DECODE_FAILURES as exc:
+                    raise self._corrupt(u, "timestamp", exc) from exc
+                record = (multiset, times, durations)
+                self._cache_put(u, record)
+            if window > 0:
+                distinct: List[int] = []
+                last = None
+                for v in record[0]:
+                    if v != last:
+                        distinct.append(v)
+                        last = v
+                recent[u] = distinct
+                recent.pop(u - window, None)
+            yield u, record
+
+    def _active_neighbors(
+        self,
+        multiset: List[int],
+        times: List[int],
+        durations: Optional[List[int]],
+        t_start: int,
+        t_end: int,
+    ) -> List[int]:
+        """Sorted distinct labels active within the window, from a record."""
         out: List[int] = []
+        if t_end < t_start:
+            return out
         kind = self.kind
         # Inline the per-kind activity predicate: this is the hot loop of
         # every neighbor query and of the graph algorithms built on it.
-        if t_end < t_start:
-            return out
         if kind is GraphKind.POINT:
             for v, t in zip(multiset, times):
                 if t_start <= t <= t_end and (not out or out[-1] != v):
@@ -240,41 +433,39 @@ class CompressedChronoGraph:
                         out.append(v)
         return out
 
+    # -- temporal queries (Section IV-F) --------------------------------------
+
+    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+        """Sorted distinct neighbors of ``u`` active within [t_start, t_end]."""
+        multiset, times, durations = self._decode_record(u)
+        return self._active_neighbors(multiset, times, durations, t_start, t_end)
+
     def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
         """Algorithm 1: is ``v`` a neighbor of ``u`` during [t_start, t_end]?
 
-        Scans the label-sorted multiset with early exit; timestamps are only
-        decoded when the neighbor is present at all.
+        Binary-searches the label-sorted multiset for the ``v``-run;
+        timestamps come from the same cached record.
         """
-        self._check_node(u)
-        multiset = self.decode_multiset(u)
-        start = end = -1
-        for i, label in enumerate(multiset):
-            if label == v:
-                if start < 0:
-                    start = i
-                end = i
-            elif label > v:
-                break
-        if start < 0:
+        multiset, times, durations = self._decode_record(u)
+        start = bisect_left(multiset, v)
+        if start == len(multiset) or multiset[start] != v:
             return False
-        times, durations = self._decode_timestamps(u, end + 1)
-        for i in range(start, end + 1):
+        end = bisect_right(multiset, v, start)
+        kind = self.kind
+        for i in range(start, end):
             duration = durations[i] if durations is not None else 0
             c = Contact(u, v, times[i], duration)
-            if c.is_active(t_start, t_end, self.kind):
+            if c.is_active(t_start, t_end, kind):
                 return True
         return False
 
     def edge_timestamps(self, u: int, v: int) -> List[int]:
         """All activation timestamps of the edge (u, v), ascending."""
-        self._check_node(u)
-        multiset = self.decode_multiset(u)
-        positions = [i for i, label in enumerate(multiset) if label == v]
-        if not positions:
+        multiset, times, _ = self._decode_record(u)
+        start = bisect_left(multiset, v)
+        if start == len(multiset) or multiset[start] != v:
             return []
-        times, _ = self._decode_timestamps(u, positions[-1] + 1)
-        return [times[i] for i in positions]
+        return times[start : bisect_right(multiset, v, start)]
 
     def neighbors_before(self, u: int, t: int) -> List[int]:
         """Neighbors active strictly before ``t`` (Section IV-F).
@@ -287,23 +478,30 @@ class CompressedChronoGraph:
         return self.neighbors(u, self.t_min, t - 1)
 
     def neighbors_after(self, u: int, t: int) -> List[int]:
-        """Neighbors active at or after ``t`` (Section IV-F).
+        """Neighbors active at or after ``t`` (Section IV-F), sorted distinct.
 
         Incremental edges never deactivate, so any edge is "after" every
         ``t`` at or past its creation; interval contacts count when their
-        activity reaches ``t`` or later.
+        activity reaches ``t`` or later.  The multiset is label-sorted, so
+        deduplicating against the last emitted label already yields the
+        sorted distinct output.
         """
+        multiset, times, durations = self._decode_record(u)
         out: List[int] = []
-        for c in self.contacts_of(u):
-            if self.kind is GraphKind.POINT:
-                active = c.time >= t
-            elif self.kind is GraphKind.INCREMENTAL:
-                active = True
-            else:
-                active = c.duration > 0 and c.end > t
-            if active and (not out or out[-1] != c.v):
-                out.append(c.v)
-        return sorted(set(out))
+        kind = self.kind
+        if kind is GraphKind.POINT:
+            for v, ts in zip(multiset, times):
+                if ts >= t and (not out or out[-1] != v):
+                    out.append(v)
+        elif kind is GraphKind.INCREMENTAL:
+            for v in multiset:
+                if not out or out[-1] != v:
+                    out.append(v)
+        else:
+            for v, ts, d in zip(multiset, times, durations):
+                if d > 0 and ts + d > t and (not out or out[-1] != v):
+                    out.append(v)
+        return out
 
     def edge_activity(self, u: int, v: int) -> List[Tuple[int, int]]:
         """(start, end-exclusive) activity spans of edge (u, v), sorted.
@@ -322,21 +520,92 @@ class CompressedChronoGraph:
                 spans.append((c.time, c.time + 1))
         return spans
 
+    def _iter_distinct(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(u, distinct neighbors)`` in storage order, structure only.
+
+        The timestamp stream is never touched; distinct lists come from the
+        distinct-list cache, the record cache, or a sequential
+        structure-only decode (references resolved from the rolling
+        window), and feed the distinct-list cache so repeat passes are pure
+        hits.  Record-cache counters are untouched: nothing here is a
+        record-level lookup.
+        """
+        n = self.num_nodes
+        if n == 0:
+            return
+        config = self.config
+        window = config.window
+        limit = self.num_contacts
+        dcache = self._distinct_cache
+        sreader = BitReader(self._sbytes, self._sbits)
+        recent: Dict[int, List[int]] = {}
+
+        def resolve(v: int) -> List[int]:
+            got = recent.get(v)
+            if got is not None:
+                return got
+            return self._resolve_distinct(v)
+
+        for u in range(n):
+            distinct = dcache.get(u)
+            if distinct is None:
+                record = self._record_cache.get(u)
+                if record is not None:
+                    distinct = []
+                    last = None
+                    for v in record[0]:
+                        if v != last:
+                            distinct.append(v)
+                            last = v
+                else:
+                    try:
+                        sreader.seek(self._soffsets.access(u))
+                        dedup, singles = decode_node_structure(
+                            sreader, u, resolve, config, limit=limit
+                        )
+                    except FormatError:
+                        raise
+                    except _DECODE_FAILURES as exc:
+                        raise self._corrupt(u, "structure", exc) from exc
+                    distinct = sorted({*(label for label, _ in dedup), *singles})
+                dcache[u] = distinct
+                if len(dcache) > _DISTINCT_CACHE_CAP:
+                    dcache.popitem(last=False)
+            if window > 0:
+                recent[u] = distinct
+                recent.pop(u - window, None)
+            yield u, distinct
+
     def to_static_graph(self) -> List[Tuple[int, int]]:
         """The "flattened" aggregated view of Figure 1(a): distinct edges."""
         edges: List[Tuple[int, int]] = []
-        for u in range(self.num_nodes):
-            for v in self.distinct_neighbors(u):
+        for u, distinct in self._iter_distinct():
+            for v in distinct:
                 edges.append((u, v))
         return edges
 
     def snapshot(self, t_start: int, t_end: int) -> List[Tuple[int, int]]:
         """All distinct edges active within the interval, sorted."""
         edges: List[Tuple[int, int]] = []
-        for u in range(self.num_nodes):
-            for v in self.neighbors(u, t_start, t_end):
+        for u, (multiset, times, durations) in self._iter_records():
+            for v in self._active_neighbors(
+                multiset, times, durations, t_start, t_end
+            ):
                 edges.append((u, v))
         return edges
+
+    def iter_window_neighbors(
+        self, t_start: int, t_end: int
+    ) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(u, active neighbors)`` for every node, one decode per node.
+
+        The bulk form of :meth:`neighbors` used by full-graph consumers
+        (the vertex-centric engine's undirected symmetrisation, exports).
+        """
+        for u, (multiset, times, durations) in self._iter_records():
+            yield u, self._active_neighbors(
+                multiset, times, durations, t_start, t_end
+            )
 
     def iter_contacts(self):
         """Yield every contact in (u, v, time) storage order, lazily.
@@ -345,20 +614,22 @@ class CompressedChronoGraph:
         counters, bulk loads) never hold more than one node's contacts
         beyond the output itself.
         """
-        for u in range(self.num_nodes):
-            yield from self.contacts_of(u)
+        for u, (multiset, times, durations) in self._iter_records():
+            if durations is None:
+                for v, t in zip(multiset, times):
+                    yield Contact(u, v, t)
+            else:
+                for v, t, d in zip(multiset, times, durations):
+                    yield Contact(u, v, t, d)
 
     def to_temporal_graph(self) -> "object":
         """Full decompression back to a :class:`repro.graph.model.TemporalGraph`."""
         from repro.graph.model import TemporalGraph
 
-        contacts: List[Contact] = []
-        for u in range(self.num_nodes):
-            contacts.extend(self.contacts_of(u))
         return TemporalGraph(
             self.kind,
             self.num_nodes,
-            contacts,
+            list(self.iter_contacts()),
             name=self.name,
             granularity="stored",
             sort=False,

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bits import codes
 from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.zigzag import to_integer
 from repro.core.config import ChronoGraphConfig
 from repro.errors import LimitExceededError
 
@@ -283,6 +284,12 @@ def decode_node_structure(
     corrupt count or interval length that would breach it raises
     :class:`repro.errors.LimitExceededError` *before* any proportional
     allocation, so a flipped bit cannot trigger a multi-gigabyte list.
+
+    Each block is a homogeneous run of codes, so the body is built on the
+    ``read_many_*`` bulk readers: the block's count is read first, its
+    guaranteed minimum expansion is charged against ``limit`` (bounding the
+    bulk allocation), then the whole run is table-decoded at once and the
+    remainder of each element's expansion charged exactly as before.
     """
     budget = limit
 
@@ -298,59 +305,63 @@ def decode_node_structure(
 
     dedup: List[DedupPair] = []
     dedup_count = codes.read_gamma_natural(reader)
-    prev: Optional[int] = None
-    for i in range(dedup_count):
-        if i == 0:
-            gap = codes.read_gamma_integer(reader)
-            label = node + gap
-        else:
-            gap = codes.read_gamma_natural(reader)
-            label = prev + gap + 1
-        count = codes.read_gamma_natural(reader) + 2
-        charge(count)
+    if dedup_count:
+        charge(2 * dedup_count)  # every dedup pair expands to >= 2 labels
+        raw = codes.read_many_gamma_natural(reader, 2 * dedup_count)
+        label = node + to_integer(raw[0])
+        count = raw[1] + 2
+        charge(count - 2)
         dedup.append((label, count))
         prev = label
+        for i in range(1, dedup_count):
+            label = prev + raw[2 * i] + 1
+            count = raw[2 * i + 1] + 2
+            charge(count - 2)
+            dedup.append((label, count))
+            prev = label
 
     r = codes.read_gamma_natural(reader)
     copied: List[int] = []
     if r:
         run_count = codes.read_gamma_natural(reader)
-        runs: List[int] = []
-        for i in range(run_count):
-            run = codes.read_gamma_natural(reader)
-            runs.append(run if i == 0 else run + 1)
+        raw = codes.read_many_gamma_natural(reader, run_count)
+        runs = raw[:1] + [run + 1 for run in raw[1:]]
         reference_list = resolve_distinct(node - r)
         copied = expand_copy_blocks(reference_list, runs)
         charge(len(copied))
 
     intervals: List[int] = []
     interval_count = codes.read_gamma_natural(reader)
-    prev_end: Optional[int] = None
-    for i in range(interval_count):
-        if i == 0:
-            gap = codes.read_gamma_integer(reader)
-            left = node + gap
-        else:
-            gap = codes.read_gamma_natural(reader)
-            left = prev_end + gap + 2
-        length = codes.read_gamma_natural(reader) + config.min_interval_length
-        charge(length)
+    if interval_count:
+        min_length = config.min_interval_length
+        charge(interval_count * min_length)
+        raw = codes.read_many_gamma_natural(reader, 2 * interval_count)
+        left = node + to_integer(raw[0])
+        length = raw[1] + min_length
+        charge(length - min_length)
         intervals.extend(range(left, left + length))
         prev_end = left + length - 1
+        for i in range(1, interval_count):
+            left = prev_end + raw[2 * i] + 2
+            length = raw[2 * i + 1] + min_length
+            charge(length - min_length)
+            intervals.extend(range(left, left + length))
+            prev_end = left + length - 1
 
     extras: List[int] = []
     extra_count = codes.read_gamma_natural(reader)
     charge(extra_count)
-    prev = None
-    for i in range(extra_count):
-        if i == 0:
-            gap = codes.read_zeta_integer(reader, config.structure_zeta_k)
-            label = node + gap
-        else:
-            gap = codes.read_zeta_natural(reader, config.structure_zeta_k)
-            label = prev + gap + 1
+    if extra_count:
+        raw = codes.read_many_zeta_natural(
+            reader, extra_count, config.structure_zeta_k
+        )
+        label = node + to_integer(raw[0])
         extras.append(label)
         prev = label
+        for gap in raw[1:]:
+            label = prev + gap + 1
+            extras.append(label)
+            prev = label
 
     singles = sorted(copied + intervals + extras)
     return dedup, singles

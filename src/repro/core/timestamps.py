@@ -71,20 +71,29 @@ def decode_node_timestamps(
     zeta_k: int,
     duration_zeta_k: Optional[int] = None,
 ) -> Tuple[List[int], Optional[List[int]]]:
-    """Decode ``count`` timestamps (and durations) from the reader cursor."""
+    """Decode ``count`` timestamps (and durations) from the reader cursor.
+
+    The record is one homogeneous zeta run (or an interleaved pair run for
+    interval graphs), so the whole node decodes through the bulk readers;
+    only the prefix-sum over the Eq. (1)-folded gaps stays per-element.
+    """
     dk = zeta_k if duration_zeta_k is None else duration_zeta_k
-    timestamps: List[int] = []
-    durations: Optional[List[int]] = [] if with_durations else None
-    prev: Optional[int] = None
-    for i in range(count):
-        if prev is None:
-            t = t_min + codes.read_zeta_natural(reader, zeta_k)
-        else:
-            t = prev + codes.read_zeta_integer(reader, zeta_k)
-        timestamps.append(t)
-        if durations is not None:
-            durations.append(codes.read_zeta_natural(reader, dk))
-        prev = t
+    if count <= 0:
+        return [], ([] if with_durations else None)
+    if with_durations:
+        raw, durations = codes.read_many_zeta_natural_pairs(
+            reader, count, zeta_k, dk
+        )
+    else:
+        raw = codes.read_many_zeta_natural(reader, count, zeta_k)
+        durations = None
+    t = t_min + raw[0]
+    timestamps = [t]
+    append = timestamps.append
+    for gap in raw[1:]:
+        # Inlined Eq. (1) unfolding (repro.bits.zigzag.to_integer).
+        t += (gap >> 1) if not gap & 1 else -((gap + 1) >> 1)
+        append(t)
     return timestamps, durations
 
 

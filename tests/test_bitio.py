@@ -72,6 +72,63 @@ class TestBitWriter:
         assert a.extend(b) == 0
         assert len(a) == 2
 
+    def test_extend_byte_aligned_destination(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0xAB, 8)
+        b.write_bits(0xCDE, 12)
+        a.extend(b)
+        assert len(a) == 20
+        assert a.to_bytes() == bytes.fromhex("abcde0")
+
+    def test_extend_unaligned_multibyte_source(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0b101, 3)
+        b.write_bits(0x0123456789, 40)  # 5 whole bytes plus no tail
+        a.extend(b)
+        assert len(a) == 43
+        r = BitReader(a.to_bytes(), 43)
+        assert r.read_bits(3) == 0b101
+        assert r.read_bits(40) == 0x0123456789
+
+    def test_extend_source_with_pending_tail(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0b1, 1)
+        b.write_bits(0xFF, 8)
+        b.write_bits(0b011, 3)  # leaves 3 bits in the source accumulator
+        a.extend(b)
+        r = BitReader(a.to_bytes(), len(a))
+        assert r.read_bits(1) == 1
+        assert r.read_bits(8) == 0xFF
+        assert r.read_bits(3) == 0b011
+
+    def test_extend_does_not_mutate_source(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0b10, 2)
+        b.write_bits(0x1ABC, 13)
+        before = (bytes(b._bytes), b._acc, b._nacc, len(b))
+        a.extend(b)
+        assert (bytes(b._bytes), b._acc, b._nacc, len(b)) == before
+
+    @given(
+        st.lists(st.tuples(st.integers(min_value=0), st.integers(1, 40)), max_size=20),
+        st.lists(st.tuples(st.integers(min_value=0), st.integers(1, 40)), max_size=20),
+    )
+    def test_property_extend_equals_sequential_writes(self, left, right):
+        """extend(b) yields the same stream as writing b's fields directly."""
+        left = [(v & ((1 << w) - 1), w) for v, w in left]
+        right = [(v & ((1 << w) - 1), w) for v, w in right]
+        spliced, direct = BitWriter(), BitWriter()
+        source = BitWriter()
+        for value, width in left:
+            spliced.write_bits(value, width)
+            direct.write_bits(value, width)
+        for value, width in right:
+            source.write_bits(value, width)
+            direct.write_bits(value, width)
+        spliced.extend(source)
+        assert len(spliced) == len(direct)
+        assert spliced.to_bytes() == direct.to_bytes()
+
 
 class TestBitReader:
     def test_read_single_bits(self):

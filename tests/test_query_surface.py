@@ -87,3 +87,70 @@ class TestStaticView:
     def test_static_view_ignores_time(self):
         cg = _cg([(0, 1, 5), (0, 1, 500), (0, 1, 5000)])
         assert cg.to_static_graph() == [(0, 1)]
+
+
+class TestNeighborsAfterOrder:
+    """neighbors_after must return sorted distinct labels without a sort pass.
+
+    The multiset is label-sorted, so adjacent-deduplication suffices; these
+    tests pin the output order so the implementation cannot quietly drop
+    either the sortedness or the deduplication.
+    """
+
+    def test_point_output_sorted_distinct(self):
+        cg = _cg([(0, 5, 1), (0, 2, 9), (0, 5, 3), (0, 2, 4), (0, 9, 2)])
+        assert cg.neighbors_after(0, 0) == [2, 5, 9]
+        assert cg.neighbors_after(0, 3) == [2, 5]
+        assert cg.neighbors_after(0, 5) == [2]
+
+    def test_duplicate_contacts_collapse_once(self):
+        cg = _cg([(0, 1, t) for t in range(10)] + [(0, 3, 4)])
+        assert cg.neighbors_after(0, 0) == [1, 3]
+        assert cg.neighbors_after(0, 5) == [1]
+
+    def test_incremental_sorted_distinct(self):
+        cg = _cg(
+            [(0, 4, 1), (0, 2, 2), (0, 4, 3)], kind=GraphKind.INCREMENTAL
+        )
+        assert cg.neighbors_after(0, 99) == [2, 4]
+
+    def test_interval_sorted_distinct(self):
+        cg = _cg(
+            [(0, 7, 1, 5), (0, 3, 2, 5), (0, 7, 2, 1)],
+            kind=GraphKind.INTERVAL,
+        )
+        assert cg.neighbors_after(0, 4) == [3, 7]
+
+
+class TestHasEdgeDuplicateRuns:
+    """has_edge binary-searches the label run; repeats must all be probed."""
+
+    def test_match_in_middle_of_run(self):
+        cg = _cg([(0, 2, 1), (0, 2, 50), (0, 2, 99)])
+        assert cg.has_edge(0, 2, 40, 60)
+        assert not cg.has_edge(0, 2, 10, 30)
+
+    def test_match_at_last_contact_of_run(self):
+        cg = _cg([(0, 2, 1), (0, 2, 2), (0, 2, 90)])
+        assert cg.has_edge(0, 2, 80, 100)
+
+    def test_absent_label_between_runs(self):
+        cg = _cg([(0, 1, 5), (0, 1, 6), (0, 3, 5), (0, 3, 6)])
+        assert not cg.has_edge(0, 2, 0, 100)
+        assert not cg.has_edge(0, 0, 0, 100)
+        assert not cg.has_edge(0, 4, 0, 100)
+
+    def test_interval_run_with_mixed_durations(self):
+        cg = _cg(
+            [(0, 2, 1, 0), (0, 2, 5, 10), (0, 2, 30, 0)],
+            kind=GraphKind.INTERVAL,
+        )
+        # Only the middle contact is ever active (duration 0 is inactive).
+        assert cg.has_edge(0, 2, 7, 8)
+        assert not cg.has_edge(0, 2, 30, 40)
+
+    def test_first_and_last_labels_of_multiset(self):
+        cg = _cg([(0, 0, 5), (0, 0, 6), (0, 9, 5), (0, 9, 6)], n=10)
+        assert cg.has_edge(0, 0, 5, 5)
+        assert cg.has_edge(0, 9, 6, 6)
+        assert not cg.has_edge(0, 9, 7, 9)
