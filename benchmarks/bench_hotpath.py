@@ -44,6 +44,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.bits.bitio import BitWriter  # noqa: E402
 from repro.core import compress  # noqa: E402
 from repro.datasets.synthetic import comm_net, powerlaw_graph  # noqa: E402
+from repro.storage.atomic import atomic_write_text  # noqa: E402
 
 SCHEMA = "chronograph-bench-hotpath/v1"
 DEFAULT_OUT = REPO_ROOT / "BENCH_hotpath.json"
@@ -396,7 +397,7 @@ def main(argv: List[str] | None = None) -> int:
         document["quick_ops"] = quick_run["ops"]
         document["quick_calibration_us"] = quick_run["calibration_us"]
 
-    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(args.out, json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {args.out}")
     return 0
 

@@ -9,10 +9,12 @@ can be redrawn from a reproduction run without touching Python.
 from __future__ import annotations
 
 import csv
+import io
 import pathlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.report import load_results
+from repro.storage.atomic import atomic_write_text
 
 
 def _rows_fig2(data: Dict) -> Tuple[List[str], List[List]]:
@@ -76,9 +78,10 @@ def export_figures(
             continue
         header, rows = exporter(data)
         path = out_dir / f"{name}.csv"
-        with path.open("w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(header)
-            writer.writerows(rows)
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        writer.writerow(header)
+        writer.writerows(rows)
+        atomic_write_text(path, buffer.getvalue())
         written.append(path)
     return written

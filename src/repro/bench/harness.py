@@ -124,6 +124,8 @@ def results_dir() -> pathlib.Path:
 
 def save_results(name: str, payload: object) -> pathlib.Path:
     """Persist a benchmark's results as JSON under ``benchmarks/out/``."""
+    from repro.storage.atomic import atomic_write_text
+
     path = results_dir() / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.bench.harness import BENCH_METHODS
 from repro.bench.report import load_results
+from repro.storage.atomic import atomic_write_text
 
 _COMPETITORS = [m for m in BENCH_METHODS if m not in ("Raw", "Gzip")]
 
@@ -92,6 +93,6 @@ def export_latex(
         block = renderer(results)
         if block:
             path = out_dir / name
-            path.write_text(block + "\n")
+            atomic_write_text(path, block + "\n")
             written.append(path)
     return written

@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``)::
     python -m repro query flows.chrono edge 17 44 100 200
     python -m repro sweep yahoo-sub --scale 0.2
     python -m repro gapstats flows.txt --strategy previous
+    python -m repro ingest flows.chrono new_flows.txt
+    python -m repro recover flows.chrono
+    python -m repro compact flows.chrono
 
 Every subcommand is a thin shell over the library API so scripted use and
 programmatic use stay equivalent.
@@ -93,6 +96,30 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="additionally decode every node front to back")
     p.add_argument("--salvage", action="store_true",
                    help="best-effort decode; report the longest valid prefix")
+
+    p = sub.add_parser(
+        "ingest", help="append contacts from a contact list to a .chrono WAL"
+    )
+    p.add_argument("base", help=".chrono base snapshot")
+    p.add_argument("input", help="contact list with the new contacts")
+    p.add_argument("--wal", default=None, help="WAL path (default: <base>.wal)")
+    p.add_argument("--batch", type=int, default=1024,
+                   help="contacts per committed (fsynced) batch")
+
+    p = sub.add_parser(
+        "recover", help="replay a .chrono WAL and report what survives"
+    )
+    p.add_argument("base", help=".chrono base snapshot")
+    p.add_argument("--wal", default=None, help="WAL path (default: <base>.wal)")
+    p.add_argument("--repair", action="store_true",
+                   help="truncate a torn WAL tail in place")
+
+    p = sub.add_parser(
+        "compact",
+        help="fold base+WAL into a fresh snapshot and reset the log",
+    )
+    p.add_argument("base", help=".chrono base snapshot")
+    p.add_argument("--wal", default=None, help="WAL path (default: <base>.wal)")
 
     p = sub.add_parser(
         "figures", help="export figure series (CSV) and tables (LaTeX)"
@@ -287,6 +314,81 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_ingest(args) -> int:
+    # Exit codes: 0 all contacts committed; 2 unreadable input/base/WAL,
+    # kind mismatch, or a WAL bound to a different snapshot (raised as
+    # FormatError/OSError and mapped in main()).
+    from repro.graph.aggregate import _aggregate_duration
+    from repro.graph.model import Contact, GraphKind
+    from repro.storage.recovery import default_wal_path, open_for_ingest
+
+    incoming = read_contact_text(args.input)
+    graph, wal = open_for_ingest(args.base, args.wal)
+    try:
+        if incoming.kind is not graph.kind:
+            print(f"error: {args.input} is {incoming.kind.value} but "
+                  f"{args.base} is {graph.kind.value}", file=sys.stderr)
+            return 2
+        # Bucket at ingest, exactly like GrowableChronoGraph.add_contact:
+        # the WAL stores contacts in the base snapshot's stored time units.
+        resolution = graph.config.resolution
+        interval = graph.kind is GraphKind.INTERVAL
+        batch_size = max(1, args.batch)
+        committed = 0
+        for c in incoming.contacts:
+            if resolution > 1:
+                duration = (
+                    _aggregate_duration(c.time, c.duration, resolution)
+                    if interval else 0
+                )
+                c = Contact(c.u, c.v, c.time // resolution, duration)
+            wal.append([c])
+            if wal.pending_contacts >= batch_size:
+                committed += wal.commit()
+        committed += wal.commit()
+        wal_path = args.wal or default_wal_path(args.base)
+        print(f"ingested {committed} contacts into {wal_path} "
+              f"(generation {wal.header.generation})")
+        if wal.repaired_bytes:
+            print(f"  repaired: dropped {wal.repaired_bytes} torn trailing "
+                  f"bytes before appending")
+    finally:
+        wal.close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    # Exit codes: 0 clean replay; 1 recovered with loss (torn tail or a
+    # superseded log); 2 base or WAL header unreadable, or generation
+    # mismatch (raised and mapped in main()).
+    import pathlib
+
+    from repro.storage.recovery import default_wal_path, open_with_wal
+    from repro.storage.wal import repair_torn_tail, scan_wal
+
+    _, report = open_with_wal(args.base, args.wal)
+    print(report.summary())
+    if args.repair and report.torn:
+        wal_path = (
+            pathlib.Path(args.wal) if args.wal
+            else default_wal_path(args.base)
+        )
+        dropped = repair_torn_tail(wal_path, scan_wal(wal_path))
+        print(f"repaired: truncated {dropped} trailing bytes from {wal_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_compact(args) -> int:
+    # Exit codes: 0 compacted cleanly; 1 compacted, but the replay dropped
+    # a torn tail or ignored a superseded log (loss is reported, never
+    # silent); 2 unreadable inputs (mapped in main()).
+    from repro.storage.recovery import compact
+
+    result = compact(args.base, args.wal)
+    print(result.summary())
+    return 0 if result.report.ok else 1
+
+
 def _cmd_figures(args) -> int:
     import pathlib
 
@@ -316,6 +418,9 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "report": _cmd_report,
     "verify": _cmd_verify,
+    "ingest": _cmd_ingest,
+    "recover": _cmd_recover,
+    "compact": _cmd_compact,
     "figures": _cmd_figures,
 }
 
@@ -334,8 +439,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     except (ValueError, KeyError, OSError) as exc:
         # FormatError subclasses ValueError, so malformed inputs and
-        # unreadable containers land here: one line, no traceback.
-        print(f"error: {exc}", file=sys.stderr)
+        # unreadable paths (PermissionError et al.) land here: one line,
+        # no traceback.  Embedded newlines are flattened so the one-line
+        # contract holds for any message.
+        message = " ".join(str(exc).split()) or type(exc).__name__
+        print(f"error: {message}", file=sys.stderr)
         return 2
 
 

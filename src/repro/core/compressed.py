@@ -98,6 +98,18 @@ class CompressedChronoGraph:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_evictions = 0
+        self._cache_invalidations = 0
+        # WAL overlay (repro.storage): contacts replayed on top of the
+        # immutable streams, per source node, in stored (bucketed) time
+        # units, each list sorted by (v, time).  ``_base_nodes`` marks the
+        # stream-backed label range; nodes at or past it exist only in the
+        # overlay.  The distinct-list cache stays *base-only* throughout --
+        # reference chains must resolve against the encoded lists, never
+        # overlay-merged ones.
+        self._overlay: Dict[int, List[Contact]] = {}
+        self._overlay_count = 0
+        self._overlay_t_min: Optional[int] = None
+        self._base_nodes = num_nodes
 
     # -- size accounting -----------------------------------------------------
 
@@ -112,9 +124,28 @@ class CompressedChronoGraph:
         return self._tbits + self._toffsets.size_in_bits()
 
     @property
+    def overlay_size_bits(self) -> int:
+        """Replayed-but-uncompacted contacts, charged at the raw rate.
+
+        Overlay contacts live as plain tuples until :func:`compact` folds
+        them into the streams, so they are charged like
+        :class:`repro.core.growable.GrowableChronoGraph` delta contacts:
+        three (point/incremental) or four (interval) 64-bit words each.
+        """
+        if not self._overlay_count:
+            return 0
+        per = 4 * 64 if self.kind is GraphKind.INTERVAL else 3 * 64
+        return self._overlay_count * per
+
+    @property
     def size_in_bits(self) -> int:
         """Total in-memory footprint charged by the evaluation."""
-        return self.structure_size_bits + self.timestamp_size_bits + HEADER_BITS
+        return (
+            self.structure_size_bits
+            + self.timestamp_size_bits
+            + self.overlay_size_bits
+            + HEADER_BITS
+        )
 
     @property
     def bits_per_contact(self) -> float:
@@ -157,6 +188,7 @@ class CompressedChronoGraph:
             "hits": self._cache_hits,
             "misses": self._cache_misses,
             "evictions": self._cache_evictions,
+            "invalidations": self._cache_invalidations,
             "entries": len(self._record_cache),
             "current_bytes": self._cache_bytes,
             "max_bytes": self._cache_max_bytes,
@@ -210,7 +242,11 @@ class CompressedChronoGraph:
         self._evict_to_fit()
 
     def _decode_record(self, u: int) -> NodeRecord:
-        """The fully decoded record of ``u``, through the LRU cache."""
+        """The fully decoded record of ``u``, through the LRU cache.
+
+        Cached records are overlay-merged; nodes past the stream-backed
+        range decode to an empty base record before the merge.
+        """
         self._check_node(u)
         record = self._record_cache.get(u)
         if record is not None:
@@ -218,12 +254,89 @@ class CompressedChronoGraph:
             self._record_cache.move_to_end(u)
             return record
         self._cache_misses += 1
-        dedup, singles = self._decode_structure(u)
-        multiset = multiset_from_parts(dedup, singles)
-        times, durations = self._decode_timestamps(u, len(multiset))
+        if u < self._base_nodes:
+            dedup, singles = self._decode_structure(u)
+            multiset = multiset_from_parts(dedup, singles)
+            times, durations = self._decode_timestamps(u, len(multiset))
+        else:
+            multiset, times = [], []
+            durations = [] if self.kind is GraphKind.INTERVAL else None
         record = (multiset, times, durations)
+        if self._overlay:
+            record = self._merge_overlay(u, record)
         self._cache_put(u, record)
         return record
+
+    # -- WAL overlay (repro.storage) ------------------------------------------
+
+    def apply_contacts(self, contacts) -> int:
+        """Overlay replayed WAL contacts onto the compressed base, in memory.
+
+        Contacts must already be in *stored* time units (the ingest path
+        buckets by ``config.resolution`` before committing to the WAL, so
+        base and overlay share one time axis).  Node labels may exceed the
+        stream-backed range, growing :attr:`num_nodes`.  Cached decoded
+        records of touched nodes are invalidated (counted in
+        ``cache_stats()['invalidations']``); the base streams and the
+        distinct-list cache are untouched.  Returns contacts applied.
+        """
+        kind = self.kind
+        added: Dict[int, List[Contact]] = {}
+        count = 0
+        for c in contacts:
+            if not isinstance(c, Contact):
+                c = Contact(*c)
+            if c.u < 0 or c.v < 0:
+                raise ValueError(f"negative node label in {c}")
+            if c.duration < 0:
+                raise ValueError(f"negative duration in {c}")
+            if kind is not GraphKind.INTERVAL and c.duration:
+                raise ValueError(
+                    f"{kind.value} graphs cannot carry durations: {c}"
+                )
+            added.setdefault(c.u, []).append(c)
+            count += 1
+        if not count:
+            return 0
+        top = self.num_nodes - 1
+        for u, rows in added.items():
+            bucket = self._overlay.setdefault(u, [])
+            bucket.extend(rows)
+            bucket.sort(key=lambda c: (c.v, c.time))
+            top = max(top, u, max(r.v for r in rows))
+            old = self._record_cache.pop(u, None)
+            if old is not None:
+                self._cache_bytes -= self._record_cost(old)
+                self._cache_invalidations += 1
+            lo = min(r.time for r in rows)
+            if self._overlay_t_min is None or lo < self._overlay_t_min:
+                self._overlay_t_min = lo
+        self.num_nodes = top + 1
+        self.num_contacts += count
+        self._overlay_count += count
+        return count
+
+    def _merge_overlay(self, u: int, record: NodeRecord) -> NodeRecord:
+        """Merge ``u``'s overlay contacts into a decoded base record.
+
+        Both sides are (label, time)-sorted; the merge is stable with base
+        entries first on ties, preserving the alignment contract.
+        """
+        extra = self._overlay.get(u)
+        if not extra:
+            return record
+        multiset, times, durations = record
+        if durations is not None:
+            rows = list(zip(multiset, times, durations))
+        else:
+            rows = [(v, t, 0) for v, t in zip(multiset, times)]
+        rows.extend((c.v, c.time, c.duration) for c in extra)
+        rows.sort(key=lambda r: (r[0], r[1]))
+        merged_multiset = [r[0] for r in rows]
+        merged_times = [r[1] for r in rows]
+        if durations is None:
+            return merged_multiset, merged_times, None
+        return merged_multiset, merged_times, [r[2] for r in rows]
 
     # -- decoding ------------------------------------------------------------
 
@@ -326,6 +439,11 @@ class CompressedChronoGraph:
     def distinct_neighbors(self, u: int) -> List[int]:
         """Sorted distinct neighbor labels over the whole lifetime."""
         self._check_node(u)
+        extra = self._overlay.get(u)
+        if u >= self._base_nodes:
+            return sorted({c.v for c in extra}) if extra else []
+        if extra:
+            return sorted({*self._resolve_distinct(u), *(c.v for c in extra)})
         return self._resolve_distinct(u)
 
     # -- sequential scans ------------------------------------------------------
@@ -349,6 +467,8 @@ class CompressedChronoGraph:
         sreader = BitReader(self._sbytes, self._sbits)
         treader = BitReader(self._tbytes, self._tbits)
         cache = self._record_cache
+        overlay = self._overlay
+        base_n = self._base_nodes
         recent: Dict[int, List[int]] = {}
 
         def resolve(v: int) -> List[int]:
@@ -360,46 +480,68 @@ class CompressedChronoGraph:
             return self._resolve_distinct(v)
 
         for u in range(n):
+            base_distinct: Optional[List[int]] = None
             record = cache.get(u)
             if record is not None:
                 self._cache_hits += 1
                 cache.move_to_end(u)
+                if window > 0 and u < base_n:
+                    if u in overlay:
+                        # The cached record is overlay-merged; reference
+                        # chains must see the *encoded* distinct list, so
+                        # re-derive it from the base stream.
+                        base_distinct = self._resolve_distinct(u)
+                    else:
+                        base_distinct = []
+                        last = None
+                        for v in record[0]:
+                            if v != last:
+                                base_distinct.append(v)
+                                last = v
             else:
                 self._cache_misses += 1
-                try:
-                    sreader.seek(self._soffsets.access(u))
-                    dedup, singles = decode_node_structure(
-                        sreader, u, resolve, config, limit=limit
-                    )
-                except FormatError:
-                    raise
-                except _DECODE_FAILURES as exc:
-                    raise self._corrupt(u, "structure", exc) from exc
-                multiset = multiset_from_parts(dedup, singles)
-                try:
-                    treader.seek(self._toffsets.access(u))
-                    times, durations = decode_node_timestamps(
-                        treader,
-                        len(multiset),
-                        with_durations,
-                        self.t_min,
-                        config.timestamp_zeta_k,
-                        config.duration_zeta_k,
-                    )
-                except FormatError:
-                    raise
-                except _DECODE_FAILURES as exc:
-                    raise self._corrupt(u, "timestamp", exc) from exc
+                if u < base_n:
+                    try:
+                        sreader.seek(self._soffsets.access(u))
+                        dedup, singles = decode_node_structure(
+                            sreader, u, resolve, config, limit=limit
+                        )
+                    except FormatError:
+                        raise
+                    except _DECODE_FAILURES as exc:
+                        raise self._corrupt(u, "structure", exc) from exc
+                    multiset = multiset_from_parts(dedup, singles)
+                    try:
+                        treader.seek(self._toffsets.access(u))
+                        times, durations = decode_node_timestamps(
+                            treader,
+                            len(multiset),
+                            with_durations,
+                            self.t_min,
+                            config.timestamp_zeta_k,
+                            config.duration_zeta_k,
+                        )
+                    except FormatError:
+                        raise
+                    except _DECODE_FAILURES as exc:
+                        raise self._corrupt(u, "timestamp", exc) from exc
+                else:
+                    multiset, times = [], []
+                    durations = [] if with_durations else None
+                if window > 0 and u < base_n:
+                    base_distinct = []
+                    last = None
+                    for v in multiset:
+                        if v != last:
+                            base_distinct.append(v)
+                            last = v
                 record = (multiset, times, durations)
+                if overlay:
+                    record = self._merge_overlay(u, record)
                 self._cache_put(u, record)
             if window > 0:
-                distinct: List[int] = []
-                last = None
-                for v in record[0]:
-                    if v != last:
-                        distinct.append(v)
-                        last = v
-                recent[u] = distinct
+                if base_distinct is not None:
+                    recent[u] = base_distinct
                 recent.pop(u - window, None)
             yield u, record
 
@@ -473,9 +615,12 @@ class CompressedChronoGraph:
         For point and incremental graphs: a contact before ``t``.  For
         interval graphs: activity starting before ``t``.
         """
-        if t <= self.t_min:
+        lo = self.t_min
+        if self._overlay_t_min is not None and self._overlay_t_min < lo:
+            lo = self._overlay_t_min
+        if t <= lo:
             return []
-        return self.neighbors(u, self.t_min, t - 1)
+        return self.neighbors(u, lo, t - 1)
 
     def neighbors_after(self, u: int, t: int) -> List[int]:
         """Neighbors active at or after ``t`` (Section IV-F), sorted distinct.
@@ -537,6 +682,8 @@ class CompressedChronoGraph:
         window = config.window
         limit = self.num_contacts
         dcache = self._distinct_cache
+        overlay = self._overlay
+        base_n = self._base_nodes
         sreader = BitReader(self._sbytes, self._sbits)
         recent: Dict[int, List[int]] = {}
 
@@ -547,34 +694,47 @@ class CompressedChronoGraph:
             return self._resolve_distinct(v)
 
         for u in range(n):
-            distinct = dcache.get(u)
-            if distinct is None:
-                record = self._record_cache.get(u)
-                if record is not None:
-                    distinct = []
-                    last = None
-                    for v in record[0]:
-                        if v != last:
-                            distinct.append(v)
-                            last = v
-                else:
-                    try:
-                        sreader.seek(self._soffsets.access(u))
-                        dedup, singles = decode_node_structure(
-                            sreader, u, resolve, config, limit=limit
+            if u < base_n:
+                distinct = dcache.get(u)
+                if distinct is None:
+                    record = self._record_cache.get(u)
+                    if record is not None and u not in overlay:
+                        distinct = []
+                        last = None
+                        for v in record[0]:
+                            if v != last:
+                                distinct.append(v)
+                                last = v
+                    else:
+                        # Overlay-touched cached records are merged; decode
+                        # the base structure so the distinct-list cache and
+                        # the reference window stay base-only.
+                        try:
+                            sreader.seek(self._soffsets.access(u))
+                            dedup, singles = decode_node_structure(
+                                sreader, u, resolve, config, limit=limit
+                            )
+                        except FormatError:
+                            raise
+                        except _DECODE_FAILURES as exc:
+                            raise self._corrupt(u, "structure", exc) from exc
+                        distinct = sorted(
+                            {*(label for label, _ in dedup), *singles}
                         )
-                    except FormatError:
-                        raise
-                    except _DECODE_FAILURES as exc:
-                        raise self._corrupt(u, "structure", exc) from exc
-                    distinct = sorted({*(label for label, _ in dedup), *singles})
-                dcache[u] = distinct
-                if len(dcache) > _DISTINCT_CACHE_CAP:
-                    dcache.popitem(last=False)
+                    dcache[u] = distinct
+                    if len(dcache) > _DISTINCT_CACHE_CAP:
+                        dcache.popitem(last=False)
+            else:
+                distinct = []
             if window > 0:
-                recent[u] = distinct
+                if u < base_n:
+                    recent[u] = distinct
                 recent.pop(u - window, None)
-            yield u, distinct
+            extra = overlay.get(u)
+            if extra:
+                yield u, sorted({*distinct, *(c.v for c in extra)})
+            else:
+                yield u, distinct
 
     def to_static_graph(self) -> List[Tuple[int, int]]:
         """The "flattened" aggregated view of Figure 1(a): distinct edges."""

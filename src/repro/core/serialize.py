@@ -222,10 +222,16 @@ def dumps_compressed(graph: CompressedChronoGraph) -> bytes:
 
 
 def save_compressed(graph: CompressedChronoGraph, path: PathLike) -> int:
-    """Write the compressed graph to ``path``; returns bytes written."""
+    """Write the compressed graph to ``path``; returns bytes written.
+
+    The write is atomic and durable (:mod:`repro.storage.atomic`): a crash
+    or disk error mid-save leaves the previous container intact, never a
+    torn one.
+    """
+    from repro.storage.atomic import atomic_write_bytes
+
     payload = dumps_compressed(graph)
-    pathlib.Path(path).write_bytes(payload)
-    return len(payload)
+    return atomic_write_bytes(path, payload)
 
 
 def _save_v1_bytes(graph: CompressedChronoGraph) -> bytes:

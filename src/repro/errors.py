@@ -22,6 +22,7 @@ __all__ = [
     "LimitExceededError",
     "CorruptStreamError",
     "EndOfStreamError",
+    "GenerationMismatchError",
 ]
 
 
@@ -63,4 +64,16 @@ class EndOfStreamError(CorruptStreamError, EOFError):
     Subclasses both :class:`CorruptStreamError` (so container decoding
     funnels into :class:`FormatError`) and :class:`EOFError` (the exception
     :class:`repro.bits.bitio.BitReader` historically raised).
+    """
+
+
+class GenerationMismatchError(FormatError):
+    """A write-ahead log does not belong to the base snapshot it was
+    opened against.
+
+    The WAL header records the size and CRC32 of the exact ``.chrono``
+    snapshot its records extend; replaying it onto any other snapshot
+    would apply contacts to the wrong history, so the pairing is refused
+    outright (unless a compaction marker proves the snapshot supersedes
+    the log -- see :mod:`repro.storage.recovery`).
     """

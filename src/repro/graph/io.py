@@ -23,11 +23,14 @@ PathLike = Union[str, pathlib.Path]
 
 
 def _write_text(path: pathlib.Path, text: str) -> None:
+    # Compress in memory, then publish through the atomic writer: a crash
+    # mid-write leaves the old file (or none), never a torn one.
+    from repro.storage.atomic import atomic_write_bytes
+
+    data = text.encode("utf-8")
     if path.suffix == ".gz":
-        with gzip.open(path, "wt") as handle:
-            handle.write(text)
-    else:
-        path.write_text(text)
+        data = gzip.compress(data)
+    atomic_write_bytes(path, data)
 
 
 def _read_text(path: pathlib.Path) -> str:

@@ -1,0 +1,78 @@
+"""Crash-safe persistence: atomic writes, the ingest WAL, and recovery.
+
+* :mod:`repro.storage.atomic` -- the one sanctioned write path for every
+  artefact (temp file + fsync + rename), with an injectable filesystem
+  for fault injection and retry-with-backoff for transient errors.
+* :mod:`repro.storage.wal` -- the append-only, CRC32-guarded contact log
+  bound to its base ``.chrono`` snapshot by a generation header.
+* :mod:`repro.storage.recovery` -- WAL replay with torn-tail tolerance
+  (:class:`RecoveryReport`) and crash-safe :func:`compact`.
+
+``wal``/``recovery`` names resolve lazily: :mod:`repro.core.serialize`
+imports :mod:`repro.storage.atomic` for durable saves, while
+:mod:`repro.storage.recovery` imports the serializer back -- deferring
+the heavy half keeps the cycle open-ended instead of circular.
+"""
+
+from repro.storage.atomic import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    OS_FILESYSTEM,
+    TRANSIENT_ERRNOS,
+    Filesystem,
+    RetryPolicy,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+__all__ = [
+    # atomic (eager)
+    "Filesystem",
+    "OS_FILESYSTEM",
+    "RetryPolicy",
+    "DEFAULT_RETRY",
+    "NO_RETRY",
+    "TRANSIENT_ERRNOS",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    # wal (lazy)
+    "WalHeader",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
+    "scan_wal_bytes",
+    "repair_torn_tail",
+    # recovery (lazy)
+    "RecoveryReport",
+    "CompactionResult",
+    "default_wal_path",
+    "open_with_wal",
+    "recover_bytes",
+    "open_for_ingest",
+    "compact",
+]
+
+_WAL_NAMES = {
+    "WalHeader", "WalScan", "WriteAheadLog",
+    "scan_wal", "scan_wal_bytes", "repair_torn_tail",
+}
+_RECOVERY_NAMES = {
+    "RecoveryReport", "CompactionResult", "default_wal_path",
+    "open_with_wal", "recover_bytes", "open_for_ingest", "compact",
+}
+
+
+def __getattr__(name: str):
+    if name in _WAL_NAMES:
+        from repro.storage import wal
+
+        return getattr(wal, name)
+    if name in _RECOVERY_NAMES:
+        from repro.storage import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

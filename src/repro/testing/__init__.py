@@ -6,19 +6,32 @@ robustness contract the repository enforces: every mutation of a valid
 container either round-trips identically or raises
 :class:`repro.errors.FormatError` -- never a hang, crash or silently wrong
 graph.
+
+The same contract extends to the crash-safe persistence layer: WAL
+mutations drive :func:`run_wal_fault_injection`, and
+:class:`FaultyFilesystem` / :func:`crash_points` exhaust every possible
+crash point of any write path built on :mod:`repro.storage.atomic`.
 """
 
 from repro.testing.faults import (
+    CrashPoint,
     FaultInjectionReport,
     FaultResult,
+    FaultyFilesystem,
     Mutation,
     bit_flip_mutations,
+    crash_points,
     default_mutations,
+    default_wal_mutations,
     extend_mutations,
     random_region_mutations,
     run_fault_injection,
+    run_wal_fault_injection,
     section_shuffle_mutations,
     truncate_mutations,
+    wal_crc_flip_mutations,
+    wal_generation_mutations,
+    wal_truncate_mutations,
 )
 
 __all__ = [
@@ -32,4 +45,12 @@ __all__ = [
     "random_region_mutations",
     "default_mutations",
     "run_fault_injection",
+    "CrashPoint",
+    "FaultyFilesystem",
+    "crash_points",
+    "wal_truncate_mutations",
+    "wal_crc_flip_mutations",
+    "wal_generation_mutations",
+    "default_wal_mutations",
+    "run_wal_fault_injection",
 ]

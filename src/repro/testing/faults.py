@@ -19,15 +19,31 @@ every outcome against the robustness contract:
 
 All mutators are deterministic (random ones take a seed), so a passing
 campaign stays passing.
+
+Two further surfaces cover the crash-safe persistence layer (PR 3):
+
+* **WAL mutations** -- :func:`wal_truncate_mutations` (record-boundary and
+  mid-record cuts), :func:`wal_crc_flip_mutations` (checksum and payload
+  flips) and :func:`wal_generation_mutations` (headers whose own CRC is
+  *valid* but whose snapshot binding is wrong), driven by
+  :func:`run_wal_fault_injection` against the replay contract: recovery
+  must yield exactly a prefix of the committed batches, and any dropped
+  suffix must be reported, never silent.
+* **Crash points** -- :class:`FaultyFilesystem` implements the
+  :class:`repro.storage.atomic.Filesystem` surface but dies
+  (:class:`CrashPoint`) at the N-th mutating operation;
+  :func:`crash_points` iterates N upward until the action survives,
+  giving an exhaustive every-possible-crash matrix for any write path.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
 import struct
 import time
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.serialize import (
     DecodeLimits,
@@ -36,6 +52,7 @@ from repro.core.serialize import (
     salvage_bytes,
 )
 from repro.errors import FormatError
+from repro.storage.atomic import Filesystem
 
 __all__ = [
     "Mutation",
@@ -48,6 +65,14 @@ __all__ = [
     "random_region_mutations",
     "default_mutations",
     "run_fault_injection",
+    "CrashPoint",
+    "FaultyFilesystem",
+    "crash_points",
+    "wal_truncate_mutations",
+    "wal_crc_flip_mutations",
+    "wal_generation_mutations",
+    "default_wal_mutations",
+    "run_wal_fault_injection",
 ]
 
 
@@ -263,6 +288,325 @@ def run_fault_injection(
             except Exception as exc:  # noqa: BLE001 - salvage must not raise
                 outcome = "escaped"
                 detail = f"salvage raised {exc!r}"
+        result = FaultResult(mutation.name, outcome, detail, elapsed)
+        report.total += 1
+        report.slowest = max(report.slowest, elapsed)
+        if outcome == "identical":
+            report.identical += 1
+        elif outcome == "detected":
+            report.detected += 1
+        if result.failed:
+            report.failures.append(result)
+    return report
+
+
+# --------------------------------------------------------------------------
+# Crash-point injection over the filesystem shim
+# --------------------------------------------------------------------------
+
+class CrashPoint(OSError):
+    """Simulated process death, raised by :class:`FaultyFilesystem`.
+
+    Subclasses :class:`OSError` (with ``errno`` left ``None``) so cleanup
+    code written for real I/O errors handles it, while the retry policy's
+    transient-errno check never swallows it.
+    """
+
+
+class FaultyFilesystem(Filesystem):
+    """A :class:`repro.storage.atomic.Filesystem` that injects faults.
+
+    Mutating operations (``write``, ``fsync``, ``fsync_dir``, ``replace``,
+    ``truncate``, ``remove``) are numbered 0, 1, 2, ... in call order:
+
+    * ``crash_at=N`` makes operation N die with :class:`CrashPoint`
+      *instead of happening* -- except a crashing ``write``, which first
+      lands ``partial_bytes`` of its data (crash-at-byte-N); every later
+      mutating operation and ``open`` also raise, modelling a dead
+      process (``close`` still works so tests do not leak descriptors);
+    * ``errors={N: errno}`` makes operation N fail once with that errno
+      and lets subsequent calls proceed (transient / ``ENOSPC`` faults).
+
+    ``ops`` journals every mutating call as ``(index, name)`` so tests
+    can assert what a write path actually did.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_at: Optional[int] = None,
+        partial_bytes: int = 0,
+        errors: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.crash_at = crash_at
+        self.partial_bytes = partial_bytes
+        self.errors = dict(errors or {})
+        self.ops: List[Tuple[int, str]] = []
+        self.crashed = False
+        self._next = 0
+
+    def _gate(self, name: str) -> bool:
+        """Count one mutating op; True means "crash now"."""
+        if self.crashed:
+            raise CrashPoint(f"filesystem dead after crash ({name})")
+        index = self._next
+        self._next += 1
+        self.ops.append((index, name))
+        err = self.errors.pop(index, None)
+        if err is not None:
+            raise OSError(err, os.strerror(err))
+        if self.crash_at is not None and index >= self.crash_at:
+            self.crashed = True
+            return True
+        return False
+
+    def open(self, path: str, flags: int, mode: int = 0o666) -> int:
+        if self.crashed:
+            raise CrashPoint("filesystem dead after crash (open)")
+        return super().open(path, flags, mode)
+
+    def write(self, fd: int, data: bytes) -> int:
+        if self._gate("write"):
+            if self.partial_bytes > 0:
+                os.write(fd, bytes(data)[: self.partial_bytes])
+            raise CrashPoint("crash during write")
+        return super().write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        if self._gate("fsync"):
+            raise CrashPoint("crash during fsync")
+        super().fsync(fd)
+
+    def fsync_dir(self, path: str) -> None:
+        if self._gate("fsync_dir"):
+            raise CrashPoint("crash during fsync_dir")
+        super().fsync_dir(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        if self._gate("replace"):
+            raise CrashPoint("crash during replace")
+        super().replace(src, dst)
+
+    def truncate(self, fd: int, length: int) -> None:
+        if self._gate("truncate"):
+            raise CrashPoint("crash during truncate")
+        super().truncate(fd, length)
+
+    def remove(self, path: str) -> None:
+        if self._gate("remove"):
+            raise CrashPoint("crash during remove")
+        super().remove(path)
+
+
+def crash_points(
+    action: Callable[[FaultyFilesystem], None],
+    *,
+    partial_bytes: int = 0,
+    max_points: int = 10_000,
+) -> Iterator[Tuple[int, FaultyFilesystem]]:
+    """Run ``action`` once per possible crash point, yielding each crash.
+
+    ``action(fs)`` must set up its own fresh inputs each call and route
+    all mutating I/O through ``fs``.  Iteration yields ``(n, fs)`` for
+    every n at which the action died, and stops after the first run that
+    completes without crashing -- so a consumer that asserts its recovery
+    invariant per yield has, by construction, covered *every* crash point
+    of the write path.
+    """
+    for n in range(max_points + 1):
+        fs = FaultyFilesystem(crash_at=n, partial_bytes=partial_bytes)
+        try:
+            action(fs)
+        except CrashPoint:
+            yield n, fs
+        else:
+            return
+    raise RuntimeError(
+        f"action still crashing after {max_points} crash points; "
+        "is it re-running its own setup each call?"
+    )
+
+
+# --------------------------------------------------------------------------
+# WAL-aware mutators
+# --------------------------------------------------------------------------
+
+def _wal_spans(data: bytes) -> Tuple[int, List[Tuple[int, int]]]:
+    """(header_size, [(start, end) per intact record]) of a WAL image."""
+    from repro.storage.wal import WAL_HEADER_SIZE, scan_wal_bytes
+
+    scan = scan_wal_bytes(data)
+    spans: List[Tuple[int, int]] = []
+    prev = WAL_HEADER_SIZE
+    for end in scan.record_ends:
+        spans.append((prev, end))
+        prev = end
+    return WAL_HEADER_SIZE, spans
+
+
+def wal_truncate_mutations(data: bytes) -> Iterator[Mutation]:
+    """Cuts at and around every record boundary, plus header-level cuts.
+
+    Boundary cuts model a crash exactly between commits; the off-by-one
+    and mid-record cuts model a crash inside a commit's single append.
+    """
+    header_size, spans = _wal_spans(data)
+    cuts = {0, header_size // 2, header_size}
+    for start, end in spans:
+        cuts.add(end)          # clean boundary: a whole batch missing
+        cuts.add(end - 1)      # torn checksum
+        cuts.add(start + 5)    # torn payload, length prefix intact
+        cuts.add((start + end) // 2)
+    for keep in sorted(cuts):
+        if 0 <= keep < len(data):
+            yield Mutation(f"wal-truncate@{keep}", data[:keep])
+
+
+def wal_crc_flip_mutations(data: bytes) -> Iterator[Mutation]:
+    """Per record: flip a checksum byte, and flip a payload byte.
+
+    Both must be caught by the record CRC; the payload flip additionally
+    proves the checksum actually covers the payload.
+    """
+    _, spans = _wal_spans(data)
+    for start, end in spans:
+        crc_at = end - 1
+        mutated = bytearray(data)
+        mutated[crc_at] ^= 0xFF
+        yield Mutation(f"wal-crcflip@{crc_at}", bytes(mutated))
+        payload_at = start + 4
+        mutated = bytearray(data)
+        mutated[payload_at] ^= 0x01
+        yield Mutation(f"wal-payloadflip@{payload_at}", bytes(mutated))
+
+
+def wal_generation_mutations(data: bytes) -> Iterator[Mutation]:
+    """Headers whose own CRC is valid but whose snapshot binding is wrong.
+
+    These must be refused by the *binding* check (generation mismatch),
+    not the header checksum -- plus one plain header-CRC flip for the
+    checksum path itself.
+    """
+    from repro.storage.wal import WAL_HEADER_SIZE, scan_wal_bytes
+
+    if len(data) < WAL_HEADER_SIZE:
+        return
+    scan = scan_wal_bytes(data)
+    if scan.header is None:
+        return
+    header = scan.header
+    body = data[WAL_HEADER_SIZE:]
+    rebinds = (
+        ("wal-gen-basecrc", dataclasses.replace(
+            header, base_crc=header.base_crc ^ 0xDEADBEEF)),
+        ("wal-gen-basesize", dataclasses.replace(
+            header, base_size=header.base_size + 1)),
+        ("wal-gen-bothzero", dataclasses.replace(
+            header, base_size=0, base_crc=0)),
+    )
+    for name, rebound in rebinds:
+        yield Mutation(name, rebound.to_bytes() + body)
+    kinds = [k for k in type(header.kind) if k is not header.kind]
+    for kind in kinds[:1]:
+        yield Mutation(
+            "wal-gen-kind",
+            dataclasses.replace(header, kind=kind).to_bytes() + body,
+        )
+    mutated = bytearray(data)
+    mutated[WAL_HEADER_SIZE - 1] ^= 0xFF
+    yield Mutation("wal-headercrcflip", bytes(mutated))
+
+
+def default_wal_mutations(
+    data: bytes, *, stride_bits: int = 8, seed: int = 0
+) -> Iterator[Mutation]:
+    """The standard WAL campaign: structural mutators plus raw bit flips."""
+    yield from wal_truncate_mutations(data)
+    yield from wal_crc_flip_mutations(data)
+    yield from wal_generation_mutations(data)
+    yield from bit_flip_mutations(data, stride_bits=stride_bits)
+    yield from extend_mutations(data, tails=(1, 8, 64))
+    yield from random_region_mutations(data, seed=seed, count=32)
+
+
+def run_wal_fault_injection(
+    base_container: bytes,
+    wal_image: bytes,
+    mutations: Iterable[Mutation],
+    *,
+    time_budget: float = 5.0,
+    limits: Optional[DecodeLimits] = None,
+) -> FaultInjectionReport:
+    """Drive WAL mutations through recovery and classify against the contract.
+
+    The contract: recovery of a mutated WAL must either raise from
+    ``FormatError`` (``detected``), or replay exactly some *prefix* of the
+    committed batches -- the full log with no complaints (``identical``),
+    or a proper prefix **with the loss reported** (``detected``).  A
+    replay that is not a committed-batch prefix, or that dropped data
+    silently, is a ``mismatch``; any non-``FormatError`` exception is an
+    ``escaped``; exceeding ``time_budget`` is ``overbudget``.
+    """
+    from repro.storage.recovery import recover_bytes
+    from repro.storage.wal import scan_wal_bytes
+
+    baseline = scan_wal_bytes(wal_image)
+    if baseline.header is None or baseline.errors:
+        raise ValueError("wal_image must be a pristine WAL")
+    prefixes = []
+    flat: List[tuple] = []
+    prefixes.append(tuple(flat))
+    for batch in baseline.batches:
+        flat.extend(batch)
+        prefixes.append(tuple(flat))
+    full = prefixes[-1]
+
+    report = FaultInjectionReport()
+    for mutation in mutations:
+        start = time.perf_counter()
+        detail = ""
+        try:
+            graph, recovery = recover_bytes(
+                base_container, mutation.data, limits=limits
+            )
+        except FormatError as exc:
+            outcome = "detected"
+            detail = type(exc).__name__
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            outcome = "escaped"
+            detail = repr(exc)
+        else:
+            replay_scan = scan_wal_bytes(mutation.data)
+            replayed = tuple(replay_scan.contacts)
+            if recovery.superseded:
+                replayed = ()
+            if replayed not in prefixes:
+                outcome = "mismatch"
+                detail = f"replayed {len(replayed)} contacts: not a committed-batch prefix"
+            elif replayed == full and recovery.ok:
+                outcome = "identical"
+            elif recovery.errors or recovery.dropped_bytes:
+                outcome = "detected"
+                detail = f"prefix of {len(replayed)}/{len(full)} contacts, reported"
+            elif not replay_scan.torn:
+                # A cut at an exact record boundary leaves a well-formed
+                # shorter log -- indistinguishable from fewer commits, so
+                # a clean report is correct, not a silent loss.
+                outcome = "detected"
+                detail = (
+                    f"clean boundary cut: {len(replayed)}/{len(full)} "
+                    "committed contacts remain"
+                )
+            else:
+                outcome = "mismatch"
+                detail = (
+                    f"silent loss: {len(replayed)}/{len(full)} contacts "
+                    "with a clean report"
+                )
+        elapsed = time.perf_counter() - start
+        if elapsed > time_budget:
+            outcome = "overbudget"
+            detail = f"{elapsed:.2f}s > {time_budget:.2f}s budget"
         result = FaultResult(mutation.name, outcome, detail, elapsed)
         report.total += 1
         report.slowest = max(report.slowest, elapsed)

@@ -11,6 +11,8 @@ import repro
 MODULES = [
     "repro", "repro.errors",
     "repro.testing", "repro.testing.faults",
+    "repro.storage", "repro.storage.atomic", "repro.storage.wal",
+    "repro.storage.recovery",
     "repro.bits", "repro.bits.bitio", "repro.bits.codes", "repro.bits.zigzag",
     "repro.bits.bitvector", "repro.bits.eliasfano", "repro.bits.pfordelta",
     "repro.graph", "repro.graph.model", "repro.graph.builders",

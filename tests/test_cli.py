@@ -227,3 +227,122 @@ class TestVerifyExitCodes:
         assert main(["verify", str(chrono_file),
                      "--against", str(contact_file)]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestDurabilityCommands:
+    """``ingest`` / ``recover`` / ``compact`` exit codes and behaviour."""
+
+    @pytest.fixture()
+    def more_contacts(self, tmp_path):
+        path = tmp_path / "more.txt"
+        path.write_text(
+            "# kind=interval\n"
+            "0 1 10 3\n"
+            "1 2 14 2\n"
+            "2 0 20 1\n"
+        )
+        return path
+
+    def test_ingest_then_recover_clean(self, chrono_file, more_contacts, capsys):
+        assert main(["ingest", str(chrono_file), str(more_contacts)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 3 contacts" in out
+        assert "generation 0" in out
+        assert main(["recover", str(chrono_file)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "3 contacts" in out
+
+    def test_ingest_twice_appends(self, chrono_file, more_contacts, capsys):
+        assert main(["ingest", str(chrono_file), str(more_contacts)]) == 0
+        assert main(["ingest", str(chrono_file), str(more_contacts)]) == 0
+        capsys.readouterr()
+        assert main(["recover", str(chrono_file)]) == 0
+        assert "6 contacts" in capsys.readouterr().out
+
+    def test_kind_mismatch_exits_2(self, chrono_file, tmp_path, capsys):
+        point = tmp_path / "point.txt"
+        point.write_text("# kind=point\n0 1 5\n")
+        assert main(["ingest", str(chrono_file), str(point)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "point" in err
+
+    def test_torn_wal_recover_exits_1_and_repair_truncates(
+        self, chrono_file, more_contacts, tmp_path, capsys
+    ):
+        from repro.storage.recovery import default_wal_path
+
+        assert main(["ingest", str(chrono_file), str(more_contacts)]) == 0
+        wal = default_wal_path(chrono_file)
+        good = wal.read_bytes()
+        wal.write_bytes(good + b"\x13half a record")
+        assert main(["recover", str(chrono_file)]) == 1
+        assert "recovered with loss" in capsys.readouterr().out
+        # Un-repaired, the torn tail persists; --repair truncates it.
+        assert wal.read_bytes() != good
+        assert main(["recover", str(chrono_file), "--repair"]) == 1
+        assert "repaired" in capsys.readouterr().out
+        assert wal.read_bytes() == good
+        assert main(["recover", str(chrono_file)]) == 0
+
+    def test_compact_folds_and_resets(self, chrono_file, more_contacts, capsys):
+        from repro.storage.recovery import default_wal_path
+
+        assert main(["ingest", str(chrono_file), str(more_contacts)]) == 0
+        capsys.readouterr()
+        assert main(["compact", str(chrono_file)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "generation 1" in out
+        assert main(["recover", str(chrono_file)]) == 0
+        assert "0 contacts" in capsys.readouterr().out
+        # The WAL survives as an empty generation-1 log.
+        assert default_wal_path(chrono_file).exists()
+
+    def test_compact_without_wal_exits_0(self, chrono_file, capsys):
+        assert main(["compact", str(chrono_file)]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["ingest", "{missing}", "also-missing.txt"],
+        ["recover", "{missing}"],
+        ["compact", "{missing}"],
+    ])
+    def test_missing_base_exits_2(self, tmp_path, capsys, argv):
+        missing = str(tmp_path / "nope.chrono")
+        argv = [a.format(missing=missing) for a in argv]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_permission_denied_exits_2_one_line(
+        self, chrono_file, capsys, monkeypatch
+    ):
+        # Running as root makes chmod 000 ineffective; inject the error at
+        # the read instead.
+        import pathlib
+
+        def deny(self, *a, **k):
+            raise PermissionError(13, "Permission denied", str(self))
+
+        monkeypatch.setattr(pathlib.Path, "read_bytes", deny)
+        assert main(["recover", str(chrono_file)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Permission denied" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_wal_bound_to_other_snapshot_exits_2(
+        self, chrono_file, more_contacts, contact_file, tmp_path, capsys
+    ):
+        assert main(["ingest", str(chrono_file), str(more_contacts)]) == 0
+        # Recompress the base with a different resolution: new bytes, same
+        # WAL -- the generation binding must refuse to replay.
+        assert main(["compress", str(contact_file), "--out", str(chrono_file),
+                     "--resolution", "7"]) == 0
+        capsys.readouterr()
+        assert main(["recover", str(chrono_file)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert len(err.strip().splitlines()) == 1

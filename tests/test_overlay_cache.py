@@ -1,0 +1,129 @@
+"""Overlay/cache interaction: WAL replay invalidates exactly what it must.
+
+``apply_contacts`` overlays replayed contacts onto a compressed base; the
+decoded-record cache must drop entries for *touched* nodes only, count
+those drops in ``cache_stats()['invalidations']``, and subsequent queries
+must see base + overlay merged.  A torn WAL tail must never leak into
+cached records -- replay happens strictly after the scan truncated it.
+"""
+
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import Contact, GraphKind
+from repro.storage.recovery import recover_bytes
+from repro.core.serialize import dumps_compressed
+from repro.storage.wal import WalHeader, encode_batch
+
+
+def _cg(n=6, per=3):
+    contacts = []
+    for u in range(n):
+        for i in range(per):
+            contacts.append((u, (u + i + 1) % n, 10 * u + i))
+    return compress(graph_from_contacts(GraphKind.POINT, contacts, num_nodes=n))
+
+
+def _warm(cg, nodes):
+    for u in nodes:
+        cg.neighbors(u, 0, 10_000)
+
+
+class TestInvalidation:
+    def test_touched_nodes_only(self):
+        cg = _cg()
+        _warm(cg, [0, 1, 2, 3])
+        before = cg.cache_stats()
+        assert before["entries"] == 4 and before["invalidations"] == 0
+
+        applied = cg.apply_contacts([Contact(1, 4, 99), Contact(3, 0, 98)])
+        assert applied == 2
+        stats = cg.cache_stats()
+        assert stats["invalidations"] == 2  # nodes 1 and 3 dropped
+        assert stats["entries"] == 2  # nodes 0 and 2 untouched
+
+        # Untouched nodes still hit; touched nodes re-decode (miss).
+        hits0, misses0 = stats["hits"], stats["misses"]
+        cg.neighbors(0, 0, 10_000)
+        cg.neighbors(1, 0, 10_000)
+        stats = cg.cache_stats()
+        assert stats["hits"] == hits0 + 1
+        assert stats["misses"] == misses0 + 1
+
+    def test_uncached_touched_node_counts_no_invalidation(self):
+        cg = _cg()
+        cg.apply_contacts([Contact(2, 5, 77)])
+        assert cg.cache_stats()["invalidations"] == 0
+
+    def test_new_node_grows_graph_without_invalidation(self):
+        cg = _cg()
+        _warm(cg, [0])
+        cg.apply_contacts([Contact(9, 0, 50)])
+        assert cg.num_nodes == 10
+        assert cg.cache_stats()["invalidations"] == 0
+        assert cg.neighbors(9, 0, 100) == [0]
+
+    def test_merged_record_is_cached_once(self):
+        cg = _cg()
+        cg.apply_contacts([Contact(1, 4, 99)])
+        assert 4 in cg.neighbors(1, 0, 10_000)
+        stats = cg.cache_stats()
+        hits0 = stats["hits"]
+        assert 4 in cg.neighbors(1, 0, 10_000)  # second query hits cache
+        assert cg.cache_stats()["hits"] == hits0 + 1
+
+
+class TestOverlayQueries:
+    def test_queries_see_base_and_overlay(self):
+        cg = _cg()
+        cg.apply_contacts([Contact(0, 5, 500), Contact(5, 0, 501)])
+        assert cg.has_edge(0, 5, 400, 600)
+        assert cg.has_edge(5, 0, 400, 600)
+        assert (0, 5) in cg.snapshot(500, 501)
+        assert 5 in cg.distinct_neighbors(0)
+
+    def test_overlay_counts_toward_size(self):
+        cg = _cg()
+        base_bits = cg.size_in_bits
+        cg.apply_contacts([Contact(0, 5, 500)])
+        assert cg.size_in_bits == base_bits + 3 * 64  # honest accounting
+
+    def test_sequential_pass_includes_overlay(self):
+        cg = _cg()
+        cg.apply_contacts([Contact(2, 0, 777)])
+        assert Contact(2, 0, 777) in list(cg.iter_contacts())
+
+    def test_interval_durations_merge(self):
+        contacts = [(0, 1, 5, 3), (1, 0, 6, 2)]
+        cg = compress(
+            graph_from_contacts(GraphKind.INTERVAL, contacts, num_nodes=2)
+        )
+        cg.apply_contacts([Contact(0, 1, 100, 7)])
+        assert cg.has_edge(0, 1, 100, 106)
+        assert not cg.has_edge(0, 1, 108, 200)
+
+
+class TestTornTailNeverCached:
+    def test_replay_excludes_dropped_tail(self):
+        import zlib
+
+        cg = _cg()
+        base = dumps_compressed(cg)
+        header = WalHeader(
+            kind=GraphKind.POINT,
+            generation=0,
+            base_size=len(base),
+            base_crc=zlib.crc32(base),
+        )
+        wal = header.to_bytes()
+        wal += encode_batch([Contact(0, 4, 600)])
+        wal += encode_batch([Contact(0, 5, 601)])
+        torn = wal[:-7]  # tear the second batch mid-record
+
+        graph, report = recover_bytes(base, torn)
+        assert report.torn and report.contacts_replayed == 1
+        # Decode and cache node 0's record: the torn contact is absent.
+        times = graph.neighbors(0, 0, 10_000)
+        assert 4 in times and 5 not in times
+        # The cached (merged) record also excludes it on the hit path.
+        assert 5 not in graph.neighbors(0, 0, 10_000)
+        assert graph.cache_stats()["hits"] >= 1

@@ -1,0 +1,284 @@
+"""WAL replay, crash matrices, and crash-safe compaction.
+
+The two invariants every crash point must preserve:
+
+* replay yields exactly a prefix of the committed batches (never a torn
+  batch, never contacts from the future);
+* a contact whose ``commit()`` returned before the crash is never lost.
+
+Compaction additionally promises the folded snapshot is *bit-identical*
+to compressing base + WAL contacts directly -- the encoder is the single
+source of truth for the on-disk format.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core import compress, load_compressed, save_compressed
+from repro.core.serialize import dumps_compressed
+from repro.errors import FormatError, GenerationMismatchError
+from repro.graph.model import Contact, GraphKind, TemporalGraph
+from repro.storage.recovery import (
+    compact,
+    default_wal_path,
+    open_for_ingest,
+    open_with_wal,
+    recover_bytes,
+)
+from repro.storage.wal import WalHeader, WriteAheadLog, scan_wal
+from repro.testing.faults import crash_points
+
+BASE_CONTACTS = [Contact(0, 1, 3), Contact(1, 2, 5)]
+NEW_CONTACTS = [Contact(0, 2, 9), Contact(2, 0, 11), Contact(3, 1, 12)]
+ALL_CONTACTS = BASE_CONTACTS + NEW_CONTACTS
+
+
+def _base_graph():
+    return TemporalGraph(GraphKind.POINT, 3, BASE_CONTACTS, name="rec")
+
+
+def _setup(tmp_path, batches=(NEW_CONTACTS[:2], NEW_CONTACTS[2:])):
+    base = tmp_path / "g.chrono"
+    save_compressed(compress(_base_graph()), base)
+    graph, wal = open_for_ingest(base)
+    try:
+        for batch in batches:
+            wal.append(batch)
+            wal.commit()
+    finally:
+        wal.close()
+    return base
+
+
+def _edges(graph):
+    return sorted((c.u, c.v, c.time) for c in graph.iter_contacts())
+
+
+def _expected(contacts):
+    return sorted((c.u, c.v, c.time) for c in contacts)
+
+
+class TestReplay:
+    def test_open_with_wal_matches_direct_graph(self, tmp_path):
+        base = _setup(tmp_path)
+        graph, report = open_with_wal(base)
+        assert _edges(graph) == _expected(ALL_CONTACTS)
+        assert graph.num_contacts == len(ALL_CONTACTS)
+        assert report.ok
+        assert report.generation == 0
+        assert report.batches_replayed == 2
+        assert report.contacts_replayed == 3
+
+    def test_missing_wal_is_a_clean_open(self, tmp_path):
+        base = tmp_path / "g.chrono"
+        save_compressed(compress(_base_graph()), base)
+        graph, report = open_with_wal(base)
+        assert report.ok and report.generation == -1
+        assert report.contacts_replayed == 0
+        assert "no WAL" in report.summary()
+
+    def test_torn_tail_replays_prefix_and_reports_loss(self, tmp_path):
+        base = _setup(tmp_path)
+        wal_path = default_wal_path(base)
+        blob = wal_path.read_bytes()
+        wal_path.write_bytes(blob[:-7])  # tear the last record
+        graph, report = open_with_wal(base)
+        assert report.contacts_replayed == 2  # first batch only
+        assert report.torn and not report.ok
+        assert report.dropped_bytes > 0
+        assert "recovered with loss" in report.summary()
+        assert graph.has_edge(0, 2, 0, 100)
+        assert graph.num_nodes == 3  # node 3 was only in the dropped tail
+
+    def test_foreign_base_raises_generation_mismatch(self, tmp_path):
+        base = _setup(tmp_path)
+        other = TemporalGraph(GraphKind.POINT, 3, [Contact(2, 1, 8)])
+        base.write_bytes(dumps_compressed(compress(other)))
+        with pytest.raises(GenerationMismatchError):
+            open_with_wal(base)
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        base = tmp_path / "g.chrono"
+        save_compressed(compress(_base_graph()), base)
+        blob = base.read_bytes()
+        header = WalHeader(
+            kind=GraphKind.INTERVAL,
+            generation=0,
+            base_size=len(blob),
+            base_crc=zlib.crc32(blob),
+        )
+        WriteAheadLog.create(default_wal_path(base), header).close()
+        with pytest.raises(GenerationMismatchError):
+            open_with_wal(base)
+
+    def test_recover_bytes_unreadable_base_raises_format_error(self):
+        with pytest.raises(FormatError):
+            recover_bytes(b"not a container", b"")
+
+
+class TestIngestCrashMatrix:
+    def test_replay_is_always_a_committed_prefix(self, tmp_path):
+        base = tmp_path / "g.chrono"
+        blob = dumps_compressed(compress(_base_graph()))
+        batches = (NEW_CONTACTS[:2], NEW_CONTACTS[2:])
+
+        def action(fs):
+            base.write_bytes(blob)
+            wal_path = default_wal_path(base)
+            if wal_path.exists():
+                wal_path.unlink()
+            graph, wal = open_for_ingest(base, fs=fs)
+            try:
+                for batch in batches:
+                    wal.append(batch)
+                    wal.commit()
+            finally:
+                wal.close()
+
+        prefixes = [
+            _expected(BASE_CONTACTS + extra)
+            for extra in ([], NEW_CONTACTS[:2], NEW_CONTACTS)
+        ]
+        points = 0
+        for n, fs in crash_points(action):
+            points += 1
+            graph, report = open_with_wal(base)
+            assert _edges(graph) in prefixes, f"crash point {n}"
+            assert report.contacts_replayed in (0, 2, 3), f"crash point {n}"
+        assert points >= 4  # WAL create + two commits each crash at least once
+
+    def test_fsynced_commit_survives_later_crashes(self, tmp_path):
+        base = tmp_path / "g.chrono"
+        blob = dumps_compressed(compress(_base_graph()))
+
+        def action(fs):
+            base.write_bytes(blob)
+            wal_path = default_wal_path(base)
+            if wal_path.exists():
+                wal_path.unlink()
+            # First batch through the real filesystem: genuinely durable.
+            graph, wal = open_for_ingest(base)
+            wal.append(NEW_CONTACTS[:2])
+            wal.commit()
+            wal.close()
+            # Second batch through the crashing filesystem.
+            graph, wal = open_for_ingest(base, fs=fs)
+            try:
+                wal.append(NEW_CONTACTS[2:])
+                wal.commit()
+            finally:
+                wal.close()
+
+        for n, fs in crash_points(action):
+            graph, report = open_with_wal(base)
+            assert report.contacts_replayed >= 2, (
+                f"crash point {n} lost an fsynced commit"
+            )
+            assert graph.has_edge(0, 2, 0, 100)
+            assert graph.has_edge(2, 0, 0, 100)
+
+
+class TestCompaction:
+    def test_snapshot_bit_identical_to_direct_compression(self, tmp_path):
+        base = _setup(tmp_path)
+        result = compact(base)
+        direct = dumps_compressed(
+            compress(TemporalGraph(GraphKind.POINT, 4, ALL_CONTACTS, name="rec"))
+        )
+        assert base.read_bytes() == direct
+        assert result.generation == 1
+        assert result.num_contacts == len(ALL_CONTACTS)
+        assert "generation 1" in result.summary()
+
+    def test_post_compact_open_is_clean_and_empty(self, tmp_path):
+        base = _setup(tmp_path)
+        compact(base)
+        graph, report = open_with_wal(base)
+        assert report.ok and report.generation == 1
+        assert report.contacts_replayed == 0
+        assert graph.num_contacts == len(ALL_CONTACTS)
+
+    def test_ingest_continues_at_next_generation(self, tmp_path):
+        base = _setup(tmp_path)
+        compact(base)
+        graph, wal = open_for_ingest(base)
+        try:
+            assert wal.header.generation == 1
+            wal.append([Contact(1, 3, 20)])
+            wal.commit()
+        finally:
+            wal.close()
+        graph, report = open_with_wal(base)
+        assert report.contacts_replayed == 1
+        assert graph.has_edge(1, 3, 0, 100)
+
+    def test_no_committed_contact_lost_at_any_crash_point(self, tmp_path):
+        base = tmp_path / "g.chrono"
+        blob = dumps_compressed(compress(_base_graph()))
+        full = _expected(ALL_CONTACTS)
+
+        def action(fs):
+            base.write_bytes(blob)
+            wal_path = default_wal_path(base)
+            if wal_path.exists():
+                wal_path.unlink()
+            graph, wal = open_for_ingest(base)
+            wal.append(NEW_CONTACTS)
+            wal.commit()
+            wal.close()
+            compact(base, fs=fs)
+
+        points = 0
+        for n, fs in crash_points(action):
+            points += 1
+            graph, report = open_with_wal(base)
+            assert _edges(graph) == full, (
+                f"compact crash point {n} lost committed contacts"
+            )
+        assert points >= 5  # marker append/fsync + two atomic replaces
+
+    def test_superseded_wal_detected_after_mid_compact_crash(self, tmp_path):
+        # Simulate the crash window between snapshot replace and WAL reset:
+        # the marker proves the new base supersedes the old log.
+        base = _setup(tmp_path)
+        wal_path = default_wal_path(base)
+        new_blob = dumps_compressed(
+            compress(TemporalGraph(GraphKind.POINT, 4, ALL_CONTACTS, name="rec"))
+        )
+        with WriteAheadLog.open(wal_path) as wal:
+            wal.append_compact_marker(len(new_blob), zlib.crc32(new_blob))
+        base.write_bytes(new_blob)  # crash "happened" before the WAL reset
+        graph, report = open_with_wal(base)
+        assert report.superseded and not report.ok
+        assert report.contacts_replayed == 0  # stale records ignored
+        assert graph.num_contacts == len(ALL_CONTACTS)
+        assert "superseded" in report.summary()
+        # Re-opening for ingest replaces the stale log at generation + 1.
+        graph, wal = open_for_ingest(base)
+        wal.close()
+        assert scan_wal(wal_path).header.generation == report.generation + 1
+
+    def test_resolution_is_preserved_through_compaction(self, tmp_path):
+        from repro.core.config import ChronoGraphConfig
+
+        graph = TemporalGraph(
+            GraphKind.POINT,
+            3,
+            [Contact(0, 1, 10), Contact(1, 2, 57)],
+            name="coarse",
+        )
+        base = tmp_path / "g.chrono"
+        cfg = ChronoGraphConfig(resolution=10)
+        save_compressed(compress(graph, cfg), base)
+        g, wal = open_for_ingest(base)
+        try:
+            # Stored units: ingest-side bucketing is the CLI's job.
+            wal.append([Contact(2, 0, 9)])
+            wal.commit()
+        finally:
+            wal.close()
+        compact(base)
+        reopened = load_compressed(base)
+        assert reopened.config.resolution == 10
+        assert reopened.num_contacts == 3

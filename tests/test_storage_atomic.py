@@ -1,0 +1,158 @@
+"""Atomic write path: old-or-new at every crash point, faults surfaced.
+
+The crash matrix is exhaustive by construction: :func:`crash_points`
+re-runs the write once per mutating OS call until a run completes, so
+every possible interleaving of "process dies here" is asserted against
+the old-or-new invariant.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.storage.atomic import (
+    NO_RETRY,
+    RetryPolicy,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.testing.faults import CrashPoint, FaultyFilesystem, crash_points
+
+OLD = b"old content, fsynced long ago"
+NEW = b"new content" * 100
+
+
+def _no_temp_litter(directory):
+    return [p.name for p in directory.iterdir() if p.name.endswith(".tmp")]
+
+
+class TestHappyPath:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        assert atomic_write_bytes(target, NEW) == len(NEW)
+        assert target.read_bytes() == NEW
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(OLD)
+        atomic_write_bytes(target, NEW)
+        assert target.read_bytes() == NEW
+
+    def test_text_encoding(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "héllo\n")
+        assert target.read_bytes() == "héllo\n".encode("utf-8")
+
+    def test_durable_false_skips_fsyncs(self, tmp_path):
+        fs = FaultyFilesystem()
+        atomic_write_bytes(tmp_path / "o.bin", NEW, fs=fs, durable=False)
+        names = [name for _, name in fs.ops]
+        assert "fsync" not in names and "fsync_dir" not in names
+
+    def test_durable_write_fsyncs_file_and_directory(self, tmp_path):
+        fs = FaultyFilesystem()
+        atomic_write_bytes(tmp_path / "o.bin", NEW, fs=fs)
+        names = [name for _, name in fs.ops]
+        assert "fsync" in names and "fsync_dir" in names
+        assert names.index("fsync") < names.index("replace")
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("partial", [0, 3])
+    def test_target_is_old_or_new_at_every_crash_point(self, tmp_path, partial):
+        target = tmp_path / "data.bin"
+
+        def action(fs):
+            target.write_bytes(OLD)
+            atomic_write_bytes(target, NEW, fs=fs, retry=NO_RETRY)
+
+        seen = 0
+        for n, fs in crash_points(action, partial_bytes=partial):
+            seen += 1
+            content = target.read_bytes()
+            assert content in (OLD, NEW), (
+                f"crash point {n} left a torn target of {len(content)} bytes"
+            )
+        # write, fsync, replace, fsync_dir (+ the failed temp cleanup after
+        # some of them) -- at minimum the four primary ops each crash once.
+        assert seen >= 4
+
+    def test_crash_after_replace_still_published(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(OLD)
+        fs = FaultyFilesystem(crash_at=3)  # write, fsync, replace, CRASH
+        with pytest.raises(CrashPoint):
+            atomic_write_bytes(target, NEW, fs=fs, retry=NO_RETRY)
+        assert [name for _, name in fs.ops][:3] == ["write", "fsync", "replace"]
+        assert target.read_bytes() == NEW
+
+
+class TestFaults:
+    def test_enospc_leaves_target_intact_and_raises(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(OLD)
+        fs = FaultyFilesystem(errors={0: errno.ENOSPC})
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_bytes(target, NEW, fs=fs, retry=NO_RETRY)
+        assert excinfo.value.errno == errno.ENOSPC
+        assert target.read_bytes() == OLD
+        assert _no_temp_litter(tmp_path) == []
+
+    def test_transient_eagain_is_retried_with_backoff(self, tmp_path):
+        target = tmp_path / "data.bin"
+        fs = FaultyFilesystem(errors={0: errno.EAGAIN, 5: errno.EAGAIN})
+        sleeps = []
+        retry = RetryPolicy(attempts=3, base_delay=0.01, sleep=sleeps.append)
+        atomic_write_bytes(target, NEW, fs=fs, retry=retry)
+        assert target.read_bytes() == NEW
+        assert sleeps == [0.01, 0.02]  # doubling backoff, no real sleeping
+
+    def test_no_retry_surfaces_transient_error(self, tmp_path):
+        fs = FaultyFilesystem(errors={0: errno.EAGAIN})
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_bytes(tmp_path / "d.bin", NEW, fs=fs, retry=NO_RETRY)
+        assert excinfo.value.errno == errno.EAGAIN
+
+    def test_retries_exhausted_raises_last_error(self, tmp_path):
+        # Every attempt's first write fails: attempts are numbered by the
+        # faulty fs across retries (fresh temp file each time).
+        fs = FaultyFilesystem(
+            errors={0: errno.EAGAIN, 2: errno.EAGAIN, 4: errno.EAGAIN}
+        )
+        retry = RetryPolicy(attempts=3, sleep=lambda _d: None)
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_bytes(tmp_path / "d.bin", NEW, fs=fs, retry=retry)
+        assert excinfo.value.errno == errno.EAGAIN
+
+    def test_retry_policy_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestTempHygiene:
+    def test_unique_temp_names_across_writes(self, tmp_path):
+        fs = FaultyFilesystem()
+        target = tmp_path / "x.bin"
+        for _ in range(3):
+            atomic_write_bytes(target, NEW, fs=fs)
+        assert _no_temp_litter(tmp_path) == []
+        assert target.read_bytes() == NEW
+
+    def test_temp_lives_in_target_directory(self, tmp_path, monkeypatch):
+        # Capture the temp path at open time: it must share the target's
+        # directory so the final replace is a same-filesystem rename.
+        seen = {}
+        fs = FaultyFilesystem()
+        real_open = fs.open
+
+        def spy_open(path, flags, mode=0o666):
+            seen["path"] = path
+            return real_open(path, flags, mode)
+
+        monkeypatch.setattr(fs, "open", spy_open)
+        sub = tmp_path / "deep"
+        sub.mkdir()
+        atomic_write_bytes(sub / "y.bin", NEW, fs=fs)
+        assert os.path.dirname(seen["path"]) == str(sub)
