@@ -18,7 +18,7 @@ matches the i-th decoded timestamp, which is what makes interval queries
 
 from repro.core.config import ChronoGraphConfig
 from repro.core.compressed import CompressedChronoGraph
-from repro.core.encoder import compress
+from repro.core.encoder import compress, compress_parallel
 from repro.core.growable import GrowableChronoGraph
 from repro.core.serialize import (
     DEFAULT_LIMITS,
@@ -38,6 +38,7 @@ __all__ = [
     "DEFAULT_LIMITS",
     "SalvageReport",
     "compress",
+    "compress_parallel",
     "dumps_compressed",
     "load_compressed",
     "load_compressed_bytes",

@@ -20,13 +20,44 @@ Two layers keep the decode cost off the hot path:
   :meth:`iter_contacts`, :meth:`iter_window_neighbors`) that walk the
   streams in storage order and decode every node at most once per pass,
   resolving reference chains from a rolling window instead of re-seeking.
+
+Concurrency model
+-----------------
+
+The query surface is safe to share across threads:
+
+* The decoded-record cache is sharded; each shard guards its LRU segment
+  with its own lock, and the hit/miss counters live inside those locks, so
+  lookups from different threads never corrupt cache state.  Eviction
+  preserves the *global* LRU order exactly (per-entry sequence numbers)
+  by briefly holding every shard lock in index order.
+* All mutable overlay bookkeeping (:meth:`apply_contacts`) lives in one
+  immutable :class:`_OverlayState` snapshot published with a single
+  reference assignment.  Every query captures the snapshot once at entry,
+  so an in-flight reader finishes against the generation it started on --
+  it never observes a half-applied batch (overlay-read linearizability).
+* Cached records carry the generation they were decoded under.  A reader
+  holding generation ``g`` ignores entries tagged with a newer generation,
+  and :meth:`apply_contacts` drops touched entries *after* publishing the
+  new snapshot, so stale records can never serve a newer generation.
+* Each decode builds its own :class:`repro.bits.bitio.BitReader` over the
+  shared immutable stream bytes (reader-per-thread rule): readers carry
+  mutable positions and must never be shared across threads.
+
+:meth:`neighbors_many` and :meth:`snapshot_parallel` are the batch forms
+of :meth:`neighbors` and :meth:`snapshot`; both accept ``workers`` and fan
+out over a ``ThreadPoolExecutor`` while keeping the exact sequential
+semantics (output order and cache counters included).
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bits import codes
 from repro.bits.bitio import BitReader
@@ -53,10 +84,110 @@ _DISTINCT_CACHE_CAP = 4096
 #: Default memory budget of the decoded-record cache, in (estimated) bytes.
 DEFAULT_CACHE_BUDGET_BYTES = 32 << 20
 
+#: Shard count of the decoded-record cache (power of two; shard = u & mask).
+_CACHE_SHARDS = 8
+_SHARD_MASK = _CACHE_SHARDS - 1
+
 _UNSET = object()
 
 #: A decoded node record: (neighbor multiset, timestamps, durations-or-None).
 NodeRecord = Tuple[List[int], List[int], Optional[List[int]]]
+
+#: Attributes rebuilt from scratch on unpickle: locks, cache shards and the
+#: counters that live next to them (a transported graph starts cold).
+_RUNTIME_KEYS = (
+    "_mutate_lock",
+    "_next_seq",
+    "_shards",
+    "_distinct_lock",
+    "_distinct_cache",
+    "_cache_evictions",
+    "_cache_invalidations",
+)
+
+
+class _OverlayState:
+    """Immutable snapshot of the WAL overlay and the counters it grows.
+
+    ``apply_contacts`` never mutates a published instance: it builds a
+    complete successor (generation + 1) and swaps it in with one reference
+    assignment, which the GIL makes atomic.  Readers capture ``self._state``
+    once per query and work against that snapshot for their whole lifetime.
+    Overlay buckets are tuples (per source node, sorted by ``(v, time)``),
+    so a captured snapshot can never change underneath a reader.
+    """
+
+    __slots__ = (
+        "generation", "overlay", "count", "t_min", "num_nodes", "num_contacts",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        overlay: Dict[int, Tuple[Contact, ...]],
+        count: int,
+        t_min: Optional[int],
+        num_nodes: int,
+        num_contacts: int,
+    ) -> None:
+        self.generation = generation
+        self.overlay = overlay
+        self.count = count
+        self.t_min = t_min
+        self.num_nodes = num_nodes
+        self.num_contacts = num_contacts
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class _AtomicCounter:
+    """Lock-free monotone counter safe under concurrent increments.
+
+    ``itertools.count.__next__`` is a single C call -- atomic under the
+    GIL -- so increments from racing threads are never lost, unlike
+    ``n += 1`` (a load/add/store bytecode triple).  ``value()`` reads the
+    current count through the iterator's pickle protocol without
+    consuming it.
+    """
+
+    __slots__ = ("_advance",)
+
+    def __init__(self) -> None:
+        self._advance = itertools.count(1).__next__
+
+    def increment(self) -> None:
+        """Add one; safe to call from any thread without a lock."""
+        self._advance()
+
+    def value(self) -> int:
+        """Increments so far (``count.__reduce__`` exposes the next value)."""
+        return self._advance.__self__.__reduce__()[1][0] - 1
+
+
+class _CacheShard:
+    """One segment of the decoded-record LRU.
+
+    ``records`` maps node -> ``[generation, sequence, cost, record]``;
+    ``sequence`` is drawn from a graph-global clock on every hit, so the
+    entry with the minimum sequence across shards is the exact global LRU
+    victim.  Reads are lock-free (dict lookups and counter bumps are
+    GIL-atomic; the recency stamp is a single list-item store); the lock
+    guards every mutation of the dict or the byte total.
+    """
+
+    __slots__ = ("lock", "records", "bytes", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.records: Dict[int, list] = {}
+        self.bytes = 0
+        self.hits = _AtomicCounter()
+        self.misses = _AtomicCounter()
 
 
 class CompressedChronoGraph:
@@ -79,8 +210,6 @@ class CompressedChronoGraph:
         name: str = "unnamed",
     ) -> None:
         self.kind = kind
-        self.num_nodes = num_nodes
-        self.num_contacts = num_contacts
         self.t_min = t_min
         self.config = config
         self.name = name
@@ -90,26 +219,57 @@ class CompressedChronoGraph:
         self._tbits = timestamp_bits
         self._soffsets = structure_offsets
         self._toffsets = timestamp_offsets
-        self._distinct_cache: "OrderedDict[int, List[int]]" = OrderedDict()
-        self._record_cache: "OrderedDict[int, NodeRecord]" = OrderedDict()
-        self._cache_bytes = 0
         self._cache_max_bytes: Optional[int] = DEFAULT_CACHE_BUDGET_BYTES
         self._cache_max_entries: Optional[int] = None
-        self._cache_hits = 0
-        self._cache_misses = 0
+        # WAL overlay (repro.storage): contacts replayed on top of the
+        # immutable streams, published as an immutable snapshot (see
+        # _OverlayState).  ``_base_nodes`` marks the stream-backed label
+        # range; nodes at or past it exist only in the overlay.  The
+        # distinct-list cache stays *base-only* throughout -- reference
+        # chains must resolve against the encoded lists, never
+        # overlay-merged ones.
+        self._base_nodes = num_nodes
+        self._state = _OverlayState(0, {}, 0, None, num_nodes, num_contacts)
+        self._init_runtime()
+
+    def _init_runtime(self) -> None:
+        """Create the locks, cache shards and counters (never pickled)."""
+        self._mutate_lock = threading.Lock()
+        # LRU clock: itertools.count.__next__ is a C call, atomic under the
+        # GIL, so recency stamps need no lock of their own.
+        self._next_seq = itertools.count(1).__next__
+        self._shards = tuple(_CacheShard() for _ in range(_CACHE_SHARDS))
+        self._distinct_lock = threading.RLock()
+        self._distinct_cache: "OrderedDict[int, List[int]]" = OrderedDict()
         self._cache_evictions = 0
         self._cache_invalidations = 0
-        # WAL overlay (repro.storage): contacts replayed on top of the
-        # immutable streams, per source node, in stored (bucketed) time
-        # units, each list sorted by (v, time).  ``_base_nodes`` marks the
-        # stream-backed label range; nodes at or past it exist only in the
-        # overlay.  The distinct-list cache stays *base-only* throughout --
-        # reference chains must resolve against the encoded lists, never
-        # overlay-merged ones.
-        self._overlay: Dict[int, List[Contact]] = {}
-        self._overlay_count = 0
-        self._overlay_t_min: Optional[int] = None
-        self._base_nodes = num_nodes
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in _RUNTIME_KEYS:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._init_runtime()
+
+    # -- derived counts --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Node-label range, including nodes grown by :meth:`apply_contacts`."""
+        return self._state.num_nodes
+
+    @property
+    def num_contacts(self) -> int:
+        """Contacts in the base streams plus the uncompacted overlay."""
+        return self._state.num_contacts
+
+    @property
+    def overlay_generation(self) -> int:
+        """Monotone generation counter bumped by every :meth:`apply_contacts`."""
+        return self._state.generation
 
     # -- size accounting -----------------------------------------------------
 
@@ -132,10 +292,11 @@ class CompressedChronoGraph:
         :class:`repro.core.growable.GrowableChronoGraph` delta contacts:
         three (point/incremental) or four (interval) 64-bit words each.
         """
-        if not self._overlay_count:
+        count = self._state.count
+        if not count:
             return 0
         per = 4 * 64 if self.kind is GraphKind.INTERVAL else 3 * 64
-        return self._overlay_count * per
+        return count * per
 
     @property
     def size_in_bits(self) -> int:
@@ -183,14 +344,27 @@ class CompressedChronoGraph:
         Every record-level lookup (one per query, one per node of a
         sequential pass) counts exactly one hit or one miss; evictions
         count records dropped to honour the budget, not overwrites.
+        Counters are atomic and monotone, so no lost updates under
+        concurrency; occupancy is summed under every shard lock.
         """
+        shards = self._shards
+        hits = sum(s.hits.value() for s in shards)
+        misses = sum(s.misses.value() for s in shards)
+        for shard in shards:
+            shard.lock.acquire()
+        try:
+            entries = sum(len(s.records) for s in shards)
+            current = sum(s.bytes for s in shards)
+        finally:
+            for shard in reversed(shards):
+                shard.lock.release()
         return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
+            "hits": hits,
+            "misses": misses,
             "evictions": self._cache_evictions,
             "invalidations": self._cache_invalidations,
-            "entries": len(self._record_cache),
-            "current_bytes": self._cache_bytes,
+            "entries": entries,
+            "current_bytes": current,
             "max_bytes": self._cache_max_bytes,
             "max_entries": self._cache_max_entries,
         }
@@ -210,22 +384,105 @@ class CompressedChronoGraph:
 
     def clear_cache(self) -> None:
         """Drop every cached decoded record (counters are preserved)."""
-        self._record_cache.clear()
-        self._cache_bytes = 0
+        shards = self._shards
+        for shard in shards:
+            shard.lock.acquire()
+        try:
+            for shard in shards:
+                shard.records.clear()
+                shard.bytes = 0
+        finally:
+            for shard in reversed(shards):
+                shard.lock.release()
 
     def _evict_to_fit(self) -> None:
-        cache = self._record_cache
+        """Evict global-LRU records until both bounds hold.
+
+        Holds every shard lock (in index order -- the only multi-shard
+        acquisition pattern, so lock order is total) and repeatedly evicts
+        the entry with the minimum recency sequence across shards: exactly
+        the global least-recently-used record.  The victim search scans
+        every entry -- hits stamp recency without locks, so no per-shard
+        order is maintained; eviction pays for the lock-free hot path.
+        """
         max_bytes = self._cache_max_bytes
         max_entries = self._cache_max_entries
-        while cache and (
-            (max_entries is not None and len(cache) > max_entries)
-            or (max_bytes is not None and self._cache_bytes > max_bytes)
-        ):
-            _, evicted = cache.popitem(last=False)
-            self._cache_bytes -= self._record_cost(evicted)
-            self._cache_evictions += 1
+        if max_bytes is None and max_entries is None:
+            return
+        shards = self._shards
+        for shard in shards:
+            shard.lock.acquire()
+        try:
+            entries = sum(len(s.records) for s in shards)
+            total = sum(s.bytes for s in shards)
+            while entries and (
+                (max_entries is not None and entries > max_entries)
+                or (max_bytes is not None and total > max_bytes)
+            ):
+                victim = None
+                victim_key = None
+                victim_seq = None
+                for shard in shards:
+                    for key, entry in shard.records.items():
+                        if victim_seq is None or entry[1] < victim_seq:
+                            victim_seq = entry[1]
+                            victim = shard
+                            victim_key = key
+                if victim is None:  # pragma: no cover - entries counted above
+                    break
+                evicted = victim.records.pop(victim_key)
+                victim.bytes -= evicted[2]
+                total -= evicted[2]
+                entries -= 1
+                self._cache_evictions += 1
+        finally:
+            for shard in reversed(shards):
+                shard.lock.release()
 
-    def _cache_put(self, u: int, record: NodeRecord) -> None:
+    def _maybe_evict(self) -> None:
+        """Cheap unlocked bound check before taking every shard lock."""
+        max_bytes = self._cache_max_bytes
+        max_entries = self._cache_max_entries
+        if max_bytes is None and max_entries is None:
+            return
+        shards = self._shards
+        if (
+            max_entries is not None
+            and sum(len(s.records) for s in shards) > max_entries
+        ) or (
+            max_bytes is not None and sum(s.bytes for s in shards) > max_bytes
+        ):
+            self._evict_to_fit()
+
+    def _cache_get(self, u: int, snap_gen: int) -> Optional[NodeRecord]:
+        """Counting lookup: a hit only if the entry's generation is visible.
+
+        An entry decoded under a *newer* generation than the reader's
+        snapshot is treated as a miss (the reader must see its own
+        generation's merge), but is left in place for current readers.
+
+        Lock-free: the dict read and counter bumps are GIL-atomic, the
+        entry's generation is written once at insert, and the recency
+        stamp is a single list-item store whose races only blur LRU
+        order, never a returned record.
+        """
+        shard = self._shards[u & _SHARD_MASK]
+        entry = shard.records.get(u)
+        if entry is not None and entry[0] <= snap_gen:
+            entry[1] = self._next_seq()
+            shard.hits.increment()
+            return entry[3]
+        shard.misses.increment()
+        return None
+
+    def _cache_peek(self, u: int, snap_gen: int) -> Optional[NodeRecord]:
+        """Non-counting, non-promoting lookup (structure-only passes)."""
+        entry = self._shards[u & _SHARD_MASK].records.get(u)
+        if entry is not None and entry[0] <= snap_gen:
+            return entry[3]
+        return None
+
+    def _cache_put(self, u: int, record: NodeRecord, gen: int) -> None:
         max_entries = self._cache_max_entries
         if max_entries is not None and max_entries <= 0:
             return
@@ -233,27 +490,43 @@ class CompressedChronoGraph:
         max_bytes = self._cache_max_bytes
         if max_bytes is not None and cost > max_bytes:
             return  # would evict the whole cache for a single-use record
-        cache = self._record_cache
-        old = cache.pop(u, None)
-        if old is not None:
-            self._cache_bytes -= self._record_cost(old)
-        cache[u] = record
-        self._cache_bytes += cost
-        self._evict_to_fit()
+        shard = self._shards[u & _SHARD_MASK]
+        with shard.lock:
+            if gen != self._state.generation:
+                # A writer published a newer overlay between our decode and
+                # this insert: the record may lack that batch's contacts,
+                # so refuse rather than poison future readers.
+                return
+            old = shard.records.pop(u, None)
+            if old is not None:
+                shard.bytes -= old[2]
+            shard.records[u] = [gen, self._next_seq(), cost, record]
+            shard.bytes += cost
+        self._maybe_evict()
 
-    def _decode_record(self, u: int) -> NodeRecord:
+    def _cache_invalidate(self, u: int) -> None:
+        shard = self._shards[u & _SHARD_MASK]
+        with shard.lock:
+            entry = shard.records.pop(u, None)
+            if entry is not None:
+                shard.bytes -= entry[2]
+
+    def _decode_record(
+        self, u: int, state: Optional[_OverlayState] = None
+    ) -> NodeRecord:
         """The fully decoded record of ``u``, through the LRU cache.
 
-        Cached records are overlay-merged; nodes past the stream-backed
-        range decode to an empty base record before the merge.
+        Cached records are overlay-merged against ``state`` (the caller's
+        snapshot, defaulting to the current one); nodes past the
+        stream-backed range decode to an empty base record before the
+        merge.
         """
-        self._check_node(u)
-        record = self._record_cache.get(u)
+        if state is None:
+            state = self._state
+        self._check_node(u, state.num_nodes)
+        record = self._cache_get(u, state.generation)
         if record is not None:
-            self._cache_hits += 1
-            self._record_cache.move_to_end(u)
             return record
-        self._cache_misses += 1
         if u < self._base_nodes:
             dedup, singles = self._decode_structure(u)
             multiset = multiset_from_parts(dedup, singles)
@@ -262,9 +535,9 @@ class CompressedChronoGraph:
             multiset, times = [], []
             durations = [] if self.kind is GraphKind.INTERVAL else None
         record = (multiset, times, durations)
-        if self._overlay:
-            record = self._merge_overlay(u, record)
-        self._cache_put(u, record)
+        if state.overlay:
+            record = self._merge_overlay(u, record, state.overlay)
+        self._cache_put(u, record, state.generation)
         return record
 
     # -- WAL overlay (repro.storage) ------------------------------------------
@@ -275,10 +548,17 @@ class CompressedChronoGraph:
         Contacts must already be in *stored* time units (the ingest path
         buckets by ``config.resolution`` before committing to the WAL, so
         base and overlay share one time axis).  Node labels may exceed the
-        stream-backed range, growing :attr:`num_nodes`.  Cached decoded
-        records of touched nodes are invalidated (counted in
-        ``cache_stats()['invalidations']``); the base streams and the
-        distinct-list cache are untouched.  Returns contacts applied.
+        stream-backed range, growing :attr:`num_nodes`.
+
+        Thread-safe: writers serialize on an internal lock; the merged
+        overlay is published as a new immutable snapshot with one atomic
+        reference swap, then cached records of touched nodes are dropped.
+        Every touched node counts one invalidation in
+        ``cache_stats()['invalidations']`` -- including nodes that were
+        not cached and nodes with no base record -- so the counter tracks
+        write-side pressure, not cache luck.  In-flight readers finish
+        against the snapshot they captured; readers arriving after the
+        swap see base + overlay merged.  Returns contacts applied.
         """
         kind = self.kind
         added: Dict[int, List[Contact]] = {}
@@ -298,31 +578,49 @@ class CompressedChronoGraph:
             count += 1
         if not count:
             return 0
-        top = self.num_nodes - 1
-        for u, rows in added.items():
-            bucket = self._overlay.setdefault(u, [])
-            bucket.extend(rows)
-            bucket.sort(key=lambda c: (c.v, c.time))
-            top = max(top, u, max(r.v for r in rows))
-            old = self._record_cache.pop(u, None)
-            if old is not None:
-                self._cache_bytes -= self._record_cost(old)
+        with self._mutate_lock:
+            state = self._state
+            overlay = dict(state.overlay)
+            top = state.num_nodes - 1
+            t_min = state.t_min
+            for u, rows in added.items():
+                bucket = list(overlay.get(u, ()))
+                bucket.extend(rows)
+                bucket.sort(key=lambda c: (c.v, c.time))
+                overlay[u] = tuple(bucket)
+                top = max(top, u, max(r.v for r in rows))
+                lo = min(r.time for r in rows)
+                if t_min is None or lo < t_min:
+                    t_min = lo
+            self._state = _OverlayState(
+                state.generation + 1,
+                overlay,
+                state.count + count,
+                t_min,
+                top + 1,
+                state.num_contacts + count,
+            )
+            # Drop touched records only *after* the publish: a stale record
+            # re-inserted concurrently is either tagged with the old
+            # generation (invisible to post-swap readers) or refused by
+            # _cache_put's generation check.
+            for u in added:
+                self._cache_invalidate(u)
                 self._cache_invalidations += 1
-            lo = min(r.time for r in rows)
-            if self._overlay_t_min is None or lo < self._overlay_t_min:
-                self._overlay_t_min = lo
-        self.num_nodes = top + 1
-        self.num_contacts += count
-        self._overlay_count += count
         return count
 
-    def _merge_overlay(self, u: int, record: NodeRecord) -> NodeRecord:
+    def _merge_overlay(
+        self,
+        u: int,
+        record: NodeRecord,
+        overlay: Dict[int, Tuple[Contact, ...]],
+    ) -> NodeRecord:
         """Merge ``u``'s overlay contacts into a decoded base record.
 
         Both sides are (label, time)-sorted; the merge is stable with base
         entries first on ties, preserving the alignment contract.
         """
-        extra = self._overlay.get(u)
+        extra = overlay.get(u)
         if not extra:
             return record
         multiset, times, durations = record
@@ -340,9 +638,11 @@ class CompressedChronoGraph:
 
     # -- decoding ------------------------------------------------------------
 
-    def _check_node(self, u: int) -> None:
-        if not 0 <= u < self.num_nodes:
-            raise ValueError(f"node {u} outside [0, {self.num_nodes})")
+    def _check_node(self, u: int, n: Optional[int] = None) -> None:
+        if n is None:
+            n = self._state.num_nodes
+        if not 0 <= u < n:
+            raise ValueError(f"node {u} outside [0, {n})")
 
     def _corrupt(self, u: int, stage: str, exc: Exception) -> CorruptStreamError:
         return CorruptStreamError(f"node {u}: {stage} decode failed: {exc}")
@@ -384,25 +684,38 @@ class CompressedChronoGraph:
         return u - r if r else -1
 
     def _resolve_distinct(self, v: int) -> List[int]:
+        """Distinct *base* neighbor labels of ``v``, through the chain cache.
+
+        Mutations are guarded by a reentrant lock: reference resolution
+        both reads and warms the distinct-list cache, and decoding a chain
+        re-enters this method for its targets.  The hit path is lock-free:
+        distinct lists are base-only and immutable once inserted, and the
+        dict read is GIL-atomic, so at worst a racing miss re-decodes.
+        """
         cached = self._distinct_cache.get(v)
         if cached is not None:
-            self._distinct_cache.move_to_end(v)
             return cached
-        # Walk the reference chain down to a cached or reference-free record,
-        # then decode upward so every recursive lookup is a cache hit.
-        chain = [v]
-        target = self._reference_of(v)
-        while target >= 0 and target not in self._distinct_cache:
-            chain.append(target)
-            target = self._reference_of(target)
-        for node in reversed(chain):
-            dedup, singles = self._decode_structure(node)
-            distinct = sorted({*(label for label, _ in dedup), *singles})
-            self._distinct_cache[node] = distinct
-            if len(self._distinct_cache) > _DISTINCT_CACHE_CAP:
-                self._distinct_cache.popitem(last=False)
-        self._distinct_cache.move_to_end(v)
-        return self._distinct_cache[v]
+        with self._distinct_lock:
+            cached = self._distinct_cache.get(v)
+            if cached is not None:
+                self._distinct_cache.move_to_end(v)
+                return cached
+            # Walk the reference chain down to a cached or reference-free
+            # record, then decode upward so every recursive lookup is a
+            # cache hit.
+            chain = [v]
+            target = self._reference_of(v)
+            while target >= 0 and target not in self._distinct_cache:
+                chain.append(target)
+                target = self._reference_of(target)
+            for node in reversed(chain):
+                dedup, singles = self._decode_structure(node)
+                distinct = sorted({*(label for label, _ in dedup), *singles})
+                self._distinct_cache[node] = distinct
+                if len(self._distinct_cache) > _DISTINCT_CACHE_CAP:
+                    self._distinct_cache.popitem(last=False)
+            self._distinct_cache.move_to_end(v)
+            return self._distinct_cache[v]
 
     def decode_multiset(self, u: int) -> List[int]:
         """The label-sorted neighbor multiset of ``u`` (Figure 5(a) order)."""
@@ -438,8 +751,9 @@ class CompressedChronoGraph:
 
     def distinct_neighbors(self, u: int) -> List[int]:
         """Sorted distinct neighbor labels over the whole lifetime."""
-        self._check_node(u)
-        extra = self._overlay.get(u)
+        state = self._state
+        self._check_node(u, state.num_nodes)
+        extra = state.overlay.get(u)
         if u >= self._base_nodes:
             return sorted({c.v for c in extra}) if extra else []
         if extra:
@@ -449,25 +763,33 @@ class CompressedChronoGraph:
     # -- sequential scans ------------------------------------------------------
 
     def _iter_records(self) -> Iterator[Tuple[int, NodeRecord]]:
-        """Yield ``(u, record)`` in storage order, decoding each node once.
+        """Yield ``(u, record)`` in storage order against the current snapshot."""
+        state = self._state
+        return self._scan_records(state, 0, state.num_nodes)
+
+    def _scan_records(
+        self, state: _OverlayState, lo: int, hi: int
+    ) -> Iterator[Tuple[int, NodeRecord]]:
+        """Yield ``(u, record)`` for ``lo <= u < hi``, decoding each node once.
 
         Both streams are walked with a single reader each; reference chains
         resolve against the distinct lists of the last ``config.window``
         nodes (the only legal targets), so a full pass never re-seeks or
         re-decodes an earlier record.  Cached records short-circuit their
-        decode but still feed the rolling reference window.
+        decode but still feed the rolling reference window.  The whole scan
+        runs against the caller's captured ``state``; no lock is held
+        across a yield.
         """
-        n = self.num_nodes
-        if n == 0:
+        if hi <= lo:
             return
         config = self.config
         window = config.window
-        limit = self.num_contacts
+        limit = state.num_contacts
         with_durations = self.kind is GraphKind.INTERVAL
         sreader = BitReader(self._sbytes, self._sbits)
         treader = BitReader(self._tbytes, self._tbits)
-        cache = self._record_cache
-        overlay = self._overlay
+        overlay = state.overlay
+        gen = state.generation
         base_n = self._base_nodes
         recent: Dict[int, List[int]] = {}
 
@@ -475,16 +797,15 @@ class CompressedChronoGraph:
             got = recent.get(v)
             if got is not None:
                 return got
-            # Out-of-window reference: only reachable on corrupt streams or
-            # window=0 configs; fall back to the random-access resolver.
+            # Out-of-window reference (corrupt streams, window=0 configs) or
+            # a range scan starting past the window head: fall back to the
+            # random-access resolver.
             return self._resolve_distinct(v)
 
-        for u in range(n):
+        for u in range(lo, hi):
             base_distinct: Optional[List[int]] = None
-            record = cache.get(u)
+            record = self._cache_get(u, gen)
             if record is not None:
-                self._cache_hits += 1
-                cache.move_to_end(u)
                 if window > 0 and u < base_n:
                     if u in overlay:
                         # The cached record is overlay-merged; reference
@@ -499,7 +820,6 @@ class CompressedChronoGraph:
                                 base_distinct.append(v)
                                 last = v
             else:
-                self._cache_misses += 1
                 if u < base_n:
                     try:
                         sreader.seek(self._soffsets.access(u))
@@ -537,8 +857,8 @@ class CompressedChronoGraph:
                             last = v
                 record = (multiset, times, durations)
                 if overlay:
-                    record = self._merge_overlay(u, record)
-                self._cache_put(u, record)
+                    record = self._merge_overlay(u, record, overlay)
+                self._cache_put(u, record, gen)
             if window > 0:
                 if base_distinct is not None:
                     recent[u] = base_distinct
@@ -578,7 +898,12 @@ class CompressedChronoGraph:
     # -- temporal queries (Section IV-F) --------------------------------------
 
     def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
-        """Sorted distinct neighbors of ``u`` active within [t_start, t_end]."""
+        """Sorted distinct neighbors of ``u`` active within [t_start, t_end].
+
+        The window is closed on both ends; an inverted window
+        (``t_end < t_start``) is empty.  See FORMAT.md, "Query window
+        semantics".
+        """
         multiset, times, durations = self._decode_record(u)
         return self._active_neighbors(multiset, times, durations, t_start, t_end)
 
@@ -613,21 +938,26 @@ class CompressedChronoGraph:
         """Neighbors active strictly before ``t`` (Section IV-F).
 
         For point and incremental graphs: a contact before ``t``.  For
-        interval graphs: activity starting before ``t``.
+        interval graphs: activity starting before ``t``.  Equivalent to
+        ``neighbors(u, t_min, t - 1)``: the closed-window complement of
+        :meth:`neighbors_after`, so a contact exactly at ``t`` is excluded.
         """
+        state = self._state
         lo = self.t_min
-        if self._overlay_t_min is not None and self._overlay_t_min < lo:
-            lo = self._overlay_t_min
+        if state.t_min is not None and state.t_min < lo:
+            lo = state.t_min
         if t <= lo:
             return []
-        return self.neighbors(u, lo, t - 1)
+        multiset, times, durations = self._decode_record(u, state)
+        return self._active_neighbors(multiset, times, durations, lo, t - 1)
 
     def neighbors_after(self, u: int, t: int) -> List[int]:
         """Neighbors active at or after ``t`` (Section IV-F), sorted distinct.
 
         Incremental edges never deactivate, so any edge is "after" every
         ``t`` at or past its creation; interval contacts count when their
-        activity reaches ``t`` or later.  The multiset is label-sorted, so
+        activity reaches ``t`` or later.  A contact exactly at ``t`` is
+        included (closed lower bound).  The multiset is label-sorted, so
         deduplicating against the last emitted label already yields the
         sorted distinct output.
         """
@@ -665,7 +995,106 @@ class CompressedChronoGraph:
                 spans.append((c.time, c.time + 1))
         return spans
 
-    def _iter_distinct(self) -> Iterator[Tuple[int, List[int]]]:
+    # -- batch queries ---------------------------------------------------------
+
+    def neighbors_many(
+        self,
+        queries: Sequence[Tuple[int, int, int]],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Batch :meth:`neighbors`: results align with the input order.
+
+        ``queries`` is a sequence of ``(u, t_start, t_end)`` triples.  The
+        batch is grouped by node so each distinct node is decoded (or
+        cache-probed) exactly once per call -- the win over a naive serial
+        loop even single-threaded -- then node groups fan out across a
+        ``ThreadPoolExecutor`` when ``workers`` > 1.  The whole batch runs
+        against one overlay snapshot, so a concurrent
+        :meth:`apply_contacts` is either entirely visible or entirely
+        invisible to it.
+        """
+        state = self._state
+        triples = [(int(u), t0, t1) for u, t0, t1 in queries]
+        n = state.num_nodes
+        groups: Dict[int, List[Tuple[int, int, int]]] = {}
+        for i, (u, t0, t1) in enumerate(triples):
+            self._check_node(u, n)
+            groups.setdefault(u, []).append((i, t0, t1))
+        out: List[Optional[List[int]]] = [None] * len(triples)
+
+        def run(item: Tuple[int, List[Tuple[int, int, int]]]) -> None:
+            u, wants = item
+            multiset, times, durations = self._decode_record(u, state)
+            for i, t0, t1 in wants:
+                out[i] = self._active_neighbors(
+                    multiset, times, durations, t0, t1
+                )
+
+        items = list(groups.items())
+        if workers is not None and workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for _ in pool.map(run, items):
+                    pass
+        else:
+            for item in items:
+                run(item)
+        return out  # type: ignore[return-value]
+
+    def snapshot_parallel(
+        self, t_start: int, t_end: int, *, workers: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Parallel :meth:`snapshot`: identical output, ranges scanned concurrently.
+
+        The node range is split into ``workers`` contiguous slices, each
+        scanned by its own thread with its own :class:`BitReader` pair
+        (reader-per-thread rule), against one shared overlay snapshot.
+        Slice outputs are concatenated in node order, so the result is
+        exactly ``snapshot(t_start, t_end)``.
+        """
+        state = self._state
+        n = state.num_nodes
+        w = int(workers) if workers else 1
+        if w <= 1 or n < 2:
+            return self._snapshot_range(state, 0, n, t_start, t_end)
+        w = min(w, n)
+        bounds = [(n * i) // w for i in range(w + 1)]
+
+        def scan(i: int) -> List[Tuple[int, int]]:
+            return self._snapshot_range(
+                state, bounds[i], bounds[i + 1], t_start, t_end
+            )
+
+        with ThreadPoolExecutor(max_workers=w) as pool:
+            parts = list(pool.map(scan, range(w)))
+        edges: List[Tuple[int, int]] = []
+        for part in parts:
+            edges.extend(part)
+        return edges
+
+    def _snapshot_range(
+        self,
+        state: _OverlayState,
+        lo: int,
+        hi: int,
+        t_start: int,
+        t_end: int,
+    ) -> List[Tuple[int, int]]:
+        edges: List[Tuple[int, int]] = []
+        for u, (multiset, times, durations) in self._scan_records(
+            state, lo, hi
+        ):
+            for v in self._active_neighbors(
+                multiset, times, durations, t_start, t_end
+            ):
+                edges.append((u, v))
+        return edges
+
+    # -- structure-only scans --------------------------------------------------
+
+    def _iter_distinct(
+        self, state: Optional[_OverlayState] = None
+    ) -> Iterator[Tuple[int, List[int]]]:
         """Yield ``(u, distinct neighbors)`` in storage order, structure only.
 
         The timestamp stream is never touched; distinct lists come from the
@@ -673,16 +1102,20 @@ class CompressedChronoGraph:
         structure-only decode (references resolved from the rolling
         window), and feed the distinct-list cache so repeat passes are pure
         hits.  Record-cache counters are untouched: nothing here is a
-        record-level lookup.
+        record-level lookup.  The distinct-cache lock is taken per node,
+        never across a yield.
         """
-        n = self.num_nodes
+        if state is None:
+            state = self._state
+        n = state.num_nodes
         if n == 0:
             return
         config = self.config
         window = config.window
-        limit = self.num_contacts
+        limit = state.num_contacts
         dcache = self._distinct_cache
-        overlay = self._overlay
+        overlay = state.overlay
+        gen = state.generation
         base_n = self._base_nodes
         sreader = BitReader(self._sbytes, self._sbits)
         recent: Dict[int, List[int]] = {}
@@ -695,35 +1128,43 @@ class CompressedChronoGraph:
 
         for u in range(n):
             if u < base_n:
+                # Lock-free hit: distinct lists are base-only and
+                # immutable once cached (see _resolve_distinct).
                 distinct = dcache.get(u)
                 if distinct is None:
-                    record = self._record_cache.get(u)
-                    if record is not None and u not in overlay:
-                        distinct = []
-                        last = None
-                        for v in record[0]:
-                            if v != last:
-                                distinct.append(v)
-                                last = v
-                    else:
-                        # Overlay-touched cached records are merged; decode
-                        # the base structure so the distinct-list cache and
-                        # the reference window stay base-only.
-                        try:
-                            sreader.seek(self._soffsets.access(u))
-                            dedup, singles = decode_node_structure(
-                                sreader, u, resolve, config, limit=limit
+                    with self._distinct_lock:
+                        distinct = dcache.get(u)
+                    if distinct is None:
+                        record = self._cache_peek(u, gen)
+                        if record is not None and u not in overlay:
+                            distinct = []
+                            last = None
+                            for v in record[0]:
+                                if v != last:
+                                    distinct.append(v)
+                                    last = v
+                        else:
+                            # Overlay-touched cached records are merged;
+                            # decode the base structure so the distinct-list
+                            # cache and the reference window stay base-only.
+                            try:
+                                sreader.seek(self._soffsets.access(u))
+                                dedup, singles = decode_node_structure(
+                                    sreader, u, resolve, config, limit=limit
+                                )
+                            except FormatError:
+                                raise
+                            except _DECODE_FAILURES as exc:
+                                raise self._corrupt(
+                                    u, "structure", exc
+                                ) from exc
+                            distinct = sorted(
+                                {*(label for label, _ in dedup), *singles}
                             )
-                        except FormatError:
-                            raise
-                        except _DECODE_FAILURES as exc:
-                            raise self._corrupt(u, "structure", exc) from exc
-                        distinct = sorted(
-                            {*(label for label, _ in dedup), *singles}
-                        )
-                    dcache[u] = distinct
-                    if len(dcache) > _DISTINCT_CACHE_CAP:
-                        dcache.popitem(last=False)
+                        with self._distinct_lock:
+                            dcache[u] = distinct
+                            if len(dcache) > _DISTINCT_CACHE_CAP:
+                                dcache.popitem(last=False)
             else:
                 distinct = []
             if window > 0:
@@ -739,20 +1180,15 @@ class CompressedChronoGraph:
     def to_static_graph(self) -> List[Tuple[int, int]]:
         """The "flattened" aggregated view of Figure 1(a): distinct edges."""
         edges: List[Tuple[int, int]] = []
-        for u, distinct in self._iter_distinct():
+        for u, distinct in self._iter_distinct(self._state):
             for v in distinct:
                 edges.append((u, v))
         return edges
 
     def snapshot(self, t_start: int, t_end: int) -> List[Tuple[int, int]]:
-        """All distinct edges active within the interval, sorted."""
-        edges: List[Tuple[int, int]] = []
-        for u, (multiset, times, durations) in self._iter_records():
-            for v in self._active_neighbors(
-                multiset, times, durations, t_start, t_end
-            ):
-                edges.append((u, v))
-        return edges
+        """All distinct edges active within the closed interval, sorted."""
+        state = self._state
+        return self._snapshot_range(state, 0, state.num_nodes, t_start, t_end)
 
     def iter_window_neighbors(
         self, t_start: int, t_end: int
@@ -760,9 +1196,13 @@ class CompressedChronoGraph:
         """Yield ``(u, active neighbors)`` for every node, one decode per node.
 
         The bulk form of :meth:`neighbors` used by full-graph consumers
-        (the vertex-centric engine's undirected symmetrisation, exports).
+        (the vertex-centric engine's undirected symmetrisation, exports);
+        the same closed ``[t_start, t_end]`` window applies.
         """
-        for u, (multiset, times, durations) in self._iter_records():
+        state = self._state
+        for u, (multiset, times, durations) in self._scan_records(
+            state, 0, state.num_nodes
+        ):
             yield u, self._active_neighbors(
                 multiset, times, durations, t_start, t_end
             )
@@ -774,7 +1214,10 @@ class CompressedChronoGraph:
         counters, bulk loads) never hold more than one node's contacts
         beyond the output itself.
         """
-        for u, (multiset, times, durations) in self._iter_records():
+        state = self._state
+        for u, (multiset, times, durations) in self._scan_records(
+            state, 0, state.num_nodes
+        ):
             if durations is None:
                 for v, t in zip(multiset, times):
                     yield Contact(u, v, t)

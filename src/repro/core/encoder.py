@@ -1,16 +1,44 @@
-"""Top-level ChronoGraph compression entry point."""
+"""Top-level ChronoGraph compression entry points.
+
+:func:`compress` is the reference single-process encoder.
+:func:`compress_parallel` produces **bit-identical** output from multiple
+worker processes.  Reference selection is path-dependent (``max_ref_chain``
+bounds the chain depth through previously *chosen* references), so a naive
+range split would diverge from the serial encoder; instead the parallel
+encoder runs three phases:
+
+1. **Size** (parallel): every node sizes its no-reference encoding and every
+   window candidate that passes the path-independent filters (non-empty
+   distinct list, overlap with the singles).  Candidate sizes depend only on
+   the input graph, never on earlier choices.
+2. **Select** (serial, cheap): replay the serial encoder's selection loop
+   over the precomputed sizes -- identical tie-breaking (strict ``<``,
+   ascending ``r``) and identical ``ref_depth`` bookkeeping -- yielding the
+   exact reference the serial encoder would pick for every node.
+3. **Encode** (parallel): workers encode contiguous node ranges with the
+   chosen references and the stitcher splices the chunks with
+   :meth:`repro.bits.bitio.BitWriter.extend`, shifting offsets by the
+   cumulative base.  Bit concatenation is associative, so the spliced
+   streams equal the serial ones bit for bit.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bits.bitio import BitWriter
 from repro.bits.eliasfano import EliasFano
 from repro.core.compressed import CompressedChronoGraph
 from repro.core.config import ChronoGraphConfig
 from repro.bits.codes import zeta_length
-from repro.core.structure import encode_node_structure
+from repro.core.structure import (
+    _encode_dedup,
+    _encode_singles,
+    encode_node_structure,
+    split_duplicates,
+)
 from repro.core.timestamps import encode_node_timestamps, encoded_timestamp_bits
 from repro.graph.aggregate import aggregate
 from repro.graph.model import GraphKind, TemporalGraph
@@ -46,20 +74,13 @@ def select_timestamp_zeta_k(graph: TemporalGraph) -> tuple[int, int]:
     return best_gap, best_dur
 
 
-def compress(
-    graph: TemporalGraph,
-    config: Optional[ChronoGraphConfig] = None,
-) -> CompressedChronoGraph:
-    """Compress a temporal graph into a :class:`CompressedChronoGraph`.
+def _prepare(
+    graph: TemporalGraph, config: Optional[ChronoGraphConfig]
+) -> Tuple[TemporalGraph, ChronoGraphConfig]:
+    """Aggregate to the target resolution and resolve the zeta parameters.
 
-    When ``config.resolution > 1`` the timestamps are first aggregated to
-    that granularity (Section IV-C), trading temporal precision for space.
-
-    Compression streams through the nodes once; only the distinct neighbor
-    lists of the last ``window`` nodes are retained for reference selection,
-    so peak memory stays proportional to the window, matching the paper's
-    remark that ChronoGraph's compression-time memory use is dominated by
-    the offset indexes.
+    Shared by the serial and parallel encoders so both work from the same
+    fully-resolved configuration (a prerequisite for bit-identity).
     """
     if config is None:
         config = ChronoGraphConfig()
@@ -74,7 +95,38 @@ def compress(
             timestamp_zeta_k=config.timestamp_zeta_k or best_gap,
             duration_zeta_k=config.duration_zeta_k or best_dur,
         )
+    return graph, config
 
+
+def _build(
+    graph: TemporalGraph,
+    config: ChronoGraphConfig,
+    structure: BitWriter,
+    timestamps: BitWriter,
+    structure_offsets: List[int],
+    timestamp_offsets: List[int],
+) -> CompressedChronoGraph:
+    """Wrap finished streams and offsets into the queryable container."""
+    return CompressedChronoGraph(
+        kind=graph.kind,
+        num_nodes=graph.num_nodes,
+        num_contacts=graph.num_contacts,
+        t_min=graph.t_min,
+        config=config,
+        structure_bytes=structure.to_bytes(),
+        structure_bits=len(structure),
+        timestamp_bytes=timestamps.to_bytes(),
+        timestamp_bits=len(timestamps),
+        structure_offsets=EliasFano(structure_offsets, universe=len(structure) + 1),
+        timestamp_offsets=EliasFano(timestamp_offsets, universe=len(timestamps) + 1),
+        name=graph.name,
+    )
+
+
+def _encode_prepared(
+    graph: TemporalGraph, config: ChronoGraphConfig
+) -> CompressedChronoGraph:
+    """The serial per-node encode loop over a prepared (graph, config)."""
     t_min = graph.t_min
     with_durations = graph.kind is GraphKind.INTERVAL
     structure = BitWriter()
@@ -107,17 +159,222 @@ def compress(
             window_distinct.pop(evicted, None)
             ref_depth.pop(evicted, None)
 
-    return CompressedChronoGraph(
-        kind=graph.kind,
-        num_nodes=graph.num_nodes,
-        num_contacts=graph.num_contacts,
-        t_min=t_min,
-        config=config,
-        structure_bytes=structure.to_bytes(),
-        structure_bits=len(structure),
-        timestamp_bytes=timestamps.to_bytes(),
-        timestamp_bits=len(timestamps),
-        structure_offsets=EliasFano(structure_offsets, universe=len(structure) + 1),
-        timestamp_offsets=EliasFano(timestamp_offsets, universe=len(timestamps) + 1),
-        name=graph.name,
+    return _build(
+        graph, config, structure, timestamps,
+        structure_offsets, timestamp_offsets,
+    )
+
+
+def compress(
+    graph: TemporalGraph,
+    config: Optional[ChronoGraphConfig] = None,
+) -> CompressedChronoGraph:
+    """Compress a temporal graph into a :class:`CompressedChronoGraph`.
+
+    When ``config.resolution > 1`` the timestamps are first aggregated to
+    that granularity (Section IV-C), trading temporal precision for space.
+
+    Compression streams through the nodes once; only the distinct neighbor
+    lists of the last ``window`` nodes are retained for reference selection,
+    so peak memory stays proportional to the window, matching the paper's
+    remark that ChronoGraph's compression-time memory use is dominated by
+    the offset indexes.
+    """
+    graph, config = _prepare(graph, config)
+    return _encode_prepared(graph, config)
+
+
+# --------------------------------------------------------------------------
+# Parallel encoder (multiprocessing, bit-identical to ``compress``)
+# --------------------------------------------------------------------------
+
+#: Below this many nodes the fork/pickle overhead dwarfs the encode itself.
+_PARALLEL_MIN_NODES = 16
+
+#: Per-node sizing record: (no-reference length, [(r, candidate length)]).
+_NodeSizes = Tuple[int, List[Tuple[int, int]]]
+
+
+def _distinct_of(graph: TemporalGraph, v: int) -> List[int]:
+    """Sorted distinct neighbor labels of ``v`` straight from the contacts.
+
+    This is exactly the ``previous_distinct`` value the serial encoder
+    records after encoding ``v`` -- it depends only on the input graph,
+    never on reference choices, which is what makes phase 1 parallelisable.
+    """
+    return sorted({c.v for c in graph.contacts_of(v)})
+
+
+def _size_candidates(args) -> List[_NodeSizes]:
+    """Phase 1 worker: size every encoding candidate of a node range."""
+    graph, config, lo, hi = args
+    out: List[_NodeSizes] = []
+    for u in range(lo, hi):
+        multiset = [c.v for c in graph.contacts_of(u)]
+        _, singles = split_duplicates(multiset)
+        no_ref = len(_encode_singles(u, singles, None, config))
+        cands: List[Tuple[int, int]] = []
+        single_set = set(singles)
+        for r in range(1, config.window + 1):
+            v = u - r
+            if v < 0:
+                break
+            reference_list = _distinct_of(graph, v)
+            if not reference_list:
+                continue
+            if not single_set & set(reference_list):
+                continue  # nothing to copy; the no-reference encoding wins
+            cands.append(
+                (r, len(_encode_singles(u, singles, (r, reference_list), config)))
+            )
+        out.append((no_ref, cands))
+    return out
+
+
+def _select_references(
+    num_nodes: int,
+    window: int,
+    max_ref_chain: Optional[int],
+    sizes: Sequence[_NodeSizes],
+) -> List[int]:
+    """Phase 2: replay the serial selection loop over precomputed sizes.
+
+    Identical semantics to :func:`repro.core.structure.encode_node_structure`:
+    candidates are considered in ascending ``r``, replace the incumbent only
+    when strictly smaller, and chain depth is checked against the *chosen*
+    depth of the target -- the path-dependent part that forces this phase
+    to be sequential (it is O(n * window) integer work, not encoding).
+    """
+    ref_depth: Dict[int, int] = {}
+    chosen = [0] * num_nodes
+    for u in range(num_nodes):
+        no_ref, cands = sizes[u]
+        best_len = no_ref
+        best_ref = 0
+        best_depth = 0
+        for r, cand_len in cands:
+            depth = ref_depth.get(u - r, 0) + 1
+            if max_ref_chain is not None and depth > max_ref_chain:
+                continue
+            if cand_len < best_len:
+                best_len = cand_len
+                best_ref = r
+                best_depth = depth
+        chosen[u] = best_ref
+        ref_depth[u] = best_depth if best_ref else 0
+        evicted = u - window
+        if evicted >= 0:
+            ref_depth.pop(evicted, None)
+    return chosen
+
+
+def _encode_range(args):
+    """Phase 3 worker: encode ``[lo, hi)`` with pre-selected references.
+
+    Returns ``(structure bytes, structure bits, structure offsets,
+    timestamp bytes, timestamp bits, timestamp offsets)`` with offsets
+    relative to the chunk start.
+    """
+    graph, config, chosen, lo, hi = args
+    t_min = graph.t_min
+    with_durations = graph.kind is GraphKind.INTERVAL
+    structure = BitWriter()
+    timestamps = BitWriter()
+    soffsets: List[int] = []
+    toffsets: List[int] = []
+    for u in range(lo, hi):
+        soffsets.append(len(structure))
+        toffsets.append(len(timestamps))
+        contacts = graph.contacts_of(u)
+        multiset = [c.v for c in contacts]
+        dedup, singles = split_duplicates(multiset)
+        _encode_dedup(structure, u, dedup)
+        r = chosen[u - lo]
+        if r:
+            reference = (r, _distinct_of(graph, u - r))
+            structure.extend(_encode_singles(u, singles, reference, config))
+        else:
+            structure.extend(_encode_singles(u, singles, None, config))
+        times = [c.time for c in contacts]
+        durations = [c.duration for c in contacts] if with_durations else None
+        encode_node_timestamps(
+            timestamps,
+            times,
+            durations,
+            t_min,
+            config.timestamp_zeta_k,
+            config.duration_zeta_k,
+        )
+    return (
+        structure.to_bytes(), len(structure), soffsets,
+        timestamps.to_bytes(), len(timestamps), toffsets,
+    )
+
+
+def compress_parallel(
+    graph: TemporalGraph,
+    config: Optional[ChronoGraphConfig] = None,
+    *,
+    workers: Optional[int] = None,
+) -> CompressedChronoGraph:
+    """Compress with worker processes; output is bit-identical to :func:`compress`.
+
+    ``workers`` defaults to ``os.cpu_count()``; with one worker (or a graph
+    too small to amortise process start-up) this simply calls the serial
+    path.  Worker failures that prevent pool start-up (restricted
+    environments without ``fork``/semaphores) also fall back to the serial
+    encoder rather than erroring: the result is defined to be the same
+    bytes either way.
+    """
+    graph, config = _prepare(graph, config)
+    n = graph.num_nodes
+    w = int(workers) if workers is not None else (os.cpu_count() or 1)
+    if w <= 1 or n < _PARALLEL_MIN_NODES:
+        return _encode_prepared(graph, config)
+    w = min(w, n)
+    bounds = [(n * i) // w for i in range(w + 1)]
+    ranges = [
+        (bounds[i], bounds[i + 1])
+        for i in range(w)
+        if bounds[i] < bounds[i + 1]
+    ]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(ranges)) as pool:
+            sized = list(
+                pool.map(
+                    _size_candidates,
+                    [(graph, config, lo, hi) for lo, hi in ranges],
+                )
+            )
+            sizes = [entry for part in sized for entry in part]
+            chosen = _select_references(
+                n, config.window, config.max_ref_chain, sizes
+            )
+            chunks = list(
+                pool.map(
+                    _encode_range,
+                    [
+                        (graph, config, chosen[lo:hi], lo, hi)
+                        for lo, hi in ranges
+                    ],
+                )
+            )
+    except (OSError, ImportError):  # no fork/semaphores: serial fallback
+        return _encode_prepared(graph, config)
+    structure = BitWriter()
+    timestamps = BitWriter()
+    structure_offsets: List[int] = []
+    timestamp_offsets: List[int] = []
+    for sbytes, sbits, soffs, tbytes, tbits, toffs in chunks:
+        sbase = len(structure)
+        tbase = len(timestamps)
+        structure_offsets.extend(sbase + off for off in soffs)
+        timestamp_offsets.extend(tbase + off for off in toffs)
+        structure.extend(BitWriter.from_bits(sbytes, sbits))
+        timestamps.extend(BitWriter.from_bits(tbytes, tbits))
+    return _build(
+        graph, config, structure, timestamps,
+        structure_offsets, timestamp_offsets,
     )

@@ -196,9 +196,22 @@ def _header_payload(graph: CompressedChronoGraph) -> bytes:
 
 
 def dumps_compressed(graph: CompressedChronoGraph) -> bytes:
-    """Serialise the compressed graph to VERSION 2 container bytes."""
+    """Serialise the compressed graph to VERSION 2 container bytes.
+
+    The graph must not carry an uncompacted WAL overlay: the container
+    format stores only the base streams, so serialising after
+    ``apply_contacts`` would write a header whose node/contact counts
+    disagree with the streams and produce an unloadable file.  Run
+    :func:`repro.storage.recovery.compact` (or re-compress
+    ``to_temporal_graph()``) first.
+    """
     if graph.config.timestamp_zeta_k is None:  # pragma: no cover - encoder sets it
         raise ValueError("cannot serialise a graph with unresolved zeta parameters")
+    if graph._state.count:
+        raise ValueError(
+            f"cannot serialise {graph._state.count} uncompacted overlay "
+            "contact(s); compact the graph first"
+        )
     buffer = io.BytesIO()
     buffer.write(MAGIC)
     buffer.write(struct.pack("<BB", VERSION, 0))

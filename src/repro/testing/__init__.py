@@ -11,6 +11,11 @@ The same contract extends to the crash-safe persistence layer: WAL
 mutations drive :func:`run_wal_fault_injection`, and
 :class:`FaultyFilesystem` / :func:`crash_points` exhaust every possible
 crash point of any write path built on :mod:`repro.storage.atomic`.
+
+The concurrency contract has its own harness: :func:`run_race_smoke`
+(:mod:`repro.testing.races`) races seeded reader threads against an
+``apply_contacts`` writer and verifies torn-record freedom, counter
+monotonicity and overlay-read linearizability.
 """
 
 from repro.testing.faults import (
@@ -33,6 +38,7 @@ from repro.testing.faults import (
     wal_generation_mutations,
     wal_truncate_mutations,
 )
+from repro.testing.races import RaceReport, run_race_smoke
 
 __all__ = [
     "Mutation",
@@ -53,4 +59,6 @@ __all__ = [
     "wal_generation_mutations",
     "default_wal_mutations",
     "run_wal_fault_injection",
+    "RaceReport",
+    "run_race_smoke",
 ]

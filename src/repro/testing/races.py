@@ -1,0 +1,411 @@
+"""Seeded reader/writer race harness for the concurrent query plane.
+
+The harness drives one writer thread (applying WAL-style contact batches
+through :meth:`CompressedChronoGraph.apply_contacts`) against several
+reader threads issuing point, batch and full-scan queries, and checks the
+concurrency contract the library documents:
+
+* **No torn records** -- every neighbor list is strictly increasing and
+  every decoded contact run is (label, time)-sorted with aligned columns.
+* **Overlay-read linearizability** -- each query's result must equal the
+  reference model's answer at *some* overlay generation between the
+  generation observed immediately before and immediately after the call;
+  multi-result operations (``neighbors_many``, ``snapshot``) must match a
+  *single* such generation, because they capture one snapshot.
+* **Monotone counters** -- ``hits + misses``, ``invalidations`` and
+  ``evictions`` never decrease, and the generation increases by exactly
+  one per applied batch.
+
+Everything is deterministic up to thread interleaving: the base graph, the
+batches and each reader's operation mix derive from ``seed``.  Whatever
+the interleaving, every invariant must hold; a violation is reported, not
+raised, so CI output lists all failures of a run at once.
+
+Run it from a checkout with::
+
+    PYTHONPATH=src python -m pytest -q tests/test_concurrency.py
+
+or directly::
+
+    PYTHONPATH=src python -c "from repro.testing.races import run_race_smoke; print(run_race_smoke())"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoder import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import Contact, GraphKind
+
+#: A reference-model row: (neighbor label, timestamp, duration).
+_Row = Tuple[int, int, int]
+
+#: Fixed window used by the snapshot checks (must be precomputed per
+#: generation, so the harness pins one window for the whole run).
+_SNAPSHOT_WINDOW = (0, 10_000_000)
+
+
+@dataclasses.dataclass
+class RaceReport:
+    """Outcome of one :func:`run_race_smoke` run.
+
+    ``violations`` holds one human-readable line per broken invariant;
+    an empty list means the run passed.  The counters record how much
+    concurrency the run actually exercised, so CI logs show that a green
+    run was not vacuous.
+    """
+
+    readers: int
+    writer_batches: int
+    read_ops: int
+    final_generation: int
+    final_nodes: int
+    duration_s: float
+    violations: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held for the whole run."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        status = "PASS" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        return (
+            f"race smoke: {status}; {self.readers} readers x {self.read_ops} "
+            f"ops vs {self.writer_batches} batches "
+            f"(gen {self.final_generation}, {self.final_nodes} nodes, "
+            f"{self.duration_s:.2f}s)"
+        )
+
+
+def _base_graph(num_nodes: int, base_contacts: int, seed: int):
+    """A deterministic point graph with a mix of dense and sparse nodes."""
+    rng = random.Random(seed)
+    contacts = []
+    for i in range(base_contacts):
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        t = rng.randrange(1, 5_000)
+        contacts.append((u, v, t))
+    return graph_from_contacts(GraphKind.POINT, contacts, num_nodes=num_nodes)
+
+
+def _make_batches(
+    num_nodes: int, batches: int, seed: int
+) -> List[List[Contact]]:
+    """Deterministic contact batches; some touch brand-new node labels."""
+    rng = random.Random(seed + 1)
+    out: List[List[Contact]] = []
+    top = num_nodes - 1
+    for _ in range(batches):
+        batch: List[Contact] = []
+        for _ in range(rng.randrange(1, 5)):
+            if rng.random() < 0.1:
+                u = top + 1  # grow the graph: the new-max-node bugfix path
+            else:
+                u = rng.randrange(top + 1)
+            v = rng.randrange(top + 1)
+            t = rng.randrange(1, 5_000)
+            batch.append(Contact(u, v, t))
+            top = max(top, u, v)
+        out.append(batch)
+    return out
+
+
+def _build_model(
+    graph, batches: Sequence[Sequence[Contact]]
+) -> Tuple[List[Dict[int, Tuple[_Row, ...]]], List[int]]:
+    """Per-generation reference state: node -> sorted (v, t, d) rows.
+
+    Generation ``g`` reflects the base graph plus the first ``g`` batches.
+    Dicts are copied per generation but row tuples are shared, so the
+    model stays cheap for hundreds of generations.
+    """
+    state: Dict[int, Tuple[_Row, ...]] = {}
+    for c in graph.contacts:
+        state.setdefault(c.u, ())
+        state[c.u] += ((c.v, c.time, c.duration),)
+    state = {u: tuple(sorted(rows, key=lambda r: (r[0], r[1]))) for u, rows in state.items()}
+    states = [dict(state)]
+    nodes = [graph.num_nodes]
+    top = graph.num_nodes - 1
+    for batch in batches:
+        state = dict(state)
+        for c in batch:
+            rows = list(state.get(c.u, ()))
+            rows.append((c.v, c.time, c.duration))
+            rows.sort(key=lambda r: (r[0], r[1]))
+            state[c.u] = tuple(rows)
+            top = max(top, c.u, c.v)
+        states.append(state)
+        nodes.append(top + 1)
+    return states, nodes
+
+
+def _expected_neighbors(
+    state: Dict[int, Tuple[_Row, ...]], u: int, t0: int, t1: int
+) -> List[int]:
+    """Reference answer for a point-graph ``neighbors(u, t0, t1)``."""
+    return sorted({v for v, t, _ in state.get(u, ()) if t0 <= t <= t1})
+
+
+def _expected_snapshot(
+    state: Dict[int, Tuple[_Row, ...]], num_nodes: int, t0: int, t1: int
+) -> List[Tuple[int, int]]:
+    """Reference answer for ``snapshot(t0, t1)`` in storage order."""
+    edges: List[Tuple[int, int]] = []
+    for u in range(num_nodes):
+        for v in _expected_neighbors(state, u, t0, t1):
+            edges.append((u, v))
+    return edges
+
+
+def run_race_smoke(
+    *,
+    num_nodes: int = 24,
+    base_contacts: int = 300,
+    batches: int = 200,
+    readers: int = 4,
+    seed: int = 0,
+    cache_max_entries: Optional[int] = 16,
+    max_violations: int = 20,
+    min_reader_ops: int = 64,
+    writer_pace_s: float = 0.0005,
+) -> RaceReport:
+    """Run the seeded reader/writer stress test; returns a :class:`RaceReport`.
+
+    One writer applies ``batches`` contact batches while ``readers``
+    threads hammer the query surface (``neighbors``, ``contacts_of``,
+    ``distinct_neighbors``, ``neighbors_many``, ``snapshot`` /
+    ``snapshot_parallel``) and verify every result against the
+    per-generation reference model.  ``cache_max_entries`` defaults to a
+    deliberately tight bound so eviction races are exercised too; pass
+    ``None`` to lift it.  The run is bounded: it ends once the writer has
+    applied every batch and each reader has done at least
+    ``min_reader_ops`` operations.  ``writer_pace_s`` throttles the writer
+    slightly so batches interleave with reads instead of racing ahead of
+    them.
+    """
+    graph = _base_graph(num_nodes, base_contacts, seed)
+    batch_list = _make_batches(num_nodes, batches, seed)
+    states, nodes_per_gen = _build_model(graph, batch_list)
+    cg = compress(graph)
+    if cache_max_entries is not None:
+        cg.configure_cache(max_entries=cache_max_entries)
+
+    violations: List[str] = []
+    vlock = threading.Lock()
+    writer_done = threading.Event()
+    read_ops = [0] * readers
+
+    def report(msg: str) -> None:
+        with vlock:
+            if len(violations) < max_violations:
+                violations.append(msg)
+
+    def overloaded() -> bool:
+        with vlock:
+            return len(violations) >= max_violations
+
+    t0, t1 = _SNAPSHOT_WINDOW
+    snapshot_per_gen: Dict[int, List[Tuple[int, int]]] = {}
+
+    def expected_snapshot(g: int) -> List[Tuple[int, int]]:
+        got = snapshot_per_gen.get(g)
+        if got is None:
+            got = _expected_snapshot(states[g], nodes_per_gen[g], t0, t1)
+            snapshot_per_gen[g] = got
+        return got
+
+    def writer() -> None:
+        try:
+            for i, batch in enumerate(batch_list):
+                before = cg.overlay_generation
+                applied = cg.apply_contacts(batch)
+                after = cg.overlay_generation
+                if applied != len(batch):
+                    report(f"batch {i}: applied {applied} != {len(batch)}")
+                if after != before + 1:
+                    report(
+                        f"batch {i}: generation {before} -> {after}, "
+                        "expected +1"
+                    )
+                if overloaded():
+                    return
+                if writer_pace_s:
+                    time.sleep(writer_pace_s)
+        finally:
+            writer_done.set()
+
+    def check_sorted_distinct(tag: str, out: List[int]) -> None:
+        if any(out[i] >= out[i + 1] for i in range(len(out) - 1)):
+            report(f"{tag}: torn/unsorted neighbor list {out}")
+
+    def reader(idx: int) -> None:
+        rng = random.Random(seed + 100 + idx)
+        last_lookups = -1
+        last_invalidations = -1
+        last_evictions = -1
+        ops = 0
+        while True:
+            done = writer_done.is_set() and ops >= min_reader_ops
+            if overloaded():
+                break
+            for _ in range(8):
+                op = rng.random()
+                g0 = cg.overlay_generation
+                n_now = cg.num_nodes
+                u = rng.randrange(n_now)
+                if op < 0.45:
+                    lo = rng.randrange(0, 5_000)
+                    hi = lo + rng.randrange(0, 2_500)
+                    out = cg.neighbors(u, lo, hi)
+                    g1 = cg.overlay_generation
+                    check_sorted_distinct(f"neighbors({u},{lo},{hi})", out)
+                    if not any(
+                        out == _expected_neighbors(states[g], u, lo, hi)
+                        for g in range(g0, g1 + 1)
+                    ):
+                        report(
+                            f"neighbors({u},{lo},{hi}) = {out} matches no "
+                            f"generation in [{g0},{g1}]"
+                        )
+                elif op < 0.6:
+                    rows = cg.contacts_of(u)
+                    g1 = cg.overlay_generation
+                    cols = sorted((c.v, c.time, c.duration) for c in rows)
+                    if any(
+                        (rows[i].v, rows[i].time)
+                        > (rows[i + 1].v, rows[i + 1].time)
+                        for i in range(len(rows) - 1)
+                    ):
+                        report(f"contacts_of({u}): rows out of order")
+                    if not any(
+                        cols == sorted(states[g].get(u, ()))
+                        for g in range(g0, g1 + 1)
+                    ):
+                        report(
+                            f"contacts_of({u}) matches no generation in "
+                            f"[{g0},{g1}]"
+                        )
+                elif op < 0.72:
+                    out = cg.distinct_neighbors(u)
+                    g1 = cg.overlay_generation
+                    check_sorted_distinct(f"distinct_neighbors({u})", out)
+                    if not any(
+                        out
+                        == sorted({v for v, _, _ in states[g].get(u, ())})
+                        for g in range(g0, g1 + 1)
+                    ):
+                        report(
+                            f"distinct_neighbors({u}) matches no generation "
+                            f"in [{g0},{g1}]"
+                        )
+                elif op < 0.9:
+                    qs = []
+                    for _ in range(rng.randrange(2, 7)):
+                        lo = rng.randrange(0, 5_000)
+                        qs.append(
+                            (rng.randrange(n_now), lo, lo + rng.randrange(0, 2_500))
+                        )
+                    outs = cg.neighbors_many(qs, workers=2)
+                    g1 = cg.overlay_generation
+                    for (qu, qlo, qhi), out in zip(qs, outs):
+                        check_sorted_distinct(
+                            f"neighbors_many({qu},{qlo},{qhi})", out
+                        )
+                    if not any(
+                        all(
+                            out == _expected_neighbors(states[g], qu, qlo, qhi)
+                            for (qu, qlo, qhi), out in zip(qs, outs)
+                        )
+                        for g in range(g0, g1 + 1)
+                    ):
+                        report(
+                            f"neighbors_many batch matches no single "
+                            f"generation in [{g0},{g1}]"
+                        )
+                else:
+                    if rng.random() < 0.5:
+                        edges = cg.snapshot(t0, t1)
+                    else:
+                        edges = cg.snapshot_parallel(t0, t1, workers=2)
+                    g1 = cg.overlay_generation
+                    if not any(
+                        edges == expected_snapshot(g)
+                        for g in range(g0, g1 + 1)
+                    ):
+                        report(
+                            f"snapshot matches no single generation in "
+                            f"[{g0},{g1}]"
+                        )
+                ops += 1
+            stats = cg.cache_stats()
+            lookups = stats["hits"] + stats["misses"]
+            if lookups < last_lookups:
+                report(
+                    f"hit+miss went backwards: {last_lookups} -> {lookups}"
+                )
+            if stats["invalidations"] < last_invalidations:
+                report(
+                    "invalidations went backwards: "
+                    f"{last_invalidations} -> {stats['invalidations']}"
+                )
+            if stats["evictions"] < last_evictions:
+                report(
+                    "evictions went backwards: "
+                    f"{last_evictions} -> {stats['evictions']}"
+                )
+            last_lookups = lookups
+            last_invalidations = stats["invalidations"]
+            last_evictions = stats["evictions"]
+            if done:
+                break
+        read_ops[idx] = ops
+
+    started = time.monotonic()
+    threads = [threading.Thread(target=writer, name="race-writer")]
+    threads += [
+        threading.Thread(target=reader, args=(i,), name=f"race-reader-{i}")
+        for i in range(readers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.monotonic() - started
+
+    # Quiescent final check: the overlay must be fully and exactly visible.
+    final_gen = cg.overlay_generation
+    if final_gen != len(batch_list) and not violations:
+        violations.append(
+            f"final generation {final_gen} != {len(batch_list)}"
+        )
+    final_state = states[final_gen] if final_gen < len(states) else states[-1]
+    final_nodes = nodes_per_gen[final_gen] if final_gen < len(nodes_per_gen) else nodes_per_gen[-1]
+    if cg.num_nodes != final_nodes:
+        violations.append(
+            f"final num_nodes {cg.num_nodes} != expected {final_nodes}"
+        )
+    for u in range(min(cg.num_nodes, final_nodes)):
+        got = sorted((c.v, c.time, c.duration) for c in cg.contacts_of(u))
+        want = sorted(final_state.get(u, ()))
+        if got != want:
+            violations.append(f"final contacts of node {u} diverged")
+            break
+
+    return RaceReport(
+        readers=readers,
+        writer_batches=len(batch_list),
+        read_ops=sum(read_ops),
+        final_generation=final_gen,
+        final_nodes=cg.num_nodes,
+        duration_s=duration,
+        violations=violations,
+    )

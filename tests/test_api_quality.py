@@ -10,7 +10,7 @@ import repro
 
 MODULES = [
     "repro", "repro.errors",
-    "repro.testing", "repro.testing.faults",
+    "repro.testing", "repro.testing.faults", "repro.testing.races",
     "repro.storage", "repro.storage.atomic", "repro.storage.wal",
     "repro.storage.recovery",
     "repro.bits", "repro.bits.bitio", "repro.bits.codes", "repro.bits.zigzag",

@@ -1,0 +1,206 @@
+"""Concurrent query plane: sharded cache, snapshot reads, race smoke.
+
+The contract under test (documented in README "Concurrency"):
+
+* a ``CompressedChronoGraph`` may be shared freely across threads;
+* ``apply_contacts`` publishes each batch atomically -- a reader sees a
+  batch entirely or not at all, never a torn record;
+* cache counters are exact in quiescence and monotone under concurrency;
+* the batch APIs (``neighbors_many``, ``snapshot_parallel``) return
+  exactly what their serial counterparts return.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import Contact, GraphKind
+from repro.testing.races import run_race_smoke
+
+
+def _cg(n=12, per=4, kind=GraphKind.POINT):
+    contacts = []
+    for u in range(n):
+        for i in range(per):
+            if kind is GraphKind.INTERVAL:
+                contacts.append((u, (u + i + 1) % n, 10 * u + i, 1 + i))
+            else:
+                contacts.append((u, (u + i + 1) % n, 10 * u + i))
+    return compress(graph_from_contacts(kind, contacts, num_nodes=n))
+
+
+class TestRaceSmoke:
+    def test_200_batches_hold_all_invariants(self):
+        report = run_race_smoke(batches=200, readers=4, seed=0)
+        assert report.writer_batches == 200
+        assert report.final_generation == 200
+        assert report.read_ops > 0
+        assert report.ok, report.violations
+
+    def test_different_seed_and_tight_cache(self):
+        report = run_race_smoke(
+            batches=60, readers=3, seed=7, cache_max_entries=4
+        )
+        assert report.ok, report.violations
+
+    def test_unbounded_cache(self):
+        report = run_race_smoke(
+            batches=40, readers=2, seed=3, cache_max_entries=None
+        )
+        assert report.ok, report.violations
+
+
+class TestConcurrentReaders:
+    def test_parallel_point_queries_match_serial(self):
+        cg = _cg()
+        expected = {u: cg.neighbors(u, 0, 10_000) for u in range(cg.num_nodes)}
+        errors = []
+
+        def hammer(seed):
+            for i in range(300):
+                u = (seed + i) % cg.num_nodes
+                got = cg.neighbors(u, 0, 10_000)
+                if got != expected[u]:
+                    errors.append((u, got))
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_counters_exact_after_concurrent_run(self):
+        cg = _cg()
+        cg.configure_cache(max_entries=None, max_bytes=None)
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for i in range(200):
+                cg.neighbors(i % cg.num_nodes, 0, 10_000)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cg.cache_stats()
+        # Unbounded cache: every lookup is a hit or a miss, nothing is lost.
+        assert stats["hits"] + stats["misses"] == 4 * 200
+        assert stats["entries"] == cg.num_nodes
+        assert stats["evictions"] == 0
+
+
+class TestGenerationSnapshots:
+    def test_apply_bumps_generation(self):
+        cg = _cg()
+        assert cg.overlay_generation == 0
+        cg.apply_contacts([Contact(0, 1, 999)])
+        assert cg.overlay_generation == 1
+        cg.apply_contacts([Contact(1, 2, 999), Contact(2, 3, 999)])
+        assert cg.overlay_generation == 2
+
+    def test_empty_apply_keeps_generation(self):
+        cg = _cg()
+        assert cg.apply_contacts([]) == 0
+        assert cg.overlay_generation == 0
+
+    def test_stale_cached_record_not_served_to_new_generation(self):
+        cg = _cg()
+        before = cg.neighbors(0, 0, 10_000)
+        assert 11 not in before
+        cg.apply_contacts([Contact(0, 11, 50)])
+        # The touched node was invalidated; the merged record must appear.
+        assert 11 in cg.neighbors(0, 0, 10_000)
+
+    def test_concurrent_writer_never_tears_batches(self):
+        cg = _cg()
+        batch = [Contact(0, 7, 5000), Contact(0, 8, 5001), Contact(0, 9, 5002)]
+        seen = []
+        done = threading.Event()
+
+        def read():
+            while not done.is_set():
+                got = set(cg.neighbors(0, 5000, 5002))
+                seen.append(got & {7, 8, 9})
+
+        t = threading.Thread(target=read)
+        t.start()
+        cg.apply_contacts(batch)
+        done.set()
+        t.join()
+        final = set(cg.neighbors(0, 5000, 5002))
+        assert {7, 8, 9} <= final
+        # Atomic publish: each observation is all-or-nothing.
+        for observed in seen:
+            assert observed in (set(), {7, 8, 9})
+
+
+class TestBatchAPIs:
+    @pytest.mark.parametrize("workers", [None, 1, 2, 4])
+    def test_neighbors_many_matches_serial(self, workers):
+        cg = _cg()
+        queries = [
+            (u, 10 * u, 10 * u + 3) for u in range(cg.num_nodes)
+        ] + [(3, 0, 10_000), (3, 1, 0), (5, 0, 10_000)]
+        expected = [cg.neighbors(u, a, b) for u, a, b in queries]
+        assert cg.neighbors_many(queries, workers=workers) == expected
+
+    def test_neighbors_many_validates_nodes(self):
+        cg = _cg()
+        with pytest.raises(ValueError):
+            cg.neighbors_many([(cg.num_nodes, 0, 1)])
+
+    def test_neighbors_many_empty(self):
+        cg = _cg()
+        assert cg.neighbors_many([]) == []
+        assert cg.neighbors_many([], workers=3) == []
+
+    def test_neighbors_many_decodes_each_node_once(self):
+        cg = _cg()
+        stats0 = cg.cache_stats()
+        queries = [(2, 0, 10), (2, 0, 10_000), (2, 5, 25), (4, 0, 10_000)]
+        cg.neighbors_many(queries, workers=2)
+        stats = cg.cache_stats()
+        # Two distinct nodes -> exactly two record lookups for four queries.
+        delta = (stats["hits"] + stats["misses"]) - (
+            stats0["hits"] + stats0["misses"]
+        )
+        assert delta == 2
+
+    @pytest.mark.parametrize("workers", [None, 1, 2, 3])
+    @pytest.mark.parametrize("kind", [GraphKind.POINT, GraphKind.INTERVAL])
+    def test_snapshot_parallel_matches_serial(self, workers, kind):
+        cg = _cg(kind=kind)
+        for window in [(0, 10_000), (25, 60), (5, 5), (10, 9)]:
+            assert cg.snapshot_parallel(*window, workers=workers) == (
+                cg.snapshot(*window)
+            )
+
+    def test_snapshot_parallel_sees_overlay(self):
+        cg = _cg()
+        cg.apply_contacts([Contact(1, 9, 7777), Contact(20, 0, 7778)])
+        expected = cg.snapshot(7777, 7778)
+        assert (1, 9) in expected and (20, 0) in expected
+        assert cg.snapshot_parallel(7777, 7778, workers=3) == expected
+
+
+class TestPickleRoundTrip:
+    def test_pickled_graph_rebuilds_runtime_state(self):
+        cg = _cg()
+        cg.neighbors(0, 0, 10_000)
+        cg.apply_contacts([Contact(0, 5, 123)])
+        clone = pickle.loads(pickle.dumps(cg))
+        # Overlay and generation survive; caches and counters start cold.
+        assert clone.overlay_generation == 1
+        assert clone.num_contacts == cg.num_contacts
+        assert clone.neighbors(0, 0, 10_000) == cg.neighbors(0, 0, 10_000)
+        assert clone.cache_stats()["invalidations"] == 0
+        # The rebuilt locks work: a mutation on the clone is independent.
+        clone.apply_contacts([Contact(0, 6, 124)])
+        assert clone.overlay_generation == 2
+        assert cg.overlay_generation == 1
