@@ -36,10 +36,14 @@ The query surface is safe to share across threads:
   reference assignment.  Every query captures the snapshot once at entry,
   so an in-flight reader finishes against the generation it started on --
   it never observes a half-applied batch (overlay-read linearizability).
-* Cached records carry the generation they were decoded under.  A reader
-  holding generation ``g`` ignores entries tagged with a newer generation,
-  and :meth:`apply_contacts` drops touched entries *after* publishing the
-  new snapshot, so stale records can never serve a newer generation.
+* Cached records carry the generation they were decoded under, and every
+  snapshot carries the last generation that touched each node.  A reader
+  holding generation ``g`` ignores entries tagged with a newer generation
+  *and* entries older than its snapshot's touched-generation floor for
+  that node, so stale records can never serve a newer generation -- even
+  a stale insert racing the publish is simply invisible to post-swap
+  readers.  :meth:`apply_contacts` additionally drops touched entries so
+  dead records do not linger in the cache.
 * Each decode builds its own :class:`repro.bits.bitio.BitReader` over the
   shared immutable stream bytes (reader-per-thread rule): readers carry
   mutable positions and must never be shared across threads.
@@ -115,10 +119,17 @@ class _OverlayState:
     once per query and work against that snapshot for their whole lifetime.
     Overlay buckets are tuples (per source node, sorted by ``(v, time)``),
     so a captured snapshot can never change underneath a reader.
+
+    ``touched`` maps each overlay-written node to the generation of the
+    last batch that touched it.  It is the cache-visibility floor: a
+    cached record tagged with an older generation than a node's floor
+    predates that node's latest batch and must never be served to a
+    reader of this snapshot (see :meth:`CompressedChronoGraph._cache_get`).
     """
 
     __slots__ = (
         "generation", "overlay", "count", "t_min", "num_nodes", "num_contacts",
+        "touched",
     )
 
     def __init__(
@@ -129,6 +140,7 @@ class _OverlayState:
         t_min: Optional[int],
         num_nodes: int,
         num_contacts: int,
+        touched: Dict[int, int],
     ) -> None:
         self.generation = generation
         self.overlay = overlay
@@ -136,11 +148,13 @@ class _OverlayState:
         self.t_min = t_min
         self.num_nodes = num_nodes
         self.num_contacts = num_contacts
+        self.touched = touched
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
     def __setstate__(self, state):
+        self.touched = {}  # absent in pre-floor pickles
         for slot, value in state.items():
             setattr(self, slot, value)
 
@@ -229,7 +243,7 @@ class CompressedChronoGraph:
         # chains must resolve against the encoded lists, never
         # overlay-merged ones.
         self._base_nodes = num_nodes
-        self._state = _OverlayState(0, {}, 0, None, num_nodes, num_contacts)
+        self._state = _OverlayState(0, {}, 0, None, num_nodes, num_contacts, {})
         self._init_runtime()
 
     def _init_runtime(self) -> None:
@@ -396,14 +410,21 @@ class CompressedChronoGraph:
                 shard.lock.release()
 
     def _evict_to_fit(self) -> None:
-        """Evict global-LRU records until both bounds hold.
+        """Evict global-LRU records in one batch until both bounds hold.
 
         Holds every shard lock (in index order -- the only multi-shard
-        acquisition pattern, so lock order is total) and repeatedly evicts
-        the entry with the minimum recency sequence across shards: exactly
-        the global least-recently-used record.  The victim search scans
-        every entry -- hits stamp recency without locks, so no per-shard
-        order is maintained; eviction pays for the lock-free hot path.
+        acquisition pattern, so lock order is total), sorts every entry by
+        its recency sequence once, and evicts in that order: exactly the
+        global least-recently-used records first.  Hits stamp recency
+        without locks, so no per-shard order is maintained; one sorted
+        scan per batch pays for the lock-free hot path.
+
+        When a bound is exceeded, eviction overshoots down to ~7/8 of that
+        bound (an eighth of hysteresis, which rounds to zero for tiny
+        caches, keeping their eviction exact).  A sustained stream of
+        inserts against a full cache therefore triggers one global scan
+        per *batch* of evictions instead of one per inserted record --
+        amortised logarithmic, not quadratic.
         """
         max_bytes = self._cache_max_bytes
         max_entries = self._cache_max_entries
@@ -415,23 +436,31 @@ class CompressedChronoGraph:
         try:
             entries = sum(len(s.records) for s in shards)
             total = sum(s.bytes for s in shards)
-            while entries and (
+            if not (
                 (max_entries is not None and entries > max_entries)
                 or (max_bytes is not None and total > max_bytes)
             ):
-                victim = None
-                victim_key = None
-                victim_seq = None
-                for shard in shards:
-                    for key, entry in shard.records.items():
-                        if victim_seq is None or entry[1] < victim_seq:
-                            victim_seq = entry[1]
-                            victim = shard
-                            victim_key = key
-                if victim is None:  # pragma: no cover - entries counted above
+                return
+            goal_entries = (
+                None if max_entries is None else max_entries - max_entries // 8
+            )
+            goal_bytes = (
+                None if max_bytes is None else max_bytes - max_bytes // 8
+            )
+            order = [
+                (entry[1], key, shard)
+                for shard in shards
+                for key, entry in shard.records.items()
+            ]
+            order.sort(key=lambda item: item[0])
+            for _, key, shard in order:
+                if not (
+                    (goal_entries is not None and entries > goal_entries)
+                    or (goal_bytes is not None and total > goal_bytes)
+                ):
                     break
-                evicted = victim.records.pop(victim_key)
-                victim.bytes -= evicted[2]
+                evicted = shard.records.pop(key)
+                shard.bytes -= evicted[2]
                 total -= evicted[2]
                 entries -= 1
                 self._cache_evictions += 1
@@ -454,12 +483,17 @@ class CompressedChronoGraph:
         ):
             self._evict_to_fit()
 
-    def _cache_get(self, u: int, snap_gen: int) -> Optional[NodeRecord]:
+    def _cache_get(self, u: int, state: _OverlayState) -> Optional[NodeRecord]:
         """Counting lookup: a hit only if the entry's generation is visible.
 
-        An entry decoded under a *newer* generation than the reader's
-        snapshot is treated as a miss (the reader must see its own
-        generation's merge), but is left in place for current readers.
+        An entry is visible to a reader's snapshot iff its generation lies
+        in ``[state.touched.get(u, 0), state.generation]``: entries decoded
+        under a *newer* generation may contain batches the snapshot must
+        not see, and entries older than the node's touched-generation
+        floor predate a batch the snapshot must see.  The floor is what
+        makes the contract safe against inserts racing a publish: a stale
+        record tagged with the old generation can land in the cache at any
+        time, but no post-swap reader will ever accept it.
 
         Lock-free: the dict read and counter bumps are GIL-atomic, the
         entry's generation is written once at insert, and the recency
@@ -468,17 +502,23 @@ class CompressedChronoGraph:
         """
         shard = self._shards[u & _SHARD_MASK]
         entry = shard.records.get(u)
-        if entry is not None and entry[0] <= snap_gen:
+        if (
+            entry is not None
+            and state.touched.get(u, 0) <= entry[0] <= state.generation
+        ):
             entry[1] = self._next_seq()
             shard.hits.increment()
             return entry[3]
         shard.misses.increment()
         return None
 
-    def _cache_peek(self, u: int, snap_gen: int) -> Optional[NodeRecord]:
+    def _cache_peek(self, u: int, state: _OverlayState) -> Optional[NodeRecord]:
         """Non-counting, non-promoting lookup (structure-only passes)."""
         entry = self._shards[u & _SHARD_MASK].records.get(u)
-        if entry is not None and entry[0] <= snap_gen:
+        if (
+            entry is not None
+            and state.touched.get(u, 0) <= entry[0] <= state.generation
+        ):
             return entry[3]
         return None
 
@@ -490,15 +530,21 @@ class CompressedChronoGraph:
         max_bytes = self._cache_max_bytes
         if max_bytes is not None and cost > max_bytes:
             return  # would evict the whole cache for a single-use record
+        if self._state.touched.get(u, 0) > gen:
+            # A writer already published a batch touching this node after
+            # our snapshot: the record is dead on arrival (every current
+            # and future snapshot's floor rejects it), so skip the insert.
+            # Pure optimisation -- _cache_get's floor check is what makes
+            # stale inserts safe, not this.
+            return
         shard = self._shards[u & _SHARD_MASK]
         with shard.lock:
-            if gen != self._state.generation:
-                # A writer published a newer overlay between our decode and
-                # this insert: the record may lack that batch's contacts,
-                # so refuse rather than poison future readers.
-                return
-            old = shard.records.pop(u, None)
+            old = shard.records.get(u)
             if old is not None:
+                if old[0] > gen:
+                    # A racing decode against a newer snapshot got here
+                    # first; its record supersedes ours.
+                    return
                 shard.bytes -= old[2]
             shard.records[u] = [gen, self._next_seq(), cost, record]
             shard.bytes += cost
@@ -524,7 +570,7 @@ class CompressedChronoGraph:
         if state is None:
             state = self._state
         self._check_node(u, state.num_nodes)
-        record = self._cache_get(u, state.generation)
+        record = self._cache_get(u, state)
         if record is not None:
             return record
         if u < self._base_nodes:
@@ -552,7 +598,11 @@ class CompressedChronoGraph:
 
         Thread-safe: writers serialize on an internal lock; the merged
         overlay is published as a new immutable snapshot with one atomic
-        reference swap, then cached records of touched nodes are dropped.
+        reference swap.  The snapshot records the new generation as every
+        touched node's cache-visibility floor, so readers of this or any
+        later generation reject still-cached pre-batch records no matter
+        how the drop below interleaves with them; the cached records of
+        touched nodes are then dropped to free their memory.
         Every touched node counts one invalidation in
         ``cache_stats()['invalidations']`` -- including nodes that were
         not cached and nodes with no base record -- so the counter tracks
@@ -580,7 +630,9 @@ class CompressedChronoGraph:
             return 0
         with self._mutate_lock:
             state = self._state
+            generation = state.generation + 1
             overlay = dict(state.overlay)
+            touched = dict(state.touched)
             top = state.num_nodes - 1
             t_min = state.t_min
             for u, rows in added.items():
@@ -588,22 +640,25 @@ class CompressedChronoGraph:
                 bucket.extend(rows)
                 bucket.sort(key=lambda c: (c.v, c.time))
                 overlay[u] = tuple(bucket)
+                touched[u] = generation
                 top = max(top, u, max(r.v for r in rows))
                 lo = min(r.time for r in rows)
                 if t_min is None or lo < t_min:
                     t_min = lo
             self._state = _OverlayState(
-                state.generation + 1,
+                generation,
                 overlay,
                 state.count + count,
                 t_min,
                 top + 1,
                 state.num_contacts + count,
+                touched,
             )
-            # Drop touched records only *after* the publish: a stale record
-            # re-inserted concurrently is either tagged with the old
-            # generation (invisible to post-swap readers) or refused by
-            # _cache_put's generation check.
+            # Drop touched records to free their memory.  Correctness does
+            # not depend on this racing well: the published touched floors
+            # already make any pre-batch record -- including one inserted
+            # concurrently with an old generation tag -- invisible to every
+            # reader at the new generation.
             for u in added:
                 self._cache_invalidate(u)
                 self._cache_invalidations += 1
@@ -804,7 +859,7 @@ class CompressedChronoGraph:
 
         for u in range(lo, hi):
             base_distinct: Optional[List[int]] = None
-            record = self._cache_get(u, gen)
+            record = self._cache_get(u, state)
             if record is not None:
                 if window > 0 and u < base_n:
                     if u in overlay:
@@ -1115,7 +1170,6 @@ class CompressedChronoGraph:
         limit = state.num_contacts
         dcache = self._distinct_cache
         overlay = state.overlay
-        gen = state.generation
         base_n = self._base_nodes
         sreader = BitReader(self._sbytes, self._sbits)
         recent: Dict[int, List[int]] = {}
@@ -1135,7 +1189,7 @@ class CompressedChronoGraph:
                     with self._distinct_lock:
                         distinct = dcache.get(u)
                     if distinct is None:
-                        record = self._cache_peek(u, gen)
+                        record = self._cache_peek(u, state)
                         if record is not None and u not in overlay:
                             distinct = []
                             last = None

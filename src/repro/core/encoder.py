@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bits.bitio import BitWriter
@@ -194,6 +195,20 @@ _PARALLEL_MIN_NODES = 16
 #: Per-node sizing record: (no-reference length, [(r, candidate length)]).
 _NodeSizes = Tuple[int, List[Tuple[int, int]]]
 
+#: Per-process worker state, set once by :func:`_init_worker` when the pool
+#: starts.  Shipping the graph through initargs pickles it once per worker
+#: instead of once per task (the sizing and encoding phases would otherwise
+#: each send a full-graph copy with every range).
+_worker_graph: Optional[TemporalGraph] = None
+_worker_config: Optional[ChronoGraphConfig] = None
+
+
+def _init_worker(graph: TemporalGraph, config: ChronoGraphConfig) -> None:
+    """Pool initializer: stash the shared (graph, config) in the worker."""
+    global _worker_graph, _worker_config
+    _worker_graph = graph
+    _worker_config = config
+
 
 def _distinct_of(graph: TemporalGraph, v: int) -> List[int]:
     """Sorted distinct neighbor labels of ``v`` straight from the contacts.
@@ -207,7 +222,8 @@ def _distinct_of(graph: TemporalGraph, v: int) -> List[int]:
 
 def _size_candidates(args) -> List[_NodeSizes]:
     """Phase 1 worker: size every encoding candidate of a node range."""
-    graph, config, lo, hi = args
+    lo, hi = args
+    graph, config = _worker_graph, _worker_config
     out: List[_NodeSizes] = []
     for u in range(lo, hi):
         multiset = [c.v for c in graph.contacts_of(u)]
@@ -275,7 +291,8 @@ def _encode_range(args):
     timestamp bytes, timestamp bits, timestamp offsets)`` with offsets
     relative to the chunk start.
     """
-    graph, config, chosen, lo, hi = args
+    chosen, lo, hi = args
+    graph, config = _worker_graph, _worker_config
     t_min = graph.t_min
     with_durations = graph.kind is GraphKind.INTERVAL
     structure = BitWriter()
@@ -321,8 +338,11 @@ def compress_parallel(
 
     ``workers`` defaults to ``os.cpu_count()``; with one worker (or a graph
     too small to amortise process start-up) this simply calls the serial
-    path.  Worker failures that prevent pool start-up (restricted
-    environments without ``fork``/semaphores) also fall back to the serial
+    path.  The graph and config ship to each worker once, through the pool
+    initializer, so per-task payloads are just node ranges.  Pool failures
+    -- start-up errors in restricted environments without
+    ``fork``/semaphores, workers dying mid-run (``BrokenProcessPool``) and
+    unpicklable graph or config fields -- all fall back to the serial
     encoder rather than erroring: the result is defined to be the same
     bytes either way.
     """
@@ -340,14 +360,16 @@ def compress_parallel(
     ]
     try:
         from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=len(ranges)) as pool:
-            sized = list(
-                pool.map(
-                    _size_candidates,
-                    [(graph, config, lo, hi) for lo, hi in ranges],
-                )
-            )
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # stripped-down stdlib: serial fallback
+        return _encode_prepared(graph, config)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=len(ranges),
+            initializer=_init_worker,
+            initargs=(graph, config),
+        ) as pool:
+            sized = list(pool.map(_size_candidates, ranges))
             sizes = [entry for part in sized for entry in part]
             chosen = _select_references(
                 n, config.window, config.max_ref_chain, sizes
@@ -355,13 +377,12 @@ def compress_parallel(
             chunks = list(
                 pool.map(
                     _encode_range,
-                    [
-                        (graph, config, chosen[lo:hi], lo, hi)
-                        for lo, hi in ranges
-                    ],
+                    [(chosen[lo:hi], lo, hi) for lo, hi in ranges],
                 )
             )
-    except (OSError, ImportError):  # no fork/semaphores: serial fallback
+    except (OSError, ImportError, BrokenProcessPool, pickle.PicklingError):
+        # No fork/semaphores, a worker died mid-run, or the graph/config
+        # cannot cross the process boundary: serial fallback, same bytes.
         return _encode_prepared(graph, config)
     structure = BitWriter()
     timestamps = BitWriter()

@@ -117,6 +117,26 @@ class TestGenerationSnapshots:
         # The touched node was invalidated; the merged record must appear.
         assert 11 in cg.neighbors(0, 0, 10_000)
 
+    def test_stale_insert_racing_publish_is_invisible(self):
+        # The race the touched-generation floor closes: a reader decodes
+        # under generation g, a writer publishes g+1 touching the node and
+        # invalidates, and only then does the reader's old-generation
+        # record land in the cache.  Post-swap readers must reject it.
+        cg = _cg()
+        state0 = cg._state
+        record = cg._decode_record(0)
+        cg.apply_contacts([Contact(0, 11, 50)])
+        shard = cg._shards[0 & (len(cg._shards) - 1)]
+        with shard.lock:  # simulate the in-flight insert landing late
+            shard.records[0] = [
+                state0.generation, cg._next_seq(), 100, record,
+            ]
+            shard.bytes += 100
+        # A reader still holding the pre-batch snapshot may keep using it...
+        assert cg._cache_get(0, state0) == record
+        # ...but post-swap readers reject it and re-decode with the batch.
+        assert 11 in cg.neighbors(0, 0, 10_000)
+
     def test_concurrent_writer_never_tears_batches(self):
         cg = _cg()
         batch = [Contact(0, 7, 5000), Contact(0, 8, 5001), Contact(0, 9, 5002)]

@@ -159,6 +159,25 @@ class TestEviction:
         assert stats["evictions"] == 0
         assert stats["max_bytes"] is None
 
+    def test_large_cap_batch_eviction_keeps_bound_and_lru_head(self):
+        # Caps of 8+ evict with an eighth of hysteresis: one sorted scan
+        # drops a batch of cold records, so sustained inserts never pay a
+        # full scan per record.  The bound must still hold and the hottest
+        # records must survive the batch.
+        n = 80
+        contacts = [(u, (u + 1) % n, u) for u in range(n)]
+        cg = _cg(contacts, n=n)
+        cg.configure_cache(max_entries=64)
+        for u in range(n):
+            cg.contacts_of(u)
+            cg.contacts_of(n - 1)  # keep one node permanently hot
+        stats = cg.cache_stats()
+        assert stats["entries"] <= 64
+        assert stats["evictions"] > 0
+        hits = stats["hits"]
+        cg.contacts_of(n - 1)
+        assert cg.cache_stats()["hits"] == hits + 1  # hot node survived
+
     def test_results_identical_under_pressure(self):
         contacts = [(u, v, 3 * u + v) for u in range(5) for v in range(3)]
         cold = _cg(contacts, n=5)
