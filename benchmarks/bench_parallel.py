@@ -37,6 +37,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import compress, compress_parallel  # noqa: E402
 from repro.datasets.synthetic import comm_net  # noqa: E402
+from repro.storage.atomic import atomic_write_text  # noqa: E402
 
 #: Gate threshold: batched must be at least this many times faster than
 #: the serial loop.  Kept deliberately loose; the observed ratio is > 2x.
@@ -145,7 +146,7 @@ def main(argv=None) -> int:
             f"batched {other * 1e3:8.2f} ms | speedup {r['speedup']:.2f}x"
         )
     if args.out:
-        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        atomic_write_text(args.out, json.dumps(result, indent=2) + "\n")
         print(f"wrote {args.out}")
     if args.check:
         speedup = result["neighbors_many"]["speedup"]

@@ -1,8 +1,16 @@
-"""Timestamp-gap analysis reproducing the empirical study of Section IV-A.
+"""Analysis tools: empirical gap statistics and the static-analysis engine.
 
-Figures 2-4 of the paper characterise the distribution of timestamp gaps
-under three orderings ("gap strategies") and several aggregation levels.
-This subpackage computes exactly those statistics from any temporal graph.
+Two unrelated-but-sibling concerns live here:
+
+* Timestamp-gap analysis reproducing the empirical study of Section IV-A
+  (Figures 2-4: gap distributions under three orderings and several
+  aggregation levels), importable as before.
+* The project's AST-based static-analysis engine (``python -m
+  repro.analysis``), which enforces invariants generic linters cannot
+  see: snapshot discipline (CG001), lock discipline (CG002), the
+  repro.errors exception taxonomy (CG003), atomic artifact writes
+  (CG004) and decode-budget pre-charging (CG005).  See
+  ``docs/analysis.md`` for the rule catalog.
 """
 
 from repro.analysis.gapstats import (
@@ -24,8 +32,20 @@ from repro.analysis.entropy import (
     empirical_entropy,
     timestamp_entropy_bound,
 )
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    run_rules,
+)
 
 __all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "run_rules",
     "code_efficiency",
     "empirical_entropy",
     "timestamp_entropy_bound",

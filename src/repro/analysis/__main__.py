@@ -1,0 +1,13 @@
+"""Entry point: ``python -m repro.analysis [paths]``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like cat does.
+        sys.stderr.close()
+        sys.exit(141)

@@ -1,0 +1,123 @@
+"""Baseline files: accepted findings carried between engine upgrades.
+
+A baseline entry fingerprints a finding by *content*, not by line number:
+``sha256(rule | path | normalized line text | occurrence index)``.  Edits
+elsewhere in a file do not invalidate the entry; editing the offending line
+(or reordering identical offending lines) does, which is the point -- a
+touched violation must be re-justified or fixed.
+
+The committed project baseline (``analysis-baseline.json``) is empty by
+policy; the mechanism exists for staged adoption of future rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "filter_findings",
+]
+
+_VERSION = 1
+
+
+def _line_text(path: str, line: int, cache: Dict[str, List[str]]) -> str:
+    if path not in cache:
+        try:
+            cache[path] = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            cache[path] = []
+    lines = cache[path]
+    if 1 <= line <= len(lines):
+        return " ".join(lines[line - 1].split())
+    return ""
+
+
+def fingerprint(
+    finding: Finding, occurrence: int, cache: Dict[str, List[str]]
+) -> str:
+    """Stable content hash of one finding.
+
+    ``occurrence`` disambiguates identical (rule, path, line-text) triples:
+    the first such finding in file order is 0, the next 1, and so on.
+    """
+    text = _line_text(finding.path, finding.line, cache)
+    payload = "\x1f".join(
+        [finding.rule, finding.path.replace("\\", "/"), text, str(occurrence)]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _fingerprints(
+    findings: Sequence[Finding],
+) -> List[Tuple[Finding, str]]:
+    cache: Dict[str, List[str]] = {}
+    counts: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    for f in findings:
+        text = _line_text(f.path, f.line, cache)
+        key = (f.rule, f.path, text)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        out.append((f, fingerprint(f, occurrence, cache)))
+    return out
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """Load ``{fingerprint: description}``; a missing file is empty."""
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError:
+        return {}
+    data = json.loads(raw)
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"{path}: not a version-{_VERSION} baseline file")
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: malformed entries table")
+    return dict(entries)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write the baseline accepting every finding; returns the entry count.
+
+    Routed through :func:`repro.storage.atomic.atomic_write_text` so the
+    engine satisfies its own CG004 rule.
+    """
+    from repro.storage.atomic import atomic_write_text
+
+    entries = {
+        fp: f"{f.rule} {Path(f.path).name}: {f.message}"
+        for f, fp in _fingerprints(findings)
+    }
+    payload = json.dumps(
+        {"version": _VERSION, "entries": entries},
+        indent=2,
+        sort_keys=True,
+    )
+    atomic_write_text(path, payload + "\n")
+    return len(entries)
+
+
+def filter_findings(
+    findings: Sequence[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], int]:
+    """Drop baselined findings; returns ``(kept, accepted_count)``."""
+    if not baseline:
+        return list(findings), 0
+    kept: List[Finding] = []
+    accepted = 0
+    for f, fp in _fingerprints(findings):
+        if fp in baseline:
+            accepted += 1
+        else:
+            kept.append(f)
+    return kept, accepted

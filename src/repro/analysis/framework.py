@@ -1,0 +1,238 @@
+"""Rule framework of the repro static-analysis engine.
+
+The engine enforces project invariants that generic linters cannot see:
+snapshot discipline on the concurrent query plane (CG001), lock hygiene
+(CG002), the :mod:`repro.errors` exception taxonomy (CG003), atomic artifact
+writes (CG004) and decode-budget pre-charging (CG005).  Each rule is an
+AST visitor registered with :func:`register`; the driver parses every file
+once and hands the tree to all selected rules.
+
+Findings can be silenced per line with ``# repro: noqa[CG003]`` (or a bare
+``# repro: noqa`` for all rules) or accepted wholesale via the committed
+baseline file (see :mod:`repro.analysis.baseline`).  The project policy is
+to fix findings, not baseline them: the committed baseline is empty.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "register",
+    "all_rules",
+    "get_rule",
+    "run_rules",
+    "collect_files",
+    "parse_noqa",
+]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[CG001, CG002]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9, ]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """ruff/gcc-style one-line rendering: path:line:col: RULE message."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file shared by every rule in one driver pass."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: repo-relative (or as-given) path used in findings and baselines.
+    display_path: str
+    #: line number -> frozenset of suppressed rule ids; empty set = all rules.
+    noqa: Dict[int, frozenset] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """Path components, used by rules to scope themselves."""
+        return Path(self.display_path).parts
+
+
+class Rule:
+    """Base class for one named check.
+
+    Subclasses set ``id`` (``CGnnn``), ``name`` and ``summary`` and
+    implement :meth:`check`, returning findings for one parsed file.
+    ``applies`` may narrow the rule to a path subset; the driver consults
+    it before calling :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def applies(self, source: SourceFile) -> bool:
+        """Whether this rule runs on ``source`` (override to path-scope)."""
+        return True
+
+    def check(self, source: SourceFile) -> List[Finding]:  # pragma: no cover
+        """Return this rule's findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            rule=self.id,
+            path=source.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise RuntimeError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise RuntimeError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in id order (imports rule modules on first use)."""
+    _load_builtin_rules()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    """The registered rule with id ``rule_id``, or None."""
+    _load_builtin_rules()
+    return _REGISTRY.get(rule_id)
+
+
+_loaded = False
+
+
+def _load_builtin_rules() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Imported for their @register side effects.
+    from repro.analysis import (  # noqa: F401
+        rules_budget,
+        rules_concurrency,
+        rules_storage,
+        rules_taxonomy,
+    )
+
+
+def parse_noqa(text: str) -> Dict[int, frozenset]:
+    """Per-line suppressions: ``{lineno: frozenset(rule_ids)}``.
+
+    An empty frozenset means "suppress every rule on this line".
+    """
+    out: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = frozenset()
+        else:
+            ids = frozenset(
+                part.strip() for part in m.group(1).split(",") if part.strip()
+            )
+            out[lineno] = ids
+    return out
+
+
+def _suppressed(finding: Finding, noqa: Dict[int, frozenset]) -> bool:
+    ids = noqa.get(finding.line)
+    if ids is None:
+        return False
+    return not ids or finding.rule in ids
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories to a sorted list of ``.py`` files."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for f in candidates:
+            if "__pycache__" in f.parts:
+                continue
+            key = str(f)
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+    return out
+
+
+def run_rules(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    on_file: Optional[Callable[[SourceFile], None]] = None,
+) -> Tuple[List[Finding], List[str]]:
+    """Run ``rules`` (default: all) over ``paths``.
+
+    Returns ``(findings, errors)`` where ``errors`` are unreadable or
+    syntactically invalid files.  noqa suppressions are already applied;
+    baseline filtering is the caller's job.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for path in collect_files(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+            continue
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(f"{path}:{exc.lineno}: syntax error: {exc.msg}")
+            continue
+        source = SourceFile(
+            path=path,
+            text=text,
+            tree=tree,
+            display_path=str(path),
+            noqa=parse_noqa(text),
+        )
+        if on_file is not None:
+            on_file(source)
+        for rule in active:
+            if not rule.applies(source):
+                continue
+            for finding in rule.check(source):
+                if not _suppressed(finding, source.noqa):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, errors

@@ -1,0 +1,71 @@
+"""Human and JSON rendering of analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.framework import Finding, Rule
+
+__all__ = ["render_human", "render_json", "render_rule_list"]
+
+
+def render_human(
+    findings: Sequence[Finding],
+    errors: Sequence[str],
+    accepted: int,
+    files_checked: int,
+) -> str:
+    """One line per finding plus a summary tail line."""
+    lines: List[str] = []
+    for err in errors:
+        lines.append(f"error: {err}")
+    for f in findings:
+        lines.append(f.render())
+    tail = (
+        f"{len(findings)} finding(s) in {files_checked} file(s)"
+        if findings
+        else f"clean: {files_checked} file(s)"
+    )
+    if accepted:
+        tail += f", {accepted} baselined"
+    if errors:
+        tail += f", {len(errors)} file error(s)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    errors: Sequence[str],
+    accepted: int,
+    files_checked: int,
+) -> str:
+    """Machine-readable result document (``--json``)."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "accepted_by_baseline": accepted,
+            "errors": list(errors),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        },
+        indent=2,
+    )
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` catalog: id, name and summary per rule."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.id} {rule.name}")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines)

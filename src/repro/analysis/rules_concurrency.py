@@ -1,0 +1,561 @@
+"""CG001 snapshot discipline and CG002 lock discipline.
+
+Both rules encode the concurrency contract of
+:class:`repro.core.compressed.CompressedChronoGraph`:
+
+* Readers must capture the published ``self._state`` snapshot **exactly
+  once** per call and work against that local reference; a second read may
+  observe a different generation and tear the result (CG001).
+* No decode, encode or filesystem work may run while a cache-shard or
+  mutate lock is held, and lock acquisition order must be acyclic (CG002).
+  The distinct-list lock is exempt from the first clause by design: it is a
+  reentrant lock whose purpose is to serialise decode-driven cache warming.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.framework import Finding, Rule, SourceFile, register
+
+__all__ = ["SnapshotDisciplineRule", "LockDisciplineRule"]
+
+#: The snapshot attribute CG001 protects.
+_SNAPSHOT_ATTR = "_state"
+
+
+def _is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _function_defs(body: List[ast.stmt]) -> Iterator[ast.FunctionDef]:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt  # type: ignore[misc]
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id == "property":
+            return True
+        # e.g. @functools.cached_property is NOT a repeated-read hazard
+        # (one evaluation per instance) so only bare ``property`` counts.
+    return False
+
+
+def _lock_name(expr: ast.AST) -> Optional[str]:
+    """The lock identity of an expression, or None if it is not a lock.
+
+    Locks are recognised by naming convention: an attribute or variable
+    whose name is ``lock`` or ends with ``_lock`` (``shard.lock``,
+    ``self._mutate_lock``, ``self._distinct_lock``).
+    """
+    name = None
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    if name is not None and (name == "lock" or name.endswith("_lock")):
+        return name
+    return None
+
+
+@register
+class SnapshotDisciplineRule(Rule):
+    """CG001: capture the published state snapshot exactly once per call."""
+
+    id = "CG001"
+    name = "snapshot-discipline"
+    summary = (
+        "Methods of classes that publish an immutable `_state` snapshot "
+        "must read `self._state` (directly or through a state-capturing "
+        "property) at most once per call, and never inside a loop."
+    )
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Check every snapshot-publishing class in the file."""
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and self._publishes_snapshot(node):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _publishes_snapshot(self, cls: ast.ClassDef) -> bool:
+        for node in ast.walk(cls):
+            if (
+                _is_self_attr(node, _SNAPSHOT_ATTR)
+                and isinstance(node.ctx, ast.Store)  # type: ignore[attr-defined]
+            ):
+                return True
+        return False
+
+    def _capturing_properties(self, cls: ast.ClassDef) -> Set[str]:
+        """Properties whose getters transitively read ``self._state``.
+
+        A method that loads such a property re-reads the snapshot just as
+        surely as a direct ``self._state`` load; the fixpoint closes over
+        properties reading other capturing properties.
+        """
+        props = {f.name: f for f in _function_defs(cls.body) if _is_property(f)}
+        capturing: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, func in props.items():
+                if name in capturing:
+                    continue
+                for node in ast.walk(func):
+                    if _is_self_attr(node) and isinstance(node.ctx, ast.Load):  # type: ignore[attr-defined]
+                        if node.attr == _SNAPSHOT_ATTR or node.attr in capturing:  # type: ignore[attr-defined]
+                            capturing.add(name)
+                            changed = True
+                            break
+        return capturing
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> List[Finding]:
+        capturing = self._capturing_properties(cls)
+        findings: List[Finding] = []
+        frames: List[ast.FunctionDef] = list(_function_defs(cls.body))
+        # Nested defs (closures, generators) are their own call frames and
+        # are held to the same single-capture contract independently.
+        for func in list(frames):
+            for node in ast.walk(func):
+                if (
+                    node is not func
+                    and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ):
+                    frames.append(node)  # type: ignore[arg-type]
+        for func in frames:
+            captures = self._captures(func, capturing)
+            loops = [n for n, in_loop in captures if in_loop]
+            for n in loops:
+                findings.append(
+                    self.finding(
+                        source,
+                        n,
+                        f"`{func.name}` reads the `{_SNAPSHOT_ATTR}` snapshot "
+                        "inside a loop; capture it once before iterating",
+                    )
+                )
+            if len(captures) > 1:
+                extra = captures[1][0]
+                findings.append(
+                    self.finding(
+                        source,
+                        extra,
+                        f"`{func.name}` reads the `{_SNAPSHOT_ATTR}` snapshot "
+                        f"{len(captures)} times (torn read across "
+                        "generations); capture `self._state` once and reuse "
+                        "the local snapshot",
+                    )
+                )
+        return findings
+
+    def _captures(
+        self, func: ast.FunctionDef, capturing: Set[str]
+    ) -> List[Tuple[ast.AST, bool]]:
+        """(node, inside_loop) for every snapshot read in ``func``.
+
+        Reads under ``with self._mutate_lock`` (any ``*mutate*lock``) are
+        exempt: only mutators change ``_state`` and they serialise on that
+        lock, so a holder cannot observe a torn pair.  Nested functions are
+        separate call frames and are analysed on their own.
+        """
+        out: List[Tuple[ast.AST, bool]] = []
+
+        def visit(node: Optional[ast.AST], in_loop: bool) -> None:
+            if node is None:
+                return
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not func
+            ):
+                return  # separate frame, analysed on its own
+            if isinstance(node, ast.With) and any(
+                "mutate" in (_lock_name(item.context_expr) or "")
+                for item in node.items
+            ):
+                return  # serialised against mutators; no torn pair
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                # The iterator expression evaluates once, before the loop;
+                # only target/body re-execute per iteration.
+                visit(node.iter, in_loop)
+                visit(node.target, True)
+                for part in node.body + node.orelse:
+                    visit(part, True)
+                return
+            if isinstance(
+                node,
+                (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp),
+            ):
+                # Same shape: the outermost iterable evaluates once.
+                gens = node.generators
+                visit(gens[0].iter, in_loop)
+                for gen in gens[1:]:
+                    visit(gen.iter, True)
+                for gen in gens:
+                    visit(gen.target, True)
+                    for cond in gen.ifs:
+                        visit(cond, True)
+                if isinstance(node, ast.DictComp):
+                    visit(node.key, True)
+                    visit(node.value, True)
+                else:
+                    visit(node.elt, True)
+                return
+            if isinstance(node, ast.While):
+                visit(node.test, True)
+                for part in node.body + node.orelse:
+                    visit(part, True)
+                return
+            if (
+                _is_self_attr(node)
+                and isinstance(node.ctx, ast.Load)  # type: ignore[attr-defined]
+                and (
+                    node.attr == _SNAPSHOT_ATTR  # type: ignore[attr-defined]
+                    or node.attr in capturing  # type: ignore[attr-defined]
+                )
+            ):
+                out.append((node, in_loop))
+                return  # self._state.num_nodes is still one read
+            for child in ast.iter_child_nodes(node):
+                visit(child, in_loop)
+
+        visit(func, False)
+        return out
+
+
+#: Call-name prefixes that mean "decode or encode work".
+_BANNED_PREFIXES = (
+    "decode_",
+    "encode_",
+    "_decode",
+    "_encode",
+    "read_many_",
+)
+
+#: Exact call names meaning decode/encode/filesystem work.
+_BANNED_NAMES = {
+    "open",
+    "fsync",
+    "replace",
+    "rename",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "write_text",
+    "write_bytes",
+    "save_compressed",
+    "load_compressed",
+    "compress",
+}
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _is_banned(name: str) -> bool:
+    return name in _BANNED_NAMES or any(
+        name.startswith(p) for p in _BANNED_PREFIXES
+    )
+
+
+class _FunctionSummary:
+    """Per-function facts propagated through intra-module calls."""
+
+    __slots__ = ("acquires", "bans")
+
+    def __init__(self) -> None:
+        self.acquires: Set[str] = set()
+        #: banned call names reachable without an intervening exempt lock
+        self.bans: Set[str] = set()
+
+
+@register
+class LockDisciplineRule(Rule):
+    """CG002: no decode/encode/filesystem work under shard or mutate locks,
+    and no cyclic lock-acquisition order."""
+
+    id = "CG002"
+    name = "lock-discipline"
+    summary = (
+        "No decode, encode or filesystem call may run while holding a "
+        "shard or mutate lock (the reentrant distinct-list lock is exempt "
+        "by design), and the lock acquisition order must be acyclic."
+    )
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Walk every function with a held-lock set; then cycle-check."""
+        summaries = self._summaries(source.tree)
+        findings: List[Finding] = []
+        order_edges: Dict[Tuple[str, str], ast.AST] = {}
+        for func, qualname in self._functions(source.tree):
+            self._walk_block(
+                source,
+                func.body,
+                frozenset(),
+                summaries,
+                findings,
+                order_edges,
+            )
+        findings.extend(self._order_cycles(source, order_edges))
+        return findings
+
+    # -- intra-module call graph ------------------------------------------
+
+    def _functions(
+        self, tree: ast.Module
+    ) -> List[Tuple[ast.FunctionDef, str]]:
+        out: List[Tuple[ast.FunctionDef, str]] = []
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append((stmt, stmt.name))  # type: ignore[arg-type]
+            elif isinstance(stmt, ast.ClassDef):
+                for func in _function_defs(stmt.body):
+                    out.append((func, f"{stmt.name}.{func.name}"))
+        return out
+
+    def _summaries(self, tree: ast.Module) -> Dict[str, _FunctionSummary]:
+        """Fixpoint of (locks acquired, banned calls reachable) per function.
+
+        Keys are bare function names: intra-module calls are resolved by
+        name (``self.f()`` and ``f()`` both map to ``f``), which matches
+        how the codebase is written and keeps the analysis conservative.
+        """
+        funcs = {func.name: func for func, _ in self._functions(tree)}
+        summaries = {name: _FunctionSummary() for name in funcs}
+        changed = True
+        while changed:
+            changed = False
+            for name, func in funcs.items():
+                summary = summaries[name]
+                before = (len(summary.acquires), len(summary.bans))
+                self._summarise(func, summaries, summary)
+                if (len(summary.acquires), len(summary.bans)) != before:
+                    changed = True
+        return summaries
+
+    def _summarise(
+        self,
+        func: ast.FunctionDef,
+        summaries: Dict[str, _FunctionSummary],
+        summary: _FunctionSummary,
+    ) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    lock = _lock_name(item.context_expr)
+                    if lock:
+                        summary.acquires.add(lock)
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name is None:
+                    continue
+                if name == "acquire" and isinstance(node.func, ast.Attribute):
+                    lock = _lock_name(node.func.value)
+                    if lock:
+                        summary.acquires.add(lock)
+                elif _is_banned(name):
+                    summary.bans.add(name)
+                callee = summaries.get(name)
+                if callee is not None:
+                    summary.acquires |= callee.acquires
+                    summary.bans |= callee.bans
+
+    # -- lock-held walk ----------------------------------------------------
+
+    def _walk_block(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        held: frozenset,
+        summaries: Dict[str, _FunctionSummary],
+        findings: List[Finding],
+        order_edges: Dict[Tuple[str, str], ast.AST],
+    ) -> frozenset:
+        """Walk statements propagating the running held-lock set.
+
+        ``with`` bodies see the set plus their lock; bare ``.acquire()`` /
+        ``.release()`` statements mutate the running set, which flows out
+        of nested control blocks (the acquire-try-finally-release idiom).
+        """
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Separate frame: a nested def does not run under our locks
+                # at definition time.  Its body is walked lock-free.
+                self._walk_block(
+                    source, stmt.body, frozenset(), summaries, findings,
+                    order_edges,
+                )
+                continue
+            if isinstance(stmt, ast.With):
+                entered = held
+                for item in stmt.items:
+                    lock = _lock_name(item.context_expr)
+                    if lock:
+                        self._note_acquire(
+                            source, lock, entered, stmt, findings, order_edges
+                        )
+                        entered = entered | {lock}
+                self._walk_block(
+                    source, stmt.body, entered, summaries, findings,
+                    order_edges,
+                )
+                continue
+            if isinstance(stmt, (ast.If, ast.While)):
+                roots: List[ast.AST] = [stmt.test]
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                roots = [stmt.iter]
+            elif isinstance(stmt, ast.Try):
+                roots = []
+            else:
+                roots = [stmt]  # simple statement: scan the whole subtree
+            held = self._scan_exprs(
+                source, roots, held, summaries, findings, order_edges
+            )
+            for inner in self._inner_blocks(stmt):
+                held = self._walk_block(
+                    source, inner, held, summaries, findings, order_edges
+                )
+        return held
+
+    def _inner_blocks(self, stmt: ast.stmt) -> List[List[ast.stmt]]:
+        blocks: List[List[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner and isinstance(inner, list):
+                blocks.append(inner)
+        for handler in getattr(stmt, "handlers", ()) or ():
+            blocks.append(handler.body)
+        return blocks
+
+    def _scan_exprs(
+        self,
+        source: SourceFile,
+        roots: List[ast.AST],
+        held: frozenset,
+        summaries: Dict[str, _FunctionSummary],
+        findings: List[Finding],
+        order_edges: Dict[Tuple[str, str], ast.AST],
+    ) -> frozenset:
+        for node in [n for root in roots for n in ast.walk(root)]:
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name is None:
+                continue
+            if name == "acquire" and isinstance(node.func, ast.Attribute):
+                lock = _lock_name(node.func.value)
+                if lock:
+                    self._note_acquire(
+                        source, lock, held, node, findings, order_edges
+                    )
+                    held = held | {lock}
+                continue
+            if name == "release" and isinstance(node.func, ast.Attribute):
+                lock = _lock_name(node.func.value)
+                if lock:
+                    held = held - {lock}
+                continue
+            banned_here = self._effective_bans(name, summaries)
+            if banned_here:
+                for lock in sorted(held):
+                    if "distinct" in lock:
+                        continue  # reentrant warm-cache lock: decode allowed
+                    detail = (
+                        f"`{name}`"
+                        if name in banned_here
+                        else f"`{name}` (reaches `{sorted(banned_here)[0]}`)"
+                    )
+                    findings.append(
+                        self.finding(
+                            source,
+                            node,
+                            f"{detail} runs decode/encode/filesystem work "
+                            f"while holding `{lock}`; move it outside the "
+                            "critical section",
+                        )
+                    )
+            callee = summaries.get(name)
+            if callee is not None:
+                for lock in callee.acquires:
+                    self._note_acquire(
+                        source, lock, held, node, findings, order_edges
+                    )
+        return held
+
+    def _effective_bans(
+        self, name: str, summaries: Dict[str, _FunctionSummary]
+    ) -> Set[str]:
+        if _is_banned(name):
+            return {name}
+        callee = summaries.get(name)
+        if callee is not None:
+            return callee.bans
+        return set()
+
+    def _note_acquire(
+        self,
+        source: SourceFile,
+        lock: str,
+        held: frozenset,
+        node: ast.AST,
+        findings: List[Finding],
+        order_edges: Dict[Tuple[str, str], ast.AST],
+    ) -> None:
+        for prior in held:
+            if prior != lock:
+                order_edges.setdefault((prior, lock), node)
+
+    def _order_cycles(
+        self,
+        source: SourceFile,
+        order_edges: Dict[Tuple[str, str], ast.AST],
+    ) -> List[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for a, b in order_edges:
+            graph.setdefault(a, set()).add(b)
+        findings: List[Finding] = []
+        seen_cycles: Set[frozenset] = set()
+        for start in graph:
+            path: List[str] = []
+            on_path: Set[str] = set()
+
+            def dfs(v: str) -> None:
+                path.append(v)
+                on_path.add(v)
+                for w in sorted(graph.get(v, ())):
+                    if w in on_path:
+                        cycle = path[path.index(w):] + [w]
+                        key = frozenset(cycle)
+                        if key not in seen_cycles:
+                            seen_cycles.add(key)
+                            node = order_edges[(v, w)]
+                            findings.append(
+                                self.finding(
+                                    source,
+                                    node,
+                                    "lock-order cycle: "
+                                    + " -> ".join(cycle)
+                                    + "; acquisition order must be acyclic",
+                                )
+                            )
+                    else:
+                        dfs(w)
+                path.pop()
+                on_path.discard(v)
+
+            dfs(start)
+        return findings

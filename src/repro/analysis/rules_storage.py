@@ -1,0 +1,134 @@
+"""CG004: artifact writes must route through :mod:`repro.storage.atomic`.
+
+A bare ``open(path, "w")`` that crashes mid-write leaves a truncated file
+at the final path; the atomic helpers write to a same-directory temp file,
+fsync, and rename, so observers only ever see old-or-new content.  The
+storage layer itself (and the crash-injection test harness) are the
+sanctioned implementations and are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.framework import Finding, Rule, SourceFile, register
+
+__all__ = ["AtomicWriteRule"]
+
+#: Path segments whose files implement or deliberately exercise raw writes.
+_EXEMPT_SEGMENTS = ("storage", "testing")
+
+#: Modules whose ``.open`` behaves like the builtin.
+_OPEN_MODULES = {"io", "gzip", "bz2", "lzma"}
+
+#: ``os.open`` flag names that imply writing.
+_WRITE_FLAGS = {"O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC"}
+
+
+def _exempt(source: SourceFile) -> bool:
+    parts = source.parts
+    for seg in _EXEMPT_SEGMENTS:
+        try:
+            i = parts.index(seg)
+        except ValueError:
+            continue
+        if i > 0 and parts[i - 1] == "repro":
+            return True
+    return False
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open``-style call, if present."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return "r"  # open() defaults to read
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None  # dynamic mode: cannot prove, stay quiet
+
+
+def _is_write_mode(mode: Optional[str]) -> bool:
+    return mode is not None and any(ch in mode for ch in "wax+")
+
+
+@register
+class AtomicWriteRule(Rule):
+    """CG004: no raw write-mode file APIs outside repro.storage."""
+
+    id = "CG004"
+    name = "atomic-write"
+    summary = (
+        "Artifact writes must go through repro.storage.atomic "
+        "(atomic_write_bytes / atomic_write_text / AtomicFile); bare "
+        "open(..., 'w'), Path.write_text/write_bytes and os.open with "
+        "write flags are banned outside the storage layer."
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        """Everywhere except the storage layer and the crash harness."""
+        return not _exempt(source)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Flag every raw write-mode filesystem call."""
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._violation(node)
+            if message is not None:
+                findings.append(self.finding(source, node, message))
+        return findings
+
+    def _violation(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _literal_mode(call)
+            if _is_write_mode(mode):
+                return (
+                    f"bare open(..., {mode!r}); use "
+                    "repro.storage.atomic.atomic_write_* so a crash cannot "
+                    "leave a torn artifact"
+                )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in ("write_text", "write_bytes"):
+            return (
+                f"`.{func.attr}()` writes in place; use "
+                "repro.storage.atomic.atomic_write_"
+                f"{'text' if func.attr == 'write_text' else 'bytes'} instead"
+            )
+        if (
+            func.attr == "open"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _OPEN_MODULES
+        ):
+            mode = _literal_mode(call)
+            if _is_write_mode(mode):
+                return (
+                    f"{func.value.id}.open(..., {mode!r}) writes in place; "
+                    "write through repro.storage.atomic"
+                )
+            return None
+        if (
+            func.attr == "open"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            for arg in call.args[1:]:
+                for sub in ast.walk(arg):
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr in _WRITE_FLAGS
+                    ):
+                        return (
+                            f"os.open with {sub.attr} writes in place; "
+                            "write through repro.storage.atomic"
+                        )
+        return None

@@ -1,0 +1,86 @@
+"""CG003: decode/parse paths must raise the :mod:`repro.errors` taxonomy.
+
+Callers distinguish corrupt input (``FormatError``), resource-bound hits
+(``LimitExceededError``) and API misuse (``DomainError``) by type; a bare
+``ValueError`` or leaked ``struct.error`` collapses those cases and breaks
+``except FormatError`` recovery in the persistence layer.  The taxonomy
+classes subclass ``ValueError`` so migrated raises stay
+backward-compatible -- raising the builtin directly is what is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.framework import Finding, Rule, SourceFile, register
+
+__all__ = ["ExceptionTaxonomyRule"]
+
+#: Builtin exceptions that decode paths must not raise directly.
+_BANNED_BUILTINS = {"ValueError", "EOFError"}
+
+#: ``module.attr`` exceptions banned in raise position.
+_BANNED_ATTRS = {("struct", "error")}
+
+
+def _in_scope(source: SourceFile) -> bool:
+    parts = source.parts
+    for sub in ("bits", "core"):
+        try:
+            i = parts.index(sub)
+        except ValueError:
+            continue
+        if i > 0 and parts[i - 1] == "repro":
+            return True
+    return False
+
+
+@register
+class ExceptionTaxonomyRule(Rule):
+    """CG003: no bare builtin exceptions on repro.bits / repro.core paths."""
+
+    id = "CG003"
+    name = "exception-taxonomy"
+    summary = (
+        "Code under repro/bits and repro/core must raise repro.errors "
+        "classes (FormatError, LimitExceededError, DomainError subtypes), "
+        "never bare ValueError/EOFError/struct.error."
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        """Only repro/bits and repro/core paths are in scope."""
+        return _in_scope(source)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Flag every ``raise`` of a banned builtin exception."""
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = self._banned_name(target)
+            if name is not None:
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"raises bare `{name}`; use the repro.errors "
+                        "taxonomy (CorruptStreamError / LimitExceededError "
+                        "/ CodecDomainError / GraphDomainError)",
+                    )
+                )
+        return findings
+
+    def _banned_name(self, target: ast.AST) -> str:
+        if isinstance(target, ast.Name) and target.id in _BANNED_BUILTINS:
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and (target.value.id, target.attr) in _BANNED_ATTRS
+        ):
+            return f"{target.value.id}.{target.attr}"
+        return None  # type: ignore[return-value]

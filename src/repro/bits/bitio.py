@@ -32,7 +32,7 @@ with :meth:`BitWriter.extend` / :meth:`BitWriter.from_bits`.
 
 from __future__ import annotations
 
-from repro.errors import EndOfStreamError
+from repro.errors import CodecDomainError, EndOfStreamError
 
 #: Widest value ``peek_bits``/the cached-word fast paths serve; one refill
 #: loads at least this many bits when that much stream remains (64 bits of
@@ -64,9 +64,9 @@ class BitWriter:
         worker's chunk without re-packing it.
         """
         if nbits < 0:
-            raise ValueError(f"negative bit count: {nbits}")
+            raise CodecDomainError(f"negative bit count: {nbits}")
         if nbits > 8 * len(data):
-            raise ValueError(
+            raise CodecDomainError(
                 f"bit count {nbits} exceeds {8 * len(data)} available bits"
             )
         writer = cls()
@@ -103,9 +103,9 @@ class BitWriter:
         ``value`` must satisfy ``0 <= value < 2**width``.  Returns ``width``.
         """
         if width < 0:
-            raise ValueError(f"negative width: {width}")
+            raise CodecDomainError(f"negative width: {width}")
         if value < 0 or (value >> width):
-            raise ValueError(f"value {value} does not fit in {width} bits")
+            raise CodecDomainError(f"value {value} does not fit in {width} bits")
         self._acc = (self._acc << width) | value
         self._nacc += width
         while self._nacc >= 8:
@@ -189,7 +189,7 @@ class BitReader:
     def seek(self, bit_position: int) -> None:
         """Reposition the cursor to an absolute bit offset."""
         if not 0 <= bit_position <= self._nbits:
-            raise ValueError(
+            raise CodecDomainError(
                 f"seek to {bit_position} outside stream of {self._nbits} bits"
             )
         self._pos = bit_position
@@ -265,7 +265,7 @@ class BitReader:
             self._pos += width
             return value
         if width < 0:
-            raise ValueError(f"negative width: {width}")
+            raise CodecDomainError(f"negative width: {width}")
         if self._pos + width > self._nbits:
             raise EndOfStreamError(
                 f"read of {width} bits at {self._pos} exceeds {self._nbits}"

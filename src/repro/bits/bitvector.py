@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List
 
+from repro.errors import CodecDomainError
+
 _BLOCK = 64
 _SELECT_SAMPLE = 64
 
@@ -46,7 +48,7 @@ class BitVector:
         marks = bytearray(length)
         for i in indices:
             if not 0 <= i < length:
-                raise ValueError(f"index {i} outside [0, {length})")
+                raise CodecDomainError(f"index {i} outside [0, {length})")
             marks[i] = 1
         return cls(marks)
 

@@ -16,10 +16,11 @@ without materialising them (e.g. reference selection and the Figure 7 sweep).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bits.bitio import BitReader, BitWriter
 from repro.bits.zigzag import to_integer, to_natural
+from repro.errors import CodecDomainError
 
 __all__ = [
     "write_unary", "read_unary", "unary_length",
@@ -124,7 +125,13 @@ def _zeta_table(k: int) -> Tuple[List[int], List[int]]:
     return _ZETA_TABLES[k]
 
 
-def _read_many_table(reader, count, vals, lens, slow) -> List[int]:
+def _read_many_table(
+    reader: BitReader,
+    count: int,
+    vals: Sequence[int],
+    lens: Sequence[int],
+    slow: Callable[[BitReader], int],
+) -> List[int]:
     """Decode ``count`` codes through a 16-bit table, ``slow`` as fallback.
 
     Operates on the reader's cached-word internals directly (same-package
@@ -175,7 +182,14 @@ def _read_many_table(reader, count, vals, lens, slow) -> List[int]:
 
 
 def _read_many_table_pairs(
-    reader, count, vals_a, lens_a, slow_a, vals_b, lens_b, slow_b
+    reader: BitReader,
+    count: int,
+    vals_a: Sequence[int],
+    lens_a: Sequence[int],
+    slow_a: Callable[[BitReader], int],
+    vals_b: Sequence[int],
+    lens_b: Sequence[int],
+    slow_b: Callable[[BitReader], int],
 ) -> Tuple[List[int], List[int]]:
     """Decode ``count`` interleaved (a, b) code pairs; two result lists."""
     out_a: List[int] = []
@@ -233,7 +247,7 @@ def _read_many_table_pairs(
 def write_unary(writer: BitWriter, x: int) -> int:
     """Write ``x >= 1`` as ``x - 1`` zeros followed by a one."""
     if x < 1:
-        raise ValueError(f"unary undefined for {x}")
+        raise CodecDomainError(f"unary undefined for {x}")
     # A single write keeps long runs cheap: the value 1 in `x` bits.
     return writer.write_bits(1, x)
 
@@ -246,7 +260,7 @@ def read_unary(reader: BitReader) -> int:
 def unary_length(x: int) -> int:
     """Bit length of the unary code of ``x``."""
     if x < 1:
-        raise ValueError(f"unary undefined for {x}")
+        raise CodecDomainError(f"unary undefined for {x}")
     return x
 
 
@@ -256,7 +270,7 @@ def unary_length(x: int) -> int:
 
 def _ceil_log2(z: int) -> int:
     if z <= 0:
-        raise ValueError(f"ceil log2 undefined for {z}")
+        raise CodecDomainError(f"ceil log2 undefined for {z}")
     return (z - 1).bit_length()
 
 
@@ -267,7 +281,7 @@ def write_minimal_binary(writer: BitWriter, x: int, z: int) -> int:
     ``s - 1`` bits, the rest take ``s`` bits (offset by ``m``).
     """
     if not 0 <= x < z:
-        raise ValueError(f"{x} outside [0, {z - 1}]")
+        raise CodecDomainError(f"{x} outside [0, {z - 1}]")
     if z == 1:
         return 0  # the singleton interval needs no bits
     s = _ceil_log2(z)
@@ -280,7 +294,7 @@ def write_minimal_binary(writer: BitWriter, x: int, z: int) -> int:
 def read_minimal_binary(reader: BitReader, z: int) -> int:
     """Read a minimal binary code over ``[0, z - 1]``."""
     if z <= 0:
-        raise ValueError(f"empty interval: z={z}")
+        raise CodecDomainError(f"empty interval: z={z}")
     if z == 1:
         return 0
     s = _ceil_log2(z)
@@ -298,7 +312,7 @@ def read_minimal_binary(reader: BitReader, z: int) -> int:
 def minimal_binary_length(x: int, z: int) -> int:
     """Bit length of the minimal binary code of ``x`` over ``[0, z - 1]``."""
     if not 0 <= x < z:
-        raise ValueError(f"{x} outside [0, {z - 1}]")
+        raise CodecDomainError(f"{x} outside [0, {z - 1}]")
     if z == 1:
         return 0
     s = _ceil_log2(z)
@@ -313,7 +327,7 @@ def minimal_binary_length(x: int, z: int) -> int:
 def write_gamma(writer: BitWriter, x: int) -> int:
     """Write Elias gamma: unary(|x| bits) then the low bits of ``x``."""
     if x < 1:
-        raise ValueError(f"gamma undefined for {x}")
+        raise CodecDomainError(f"gamma undefined for {x}")
     l = x.bit_length() - 1
     n = write_unary(writer, l + 1)
     if l:
@@ -340,7 +354,7 @@ def read_gamma(reader: BitReader) -> int:
 def gamma_length(x: int) -> int:
     """Bit length of the Elias gamma code of ``x``."""
     if x < 1:
-        raise ValueError(f"gamma undefined for {x}")
+        raise CodecDomainError(f"gamma undefined for {x}")
     return 2 * (x.bit_length() - 1) + 1
 
 
@@ -367,7 +381,7 @@ def read_gamma_integer(reader: BitReader) -> int:
 def write_delta(writer: BitWriter, x: int) -> int:
     """Write Elias delta: gamma(|x| bits) then the low bits of ``x``."""
     if x < 1:
-        raise ValueError(f"delta undefined for {x}")
+        raise CodecDomainError(f"delta undefined for {x}")
     l = x.bit_length() - 1
     n = write_gamma(writer, l + 1)
     if l:
@@ -386,7 +400,7 @@ def read_delta(reader: BitReader) -> int:
 def delta_length(x: int) -> int:
     """Bit length of the Elias delta code of ``x``."""
     if x < 1:
-        raise ValueError(f"delta undefined for {x}")
+        raise CodecDomainError(f"delta undefined for {x}")
     l = x.bit_length() - 1
     return gamma_length(l + 1) + l
 
@@ -403,9 +417,9 @@ def write_zeta(writer: BitWriter, x: int, k: int) -> int:
     ``2**((h+1)*k) - 2**(h*k)``.  zeta_1 coincides with Elias gamma.
     """
     if x < 1:
-        raise ValueError(f"zeta undefined for {x}")
+        raise CodecDomainError(f"zeta undefined for {x}")
     if k < 1:
-        raise ValueError(f"invalid zeta shrinking parameter k={k}")
+        raise CodecDomainError(f"invalid zeta shrinking parameter k={k}")
     h = (x.bit_length() - 1) // k
     n = write_unary(writer, h + 1)
     low = 1 << (h * k)
@@ -429,7 +443,7 @@ def read_zeta(reader: BitReader, k: int) -> int:
 def zeta_length(x: int, k: int) -> int:
     """Bit length of the zeta_k code of ``x``."""
     if x < 1:
-        raise ValueError(f"zeta undefined for {x}")
+        raise CodecDomainError(f"zeta undefined for {x}")
     h = (x.bit_length() - 1) // k
     low = 1 << (h * k)
     return (h + 1) + minimal_binary_length(x - low, (low << k) - low)
@@ -462,9 +476,9 @@ def read_zeta_integer(reader: BitReader, k: int) -> int:
 def write_golomb(writer: BitWriter, x: int, m: int) -> int:
     """Write the Golomb code of ``x >= 0`` with modulus ``m >= 1``."""
     if x < 0:
-        raise ValueError(f"golomb undefined for {x}")
+        raise CodecDomainError(f"golomb undefined for {x}")
     if m < 1:
-        raise ValueError(f"invalid golomb modulus m={m}")
+        raise CodecDomainError(f"invalid golomb modulus m={m}")
     q, r = divmod(x, m)
     n = write_unary(writer, q + 1)
     n += write_minimal_binary(writer, r, m)
@@ -505,7 +519,7 @@ def rice_length(x: int, b: int) -> int:
 def write_vbyte(writer: BitWriter, x: int) -> int:
     """Write ``x >= 0`` in 7-bit groups, high continuation bit per byte."""
     if x < 0:
-        raise ValueError(f"vbyte undefined for {x}")
+        raise CodecDomainError(f"vbyte undefined for {x}")
     groups = []
     while True:
         groups.append(x & 0x7F)
@@ -532,7 +546,7 @@ def read_vbyte(reader: BitReader) -> int:
 def vbyte_length(x: int) -> int:
     """Bit length of the variable-byte code of ``x``."""
     if x < 0:
-        raise ValueError(f"vbyte undefined for {x}")
+        raise CodecDomainError(f"vbyte undefined for {x}")
     return 8 * max(1, (x.bit_length() + 6) // 7)
 
 
@@ -571,7 +585,7 @@ def encode_simple16(writer: BitWriter, values: Sequence[int]) -> int:
     """
     for v in values:
         if v < 0 or v >= (1 << 28):
-            raise ValueError(f"simple16 requires 0 <= value < 2**28, got {v}")
+            raise CodecDomainError(f"simple16 requires 0 <= value < 2**28, got {v}")
     n = 0
     i = 0
     total = len(values)

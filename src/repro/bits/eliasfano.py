@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterator, List, Sequence
 
 from repro.bits.bitvector import BitVector
+from repro.errors import CodecDomainError
 
 
 class EliasFano:
@@ -34,9 +35,9 @@ class EliasFano:
         prev = 0
         for v in values:
             if v < 0:
-                raise ValueError(f"negative value {v} in monotone sequence")
+                raise CodecDomainError(f"negative value {v} in monotone sequence")
             if v < prev:
-                raise ValueError(
+                raise CodecDomainError(
                     f"sequence is not non-decreasing ({v} after {prev})"
                 )
             prev = v
@@ -44,7 +45,7 @@ class EliasFano:
         if universe is None:
             universe = top + 1
         if universe <= top:
-            raise ValueError(f"universe {universe} <= max value {top}")
+            raise CodecDomainError(f"universe {universe} <= max value {top}")
         self._universe = universe
         ratio = universe // n
         self._low_bits = max(0, ratio.bit_length() - 1) if ratio > 0 else 0

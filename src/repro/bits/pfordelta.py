@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.bits.bitio import BitReader, BitWriter
+from repro.errors import CodecDomainError
 
 BLOCK = 128
 _WIDTH_BITS = 6
@@ -47,9 +48,9 @@ def encode_pfordelta(writer: BitWriter, values: Sequence[int]) -> int:
 def _encode_block(writer: BitWriter, block: Sequence[int]) -> int:
     for v in block:
         if v < 0:
-            raise ValueError(f"pfordelta requires naturals, got {v}")
+            raise CodecDomainError(f"pfordelta requires naturals, got {v}")
         if v.bit_length() > _HIGH_BITS + 6:
-            raise ValueError(f"value {v} too wide for pfordelta")
+            raise CodecDomainError(f"value {v} too wide for pfordelta")
     b = _choose_width(block)
     exceptions = [
         (i, v >> b) for i, v in enumerate(block) if v.bit_length() > b

@@ -14,6 +14,8 @@ e.g. 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, 2 -> 4 ...  (Table II of the paper:
 
 from __future__ import annotations
 
+from repro.errors import CodecDomainError
+
 
 def to_natural(x: int) -> int:
     """Map an integer to a natural number per Eq. (1) of the paper."""
@@ -23,5 +25,5 @@ def to_natural(x: int) -> int:
 def to_integer(n: int) -> int:
     """Invert :func:`to_natural`."""
     if n < 0:
-        raise ValueError(f"not a natural number: {n}")
+        raise CodecDomainError(f"not a natural number: {n}")
     return n // 2 if n % 2 == 0 else -((n + 1) // 2)

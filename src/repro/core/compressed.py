@@ -69,7 +69,12 @@ from repro.bits.eliasfano import EliasFano
 from repro.core.config import ChronoGraphConfig
 from repro.core.structure import decode_node_structure, multiset_from_parts
 from repro.core.timestamps import decode_node_timestamps
-from repro.errors import CorruptStreamError, FormatError
+from repro.errors import (
+    CorruptStreamError,
+    FormatError,
+    GraphDomainError,
+    LimitExceededError,
+)
 from repro.graph.model import Contact, GraphKind
 
 #: Exceptions a decoder may hit on a corrupt stream; every decode path
@@ -297,6 +302,22 @@ class CompressedChronoGraph:
         """Timestamp stream plus its offset index (the Table IV parenthesis)."""
         return self._tbits + self._toffsets.size_in_bits()
 
+    def _overlay_bits(self, count: int) -> int:
+        """Raw-rate charge of ``count`` uncompacted overlay contacts."""
+        if not count:
+            return 0
+        per = 4 * 64 if self.kind is GraphKind.INTERVAL else 3 * 64
+        return count * per
+
+    def _total_bits(self, state: _OverlayState) -> int:
+        """Total footprint computed against one captured snapshot."""
+        return (
+            self.structure_size_bits
+            + self.timestamp_size_bits
+            + self._overlay_bits(state.count)
+            + HEADER_BITS
+        )
+
     @property
     def overlay_size_bits(self) -> int:
         """Replayed-but-uncompacted contacts, charged at the raw rate.
@@ -306,35 +327,33 @@ class CompressedChronoGraph:
         :class:`repro.core.growable.GrowableChronoGraph` delta contacts:
         three (point/incremental) or four (interval) 64-bit words each.
         """
-        count = self._state.count
-        if not count:
-            return 0
-        per = 4 * 64 if self.kind is GraphKind.INTERVAL else 3 * 64
-        return count * per
+        return self._overlay_bits(self._state.count)
 
     @property
     def size_in_bits(self) -> int:
         """Total in-memory footprint charged by the evaluation."""
-        return (
-            self.structure_size_bits
-            + self.timestamp_size_bits
-            + self.overlay_size_bits
-            + HEADER_BITS
-        )
+        return self._total_bits(self._state)
 
     @property
     def bits_per_contact(self) -> float:
-        """The paper's headline metric."""
-        if self.num_contacts == 0:
+        """The paper's headline metric.
+
+        Size and contact count come from one snapshot capture, so the
+        ratio is internally consistent even while :meth:`apply_contacts`
+        publishes new generations concurrently (CG001).
+        """
+        state = self._state
+        if state.num_contacts == 0:
             return 0.0
-        return self.size_in_bits / self.num_contacts
+        return self._total_bits(state) / state.num_contacts
 
     @property
     def timestamp_bits_per_contact(self) -> float:
         """Timestamp share of the footprint, per contact."""
-        if self.num_contacts == 0:
+        state = self._state
+        if state.num_contacts == 0:
             return 0.0
-        return self.timestamp_size_bits / self.num_contacts
+        return self.timestamp_size_bits / state.num_contacts
 
     # -- decoded-record cache ------------------------------------------------
 
@@ -617,11 +636,11 @@ class CompressedChronoGraph:
             if not isinstance(c, Contact):
                 c = Contact(*c)
             if c.u < 0 or c.v < 0:
-                raise ValueError(f"negative node label in {c}")
+                raise GraphDomainError(f"negative node label in {c}")
             if c.duration < 0:
-                raise ValueError(f"negative duration in {c}")
+                raise GraphDomainError(f"negative duration in {c}")
             if kind is not GraphKind.INTERVAL and c.duration:
-                raise ValueError(
+                raise GraphDomainError(
                     f"{kind.value} graphs cannot carry durations: {c}"
                 )
             added.setdefault(c.u, []).append(c)
@@ -697,7 +716,7 @@ class CompressedChronoGraph:
         if n is None:
             n = self._state.num_nodes
         if not 0 <= u < n:
-            raise ValueError(f"node {u} outside [0, {n})")
+            raise GraphDomainError(f"node {u} outside [0, {n})")
 
     def _corrupt(self, u: int, stage: str, exc: Exception) -> CorruptStreamError:
         return CorruptStreamError(f"node {u}: {stage} decode failed: {exc}")
@@ -729,6 +748,12 @@ class CompressedChronoGraph:
         try:
             reader = self._structure_reader(u)
             dedup_count = codes.read_gamma_natural(reader)
+            limit = self.num_contacts
+            if dedup_count > limit:
+                raise LimitExceededError(
+                    f"node {u}: dedup block claims {dedup_count} runs, "
+                    f"graph has {limit} contacts"
+                )
             if dedup_count:
                 codes.read_many_gamma_natural(reader, 2 * dedup_count)
             r = codes.read_gamma_natural(reader)
@@ -1293,8 +1318,14 @@ class CompressedChronoGraph:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self._state
+        per = (
+            self._total_bits(state) / state.num_contacts
+            if state.num_contacts
+            else 0.0
+        )
         return (
-            f"CompressedChronoGraph({self.name!r}, nodes={self.num_nodes}, "
-            f"contacts={self.num_contacts}, "
-            f"bits/contact={self.bits_per_contact:.2f})"
+            f"CompressedChronoGraph({self.name!r}, nodes={state.num_nodes}, "
+            f"contacts={state.num_contacts}, "
+            f"bits/contact={per:.2f})"
         )

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.errors import GraphDomainError
+
 
 @dataclasses.dataclass(frozen=True)
 class ChronoGraphConfig:
@@ -45,18 +47,18 @@ class ChronoGraphConfig:
 
     def __post_init__(self) -> None:
         if self.window < 0:
-            raise ValueError(f"negative window: {self.window}")
+            raise GraphDomainError(f"negative window: {self.window}")
         if self.min_interval_length < 2:
-            raise ValueError(
+            raise GraphDomainError(
                 f"min_interval_length must be >= 2, got {self.min_interval_length}"
             )
         if self.max_ref_chain is not None and self.max_ref_chain < 0:
-            raise ValueError(f"negative max_ref_chain: {self.max_ref_chain}")
+            raise GraphDomainError(f"negative max_ref_chain: {self.max_ref_chain}")
         if self.timestamp_zeta_k is not None and not 1 <= self.timestamp_zeta_k <= 16:
-            raise ValueError(f"timestamp_zeta_k out of range: {self.timestamp_zeta_k}")
+            raise GraphDomainError(f"timestamp_zeta_k out of range: {self.timestamp_zeta_k}")
         if self.duration_zeta_k is not None and not 1 <= self.duration_zeta_k <= 16:
-            raise ValueError(f"duration_zeta_k out of range: {self.duration_zeta_k}")
+            raise GraphDomainError(f"duration_zeta_k out of range: {self.duration_zeta_k}")
         if not 1 <= self.structure_zeta_k <= 16:
-            raise ValueError(f"structure_zeta_k out of range: {self.structure_zeta_k}")
+            raise GraphDomainError(f"structure_zeta_k out of range: {self.structure_zeta_k}")
         if self.resolution < 1:
-            raise ValueError(f"resolution must be >= 1, got {self.resolution}")
+            raise GraphDomainError(f"resolution must be >= 1, got {self.resolution}")

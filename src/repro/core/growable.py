@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.core.compressed import CompressedChronoGraph
 from repro.core.config import ChronoGraphConfig
 from repro.core.encoder import compress
+from repro.errors import GraphDomainError
 from repro.graph.model import Contact, GraphKind, TemporalGraph
 
 #: Raw in-memory cost charged per buffered delta contact.
@@ -100,11 +101,11 @@ class GrowableChronoGraph:
         With an aggregating config the contact is bucketed here, once.
         """
         if u < 0 or v < 0:
-            raise ValueError(f"negative node label in ({u}, {v})")
+            raise GraphDomainError(f"negative node label in ({u}, {v})")
         if duration < 0:
-            raise ValueError(f"negative duration {duration}")
+            raise GraphDomainError(f"negative duration {duration}")
         if self.kind is not GraphKind.INTERVAL and duration:
-            raise ValueError(f"{self.kind.value} graphs cannot carry durations")
+            raise GraphDomainError(f"{self.kind.value} graphs cannot carry durations")
         if self._resolution > 1:
             from repro.graph.aggregate import _aggregate_duration
 
@@ -180,7 +181,7 @@ class GrowableChronoGraph:
     def contacts_of(self, u: int) -> List[Contact]:
         """All contacts of ``u`` across base and delta, (label, time) order."""
         if not 0 <= u < max(1, self._num_nodes):
-            raise ValueError(f"node {u} outside [0, {self._num_nodes})")
+            raise GraphDomainError(f"node {u} outside [0, {self._num_nodes})")
         merged: List[Contact] = []
         if self._base and u < self._base.num_nodes:
             merged.extend(self._base.contacts_of(u))

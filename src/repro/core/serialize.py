@@ -46,6 +46,7 @@ from repro.errors import (
     ChecksumMismatchError,
     CorruptStreamError,
     FormatError,
+    GraphDomainError,
     LimitExceededError,
     TruncatedContainerError,
     UnsupportedVersionError,
@@ -206,9 +207,9 @@ def dumps_compressed(graph: CompressedChronoGraph) -> bytes:
     ``to_temporal_graph()``) first.
     """
     if graph.config.timestamp_zeta_k is None:  # pragma: no cover - encoder sets it
-        raise ValueError("cannot serialise a graph with unresolved zeta parameters")
+        raise GraphDomainError("cannot serialise a graph with unresolved zeta parameters")
     if graph._state.count:
-        raise ValueError(
+        raise GraphDomainError(
             f"cannot serialise {graph._state.count} uncompacted overlay "
             "contact(s); compact the graph first"
         )

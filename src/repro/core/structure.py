@@ -324,9 +324,17 @@ def decode_node_structure(
     copied: List[int] = []
     if r:
         run_count = codes.read_gamma_natural(reader)
+        reference_list = resolve_distinct(node - r)
+        # A valid copy-block list never has more runs than the reference
+        # has distinct neighbors; checking before the bulk read keeps the
+        # allocation proportional to the reference, not to a corrupt count.
+        if run_count > len(reference_list) + 1:
+            raise LimitExceededError(
+                f"node {node}: {run_count} copy runs against a reference "
+                f"with {len(reference_list)} distinct neighbors"
+            )
         raw = codes.read_many_gamma_natural(reader, run_count)
         runs = raw[:1] + [run + 1 for run in raw[1:]]
-        reference_list = resolve_distinct(node - r)
         copied = expand_copy_blocks(reference_list, runs)
         charge(len(copied))
 

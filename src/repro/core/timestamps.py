@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.bits import codes
 from repro.bits.bitio import BitReader, BitWriter
+from repro.errors import GraphDomainError
 
 
 def timestamp_gaps(timestamps: Sequence[int], t_min: int) -> List[int]:
@@ -47,14 +48,16 @@ def encode_node_timestamps(
     codes differ (short contacts vs long-lived links).
     """
     if durations is not None and len(durations) != len(timestamps):
-        raise ValueError("durations must align one-to-one with timestamps")
+        raise GraphDomainError("durations must align one-to-one with timestamps")
     dk = zeta_k if duration_zeta_k is None else duration_zeta_k
     prev: Optional[int] = None
     for i, t in enumerate(timestamps):
         if prev is None:
             gap = t - t_min
             if gap < 0:
-                raise ValueError(f"timestamp {t} below the global minimum {t_min}")
+                raise GraphDomainError(
+                    f"timestamp {t} below the global minimum {t_min}"
+                )
             codes.write_zeta_natural(writer, gap, zeta_k)
         else:
             codes.write_zeta_integer(writer, t - prev, zeta_k)

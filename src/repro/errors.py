@@ -23,6 +23,9 @@ __all__ = [
     "CorruptStreamError",
     "EndOfStreamError",
     "GenerationMismatchError",
+    "DomainError",
+    "CodecDomainError",
+    "GraphDomainError",
 ]
 
 
@@ -64,6 +67,40 @@ class EndOfStreamError(CorruptStreamError, EOFError):
     Subclasses both :class:`CorruptStreamError` (so container decoding
     funnels into :class:`FormatError`) and :class:`EOFError` (the exception
     :class:`repro.bits.bitio.BitReader` historically raised).
+    """
+
+
+class DomainError(ValueError):
+    """A caller-supplied value lies outside an API's documented domain.
+
+    The *usage-error* side of the taxonomy: unlike :class:`FormatError`,
+    which covers data-driven failures of untrusted inputs, a
+    :class:`DomainError` means the calling code itself passed an argument a
+    codec, structure or configuration cannot represent (a negative width, a
+    value a code is undefined for, a node label out of range).  Subclasses
+    :class:`ValueError` so callers written against the historical bare
+    ``ValueError`` contracts keep working, and so the decode paths'
+    blanket ``except ValueError`` wrapping still funnels any such raise
+    on a corrupt stream into :class:`CorruptStreamError`.
+    """
+
+
+class CodecDomainError(DomainError):
+    """A value is outside the domain of a :mod:`repro.bits` codec.
+
+    Raised by the instantaneous codes (unary/gamma/delta/zeta/...), the
+    bit-stream primitives and the succinct structures when asked to encode
+    a value their code is undefined for, or when an argument (width,
+    modulus, shrinking parameter, seek position) is invalid.
+    """
+
+
+class GraphDomainError(DomainError):
+    """A graph-level argument is invalid (labels, durations, config).
+
+    Raised by :mod:`repro.core` on negative node labels, durations on
+    non-interval graph kinds, out-of-range node lookups and configuration
+    values outside their documented bounds.
     """
 
 

@@ -37,6 +37,10 @@ MODULES = [
     "repro.analysis", "repro.analysis.gapstats",
     "repro.analysis.powerlawfit", "repro.analysis.burstiness",
     "repro.analysis.entropy",
+    "repro.analysis.framework", "repro.analysis.baseline",
+    "repro.analysis.report", "repro.analysis.cli",
+    "repro.analysis.rules_concurrency", "repro.analysis.rules_taxonomy",
+    "repro.analysis.rules_storage", "repro.analysis.rules_budget",
     "repro.algorithms", "repro.algorithms.pagerank",
     "repro.algorithms.communities", "repro.algorithms.reachability",
     "repro.algorithms.anomaly", "repro.algorithms.centrality",
