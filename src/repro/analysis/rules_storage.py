@@ -2,9 +2,13 @@
 
 A bare ``open(path, "w")`` that crashes mid-write leaves a truncated file
 at the final path; the atomic helpers write to a same-directory temp file,
-fsync, and rename, so observers only ever see old-or-new content.  The
-storage layer itself (and the crash-injection test harness) are the
-sanctioned implementations and are out of scope.
+fsync, and rename, so observers only ever see old-or-new content.  Only
+two places may bypass them: ``repro/storage/atomic.py`` itself (the
+sanctioned implementation) and the ``repro/testing`` harness (which
+deliberately plants corrupt bytes).  The *rest* of the storage layer is
+deliberately in scope -- manifests, WAL headers and segment files are
+exactly the artifacts whose torn writes corrupt a whole store, so they
+must route through ``atomic_write_bytes`` like everything else.
 """
 
 from __future__ import annotations
@@ -16,8 +20,13 @@ from repro.analysis.framework import Finding, Rule, SourceFile, register
 
 __all__ = ["AtomicWriteRule"]
 
-#: Path segments whose files implement or deliberately exercise raw writes.
-_EXEMPT_SEGMENTS = ("storage", "testing")
+#: Path segments (under ``repro/``) whose files deliberately exercise raw
+#: writes: the fault-injection harness plants corrupt bytes on purpose.
+_EXEMPT_SEGMENTS = ("testing",)
+
+#: Exact files (as trailing path parts) that implement the sanctioned
+#: write path itself and so cannot route through it.
+_EXEMPT_FILES = (("repro", "storage", "atomic.py"),)
 
 #: Modules whose ``.open`` behaves like the builtin.
 _OPEN_MODULES = {"io", "gzip", "bz2", "lzma"}
@@ -34,6 +43,9 @@ def _exempt(source: SourceFile) -> bool:
         except ValueError:
             continue
         if i > 0 and parts[i - 1] == "repro":
+            return True
+    for tail in _EXEMPT_FILES:
+        if tuple(parts[-len(tail):]) == tail:
             return True
     return False
 
@@ -67,11 +79,13 @@ class AtomicWriteRule(Rule):
         "Artifact writes must go through repro.storage.atomic "
         "(atomic_write_bytes / atomic_write_text / AtomicFile); bare "
         "open(..., 'w'), Path.write_text/write_bytes and os.open with "
-        "write flags are banned outside the storage layer."
+        "write flags are banned everywhere else -- including the rest of "
+        "the storage layer, whose manifests and segments are the "
+        "artifacts a torn write hurts most."
     )
 
     def applies(self, source: SourceFile) -> bool:
-        """Everywhere except the storage layer and the crash harness."""
+        """Everywhere except atomic.py itself and the crash harness."""
         return not _exempt(source)
 
     def check(self, source: SourceFile) -> List[Finding]:

@@ -12,6 +12,8 @@ Usage (also via ``python -m repro``)::
     python -m repro ingest flows.chrono new_flows.txt
     python -m repro recover flows.chrono
     python -m repro compact flows.chrono
+    python -m repro ingest --init flows.store new_flows.txt
+    python -m repro status flows.store
 
 Every subcommand is a thin shell over the library API so scripted use and
 programmatic use stay equivalent.
@@ -101,28 +103,46 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="best-effort decode; report the longest valid prefix")
 
     p = sub.add_parser(
-        "ingest", help="append contacts from a contact list to a .chrono WAL"
+        "ingest",
+        help="append contacts to a .chrono WAL or a segment store directory",
     )
-    p.add_argument("base", help=".chrono base snapshot")
+    p.add_argument("base", help=".chrono base snapshot or segment store dir")
     p.add_argument("input", help="contact list with the new contacts")
     p.add_argument("--wal", default=None, help="WAL path (default: <base>.wal)")
     p.add_argument("--batch", type=int, default=1024,
                    help="contacts per committed (fsynced) batch")
+    p.add_argument("--init", action="store_true",
+                   help="create a new segment store directory at BASE "
+                        "(kind and resolution taken from the input)")
+    p.add_argument("--resolution", type=int, default=1,
+                   help="time aggregation divisor for a new store (--init)")
+    p.add_argument("--seal", type=int, default=4096,
+                   help="tail contacts per sealed segment (store ingest)")
 
     p = sub.add_parser(
-        "recover", help="replay a .chrono WAL and report what survives"
+        "recover",
+        help="replay a .chrono WAL (or recover a segment store) and "
+             "report what survives",
     )
-    p.add_argument("base", help=".chrono base snapshot")
+    p.add_argument("base", help=".chrono base snapshot or segment store dir")
     p.add_argument("--wal", default=None, help="WAL path (default: <base>.wal)")
     p.add_argument("--repair", action="store_true",
-                   help="truncate a torn WAL tail in place")
+                   help="truncate a torn WAL tail in place / apply segment "
+                        "store repairs (quarantine renames, orphan sweeps)")
 
     p = sub.add_parser(
         "compact",
-        help="fold base+WAL into a fresh snapshot and reset the log",
+        help="fold base+WAL into a fresh snapshot, or seal and merge a "
+             "segment store's segments",
     )
-    p.add_argument("base", help=".chrono base snapshot")
+    p.add_argument("base", help=".chrono base snapshot or segment store dir")
     p.add_argument("--wal", default=None, help="WAL path (default: <base>.wal)")
+
+    p = sub.add_parser(
+        "status",
+        help="print a segment store's health report (read-only)",
+    )
+    p.add_argument("store", help="segment store directory")
 
     p = sub.add_parser(
         "figures", help="export figure series (CSV) and tables (LaTeX)"
@@ -327,6 +347,10 @@ def _cmd_ingest(args) -> int:
     from repro.graph.aggregate import _aggregate_duration
     from repro.graph.model import Contact, GraphKind
     from repro.storage.recovery import default_wal_path, open_for_ingest
+    from repro.storage.segments import is_segment_store
+
+    if args.init or is_segment_store(args.base):
+        return _cmd_ingest_store(args)
 
     incoming = read_contact_text(args.input)
     graph, wal = open_for_ingest(args.base, args.wal)
@@ -363,6 +387,50 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_ingest_store(args) -> int:
+    # Segment store variant: contacts land in the hot WAL tail and seal
+    # into immutable segments past --seal.  Exit codes: 0 committed;
+    # 1 committed into a degraded store (reported); 2 unreadable inputs,
+    # kind mismatch, or backpressure (mapped in main()).
+    from repro.core.config import ChronoGraphConfig
+    from repro.storage.segments import SegmentStore, StorePolicy, is_segment_store
+
+    incoming = read_contact_text(args.input)
+    policy = StorePolicy(seal_contacts=max(1, args.seal))
+    if is_segment_store(args.base):
+        store = SegmentStore.open(args.base, policy=policy)
+    elif args.init:
+        config = ChronoGraphConfig(resolution=args.resolution)
+        store = SegmentStore.create(
+            args.base, incoming.kind, config, policy=policy
+        )
+        print(f"created segment store at {args.base} "
+              f"(kind={incoming.kind.value}, resolution={args.resolution})")
+    else:  # pragma: no cover - dispatch guarantees one of the above
+        raise ValueError(f"{args.base} is not a segment store")
+    try:
+        if incoming.kind is not store.manifest.kind:
+            print(f"error: {args.input} is {incoming.kind.value} but "
+                  f"{args.base} is {store.manifest.kind.value}",
+                  file=sys.stderr)
+            return 2
+        committed = 0
+        batch_size = max(1, args.batch)
+        contacts = incoming.contacts
+        for start in range(0, len(contacts), batch_size):
+            committed += store.ingest(contacts[start : start + batch_size])
+        health = store.health()
+        print(f"ingested {committed} contacts into {args.base} "
+              f"(generation {health.generation}, {health.segments} "
+              f"segment(s), {health.tail_contacts} in tail)")
+        if not health.ok:
+            print(health.summary(), file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        store.close()
+
+
 def _cmd_recover(args) -> int:
     # Exit codes: 0 clean replay; 1 recovered with loss (torn tail or a
     # superseded log); 2 base or WAL header unreadable, or generation
@@ -370,7 +438,15 @@ def _cmd_recover(args) -> int:
     import pathlib
 
     from repro.storage.recovery import default_wal_path, open_with_wal
+    from repro.storage.segments import SegmentStore, is_segment_store
     from repro.storage.wal import repair_torn_tail, scan_wal
+
+    if is_segment_store(args.base):
+        # Without --repair the walk is read-only: report, change nothing.
+        with SegmentStore.open(args.base, read_only=not args.repair) as store:
+            health = store.health()
+        print(health.summary())
+        return 0 if health.ok else 1
 
     _, report = open_with_wal(args.base, args.wal)
     print(report.summary())
@@ -389,10 +465,38 @@ def _cmd_compact(args) -> int:
     # a torn tail or ignored a superseded log (loss is reported, never
     # silent); 2 unreadable inputs (mapped in main()).
     from repro.storage.recovery import compact
+    from repro.storage.segments import SegmentStore, is_segment_store
+
+    if is_segment_store(args.base):
+        with SegmentStore.open(args.base) as store:
+            merges = store.compact_all()
+            health = store.health()
+        print(f"compacted {args.base}: {merges} merge(s), "
+              f"{health.segments} segment(s) remain "
+              f"(generation {health.generation})")
+        if not health.ok:
+            print(health.summary(), file=sys.stderr)
+            return 1
+        return 0
 
     result = compact(args.base, args.wal)
     print(result.summary())
     return 0 if result.report.ok else 1
+
+
+def _cmd_status(args) -> int:
+    # Exit codes: 0 full service; 1 degraded (quarantine or a sick
+    # compactor); 2 not a store / unreadable manifest (mapped in main()).
+    from repro.storage.segments import SegmentStore, is_segment_store
+
+    if not is_segment_store(args.store):
+        print(f"error: {args.store} is not a segment store "
+              "(no MANIFEST file)", file=sys.stderr)
+        return 2
+    with SegmentStore.open(args.store, read_only=True) as store:
+        health = store.health()
+    print(health.summary())
+    return 0 if health.ok else 1
 
 
 def _cmd_figures(args) -> int:
@@ -427,6 +531,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "recover": _cmd_recover,
     "compact": _cmd_compact,
+    "status": _cmd_status,
     "figures": _cmd_figures,
 }
 

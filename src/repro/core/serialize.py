@@ -759,40 +759,48 @@ def _salvage_parts(
         errors.append(str(exc))
         return None
 
+    # Section errors carry the section's starting byte offset so a report
+    # pinpoints *where* in the container the damage lies -- operators (and
+    # the fault-matrix tests) can correlate entries with hexdump offsets.
     payloads = {}
     if framed:
         for expected_tag in _SECTION_ORDER:
             what = _SECTION_NAMES[expected_tag]
+            section_start = cur._pos
+            at = f"at byte {section_start}"
             if cur.remaining < 9:
-                errors.append(f"{what}: section header missing")
+                errors.append(f"{what}: section header missing ({at})")
                 break
             (tag,) = cur.unpack("<B", "section tag")
             (payload_len,) = cur.unpack("<Q", f"{what} length")
             if tag != expected_tag:
-                errors.append(f"{what}: unexpected section tag {tag}")
+                errors.append(f"{what}: unexpected section tag {tag} ({at})")
             take = min(payload_len, cur.remaining, limits.max_section_bytes)
             if take != payload_len:
                 errors.append(
-                    f"{what}: declared {payload_len} bytes, clipped to {take}"
+                    f"{what}: declared {payload_len} bytes, "
+                    f"clipped to {take} ({at})"
                 )
             payload = cur.read_exact(take, what)
             if cur.remaining >= 4:
                 (crc,) = cur.unpack("<I", f"{what} checksum")
                 if zlib.crc32(payload) != crc:
-                    errors.append(f"{what} checksum mismatch")
+                    errors.append(f"{what} checksum mismatch ({at})")
             else:
-                errors.append(f"{what}: checksum missing")
+                errors.append(f"{what}: checksum missing ({at})")
                 cur._pos = len(data)
             payloads[expected_tag] = payload
     else:
         try:
             for tag in (_SECTION_STRUCTURE, _SECTION_TIMESTAMPS):
                 what = _SECTION_NAMES[tag]
+                at = f"at byte {cur._pos}"
                 nbits, nbytes = cur.unpack("<QQ", f"{what} lengths")
                 take = min(nbytes, cur.remaining)
                 if take != nbytes:
                     errors.append(
-                        f"{what}: declared {nbytes} bytes, clipped to {take}"
+                        f"{what}: declared {nbytes} bytes, "
+                        f"clipped to {take} ({at})"
                     )
                 payloads[tag] = struct.pack("<Q", nbits) + cur.read_exact(
                     take, what

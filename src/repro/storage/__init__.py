@@ -7,11 +7,17 @@
   bound to its base ``.chrono`` snapshot by a generation header.
 * :mod:`repro.storage.recovery` -- WAL replay with torn-tail tolerance
   (:class:`RecoveryReport`) and crash-safe :func:`compact`.
+* :mod:`repro.storage.segments` -- the LSM-style segmented store:
+  immutable time-partitioned segments under a CRC-guarded generation-
+  numbered manifest, a :class:`SegmentedChronoGraph` query facade, and
+  per-segment quarantine surfaced in a :class:`HealthReport`.
+* :mod:`repro.storage.compactor` -- the background merge thread plus the
+  watchdog that degrades ingestion instead of crashing when it wedges.
 
-``wal``/``recovery`` names resolve lazily: :mod:`repro.core.serialize`
-imports :mod:`repro.storage.atomic` for durable saves, while
-:mod:`repro.storage.recovery` imports the serializer back -- deferring
-the heavy half keeps the cycle open-ended instead of circular.
+``wal``/``recovery``/``segments``/``compactor`` names resolve lazily:
+:mod:`repro.core.serialize` imports :mod:`repro.storage.atomic` for
+durable saves, while the higher layers import the serializer back --
+deferring the heavy half keeps the cycle open-ended instead of circular.
 """
 
 from repro.storage.atomic import (
@@ -50,6 +56,19 @@ __all__ = [
     "recover_bytes",
     "open_for_ingest",
     "compact",
+    # segments (lazy)
+    "Manifest",
+    "SegmentInfo",
+    "SegmentStore",
+    "SegmentedChronoGraph",
+    "StorePolicy",
+    "QuarantineEntry",
+    "HealthReport",
+    "BackpressureError",
+    "StoreClosedError",
+    "is_segment_store",
+    # compactor (lazy)
+    "Compactor",
 ]
 
 _WAL_NAMES = {
@@ -59,6 +78,11 @@ _WAL_NAMES = {
 _RECOVERY_NAMES = {
     "RecoveryReport", "CompactionResult", "default_wal_path",
     "open_with_wal", "recover_bytes", "open_for_ingest", "compact",
+}
+_SEGMENT_NAMES = {
+    "Manifest", "SegmentInfo", "SegmentStore", "SegmentedChronoGraph",
+    "StorePolicy", "QuarantineEntry", "HealthReport",
+    "BackpressureError", "StoreClosedError", "is_segment_store",
 }
 
 
@@ -71,6 +95,14 @@ def __getattr__(name: str):
         from repro.storage import recovery
 
         return getattr(recovery, name)
+    if name in _SEGMENT_NAMES:
+        from repro.storage import segments
+
+        return getattr(segments, name)
+    if name == "Compactor":
+        from repro.storage.compactor import Compactor
+
+        return Compactor
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -23,8 +23,9 @@ import errno
 import itertools
 import os
 import pathlib
+import random
 import time
-from typing import Callable, FrozenSet, Union
+from typing import Callable, FrozenSet, Optional, Union
 
 __all__ = [
     "Filesystem",
@@ -114,9 +115,15 @@ class RetryPolicy:
     """Retry an action on transient OS errors with exponential backoff.
 
     ``attempts`` bounds the total tries; ``base_delay`` (seconds) doubles
-    after each failure.  ``sleep`` is injectable so tests assert the
-    backoff schedule without waiting it out.  Non-transient errors and the
-    final failure propagate unchanged.
+    after each failure.  ``jitter`` spreads each delay uniformly over
+    ``[delay * (1 - jitter), delay * (1 + jitter)]`` so concurrent
+    retriers hitting the same contended resource don't re-collide in
+    lockstep; ``max_elapsed`` caps the *total* back-off time -- once the
+    next sleep would push cumulative sleeping past it, the pending error
+    is raised instead (an upper bound on how long a caller can be stalled
+    regardless of ``attempts``).  ``sleep`` and ``rand`` are injectable so
+    tests assert the schedule without waiting it out.  Non-transient
+    errors and the final failure propagate unchanged.
     """
 
     def __init__(
@@ -124,19 +131,35 @@ class RetryPolicy:
         attempts: int = 3,
         base_delay: float = 0.01,
         *,
+        jitter: float = 0.0,
+        max_elapsed: Optional[float] = None,
         transient: FrozenSet[int] = TRANSIENT_ERRNOS,
         sleep: Callable[[float], None] = time.sleep,
+        rand: Callable[[], float] = random.random,
     ) -> None:
         if attempts < 1:
             raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if max_elapsed is not None and max_elapsed <= 0:
+            raise ValueError(f"max_elapsed must be > 0, got {max_elapsed}")
         self.attempts = attempts
         self.base_delay = base_delay
+        self.jitter = jitter
+        self.max_elapsed = max_elapsed
         self.transient = transient
         self.sleep = sleep
+        self.rand = rand
+
+    def _next_delay(self, delay: float) -> float:
+        if not self.jitter:
+            return delay
+        return delay * (1.0 + self.jitter * (2.0 * self.rand() - 1.0))
 
     def run(self, action: Callable[[], int]) -> int:
         """Invoke ``action`` until it succeeds or retries are exhausted."""
         delay = self.base_delay
+        elapsed = 0.0
         for attempt in range(self.attempts):
             try:
                 return action()
@@ -144,13 +167,21 @@ class RetryPolicy:
                 last = attempt == self.attempts - 1
                 if exc.errno not in self.transient or last:
                     raise
-                self.sleep(delay)
+                pause = self._next_delay(delay)
+                if (
+                    self.max_elapsed is not None
+                    and elapsed + pause > self.max_elapsed
+                ):
+                    raise
+                self.sleep(pause)
+                elapsed += pause
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
 
-#: Default policy: three attempts, 10 ms then 20 ms backoff.
-DEFAULT_RETRY = RetryPolicy()
+#: Default policy: three attempts, ~10 ms then ~20 ms backoff with 25 %
+#: jitter, never stalling a caller more than one second in total.
+DEFAULT_RETRY = RetryPolicy(jitter=0.25, max_elapsed=1.0)
 
 #: Single attempt; for callers that prefer to surface transient errors.
 NO_RETRY = RetryPolicy(attempts=1)

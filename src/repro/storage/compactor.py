@@ -1,0 +1,147 @@
+"""Background compaction for the segmented store, with a watchdog.
+
+The :class:`Compactor` runs :meth:`SegmentStore.compact_once` on its own
+daemon thread whenever the segment count exceeds policy, retrying
+transient filesystem errors through a :class:`RetryPolicy` and beating a
+monotonic heartbeat every cycle.  The heartbeat is the liveness contract:
+:meth:`Compactor.state` classifies the thread as
+
+* ``healthy`` -- alive and recently heartbeaten,
+* ``wedged``  -- alive but the heartbeat is older than the store policy's
+  ``compactor_timeout`` (stuck in a syscall, livelocked, or blocked),
+* ``dead``    -- the thread exited without being stopped (an escaping
+  exception, recorded in :attr:`Compactor.failure`).
+
+The store's ingest path consults this state: ``dead`` or ``wedged``
+switches it to read-only-tail degradation -- sealing and merging stop,
+the hot tail keeps absorbing writes up to the backpressure cap, and past
+that producers get :class:`repro.storage.segments.BackpressureError`
+instead of a crash or an unbounded tail.  A cleanly :meth:`stop`-ped
+compactor detaches itself, so shutdown never reads as degradation.
+
+Nothing here weakens crash safety: the compactor only ever calls the
+store's own crash-safe protocol, so killing the thread at *any* point --
+including mid-merge -- never changes query answers (the fault-matrix
+tests assert exactly this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.storage.atomic import DEFAULT_RETRY, RetryPolicy
+
+__all__ = ["Compactor"]
+
+
+class Compactor:
+    """Owns the background merge thread of one :class:`SegmentStore`.
+
+    ``interval`` is the idle sleep between cycles; ``retry`` governs
+    transient-error handling around each merge attempt; ``clock`` and
+    ``on_cycle`` are injectable for tests (``on_cycle`` runs at the top of
+    every cycle and may block -- simulating a wedge -- or raise --
+    simulating a crash).
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        interval: float = 0.05,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        clock: Callable[[], float] = time.monotonic,
+        on_cycle: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._store = store
+        self._interval = interval
+        self._retry = retry
+        self._clock = clock
+        self._on_cycle = on_cycle
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._heartbeat = clock()
+        self._stopped_cleanly = False
+        #: The exception that killed the thread, if any (else None).
+        self.failure: Optional[BaseException] = None
+        #: Successful merges performed over the compactor's lifetime.
+        self.merges = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "Compactor":
+        """Spawn the merge thread and register with the store's watchdog."""
+        if self._thread is not None:
+            raise RuntimeError("compactor already started")
+        self._stop.clear()
+        self._stopped_cleanly = False
+        self.failure = None
+        self._heartbeat = self._clock()
+        self._store.attach_compactor(self)
+        self._thread = threading.Thread(
+            target=self._run, name="chrono-compactor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the thread to finish its cycle and detach from the store.
+
+        A clean stop is not a failure: the compactor deregisters itself so
+        the store returns to the no-compactor (inline sealing) regime
+        rather than degrading.
+        """
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._stopped_cleanly = self.failure is None
+        self._store.attach_compactor(None)
+        self._thread = None
+
+    def __enter__(self) -> "Compactor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- watchdog ------------------------------------------------------------
+
+    def state(self, timeout: float) -> str:
+        """Classify liveness: ``healthy`` | ``wedged`` | ``dead``.
+
+        ``timeout`` is the maximum tolerated heartbeat age in seconds
+        (the store passes its policy's ``compactor_timeout``).
+        """
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            return "healthy" if self._stopped_cleanly and self.failure is None else "dead"
+        if self._clock() - self._heartbeat > timeout:
+            return "wedged"
+        return "healthy"
+
+    # -- the merge loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.is_set():
+                self._heartbeat = self._clock()
+                if self._on_cycle is not None:
+                    self._on_cycle()
+                worked = bool(self._retry.run(self._cycle))
+                if worked:
+                    self.merges += 1
+                    continue  # drain the backlog before sleeping
+                self._stop.wait(self._interval)
+        except BaseException as exc:  # noqa: BLE001 -- liveness, not policy
+            # Any escaping exception (including an injected CrashPoint)
+            # kills only this thread; the store notices via the watchdog
+            # and degrades instead of crashing the process.
+            self.failure = exc
+
+    def _cycle(self) -> int:
+        return 1 if self._store.compact_once() else 0

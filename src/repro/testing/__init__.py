@@ -11,6 +11,12 @@ The same contract extends to the crash-safe persistence layer: WAL
 mutations drive :func:`run_wal_fault_injection`, and
 :class:`FaultyFilesystem` / :func:`crash_points` exhaust every possible
 crash point of any write path built on :mod:`repro.storage.atomic`.
+The segmented store adds its own surfaces:
+:func:`manifest_field_mutations` forges CRC-valid manifests that lie,
+:func:`run_segment_store_fault_injection` classifies every mutated open
+against the quarantine-or-detect contract, and
+:func:`run_segment_crash_matrix` exhausts every crash point of the full
+ingest -> seal -> compact -> swap -> delete lifecycle.
 
 The concurrency contract has its own harness: :func:`run_race_smoke`
 (:mod:`repro.testing.races`) races seeded reader threads against an
@@ -26,11 +32,15 @@ from repro.testing.faults import (
     Mutation,
     bit_flip_mutations,
     crash_points,
+    default_manifest_mutations,
     default_mutations,
     default_wal_mutations,
     extend_mutations,
+    manifest_field_mutations,
     random_region_mutations,
     run_fault_injection,
+    run_segment_crash_matrix,
+    run_segment_store_fault_injection,
     run_wal_fault_injection,
     section_shuffle_mutations,
     truncate_mutations,
@@ -59,6 +69,10 @@ __all__ = [
     "wal_generation_mutations",
     "default_wal_mutations",
     "run_wal_fault_injection",
+    "manifest_field_mutations",
+    "default_manifest_mutations",
+    "run_segment_store_fault_injection",
+    "run_segment_crash_matrix",
     "RaceReport",
     "run_race_smoke",
 ]

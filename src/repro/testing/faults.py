@@ -38,9 +38,13 @@ Two further surfaces cover the crash-safe persistence layer (PR 3):
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import json
 import os
+import pathlib
 import random
+import shutil
 import struct
 import time
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -73,6 +77,10 @@ __all__ = [
     "wal_generation_mutations",
     "default_wal_mutations",
     "run_wal_fault_injection",
+    "manifest_field_mutations",
+    "default_manifest_mutations",
+    "run_segment_store_fault_injection",
+    "run_segment_crash_matrix",
 ]
 
 
@@ -455,6 +463,7 @@ def wal_truncate_mutations(data: bytes) -> Iterator[Mutation]:
     for start, end in spans:
         cuts.add(end)          # clean boundary: a whole batch missing
         cuts.add(end - 1)      # torn checksum
+        cuts.add(start + 4)    # tear exactly after the length prefix
         cuts.add(start + 5)    # torn payload, length prefix intact
         cuts.add((start + end) // 2)
     for keep in sorted(cuts):
@@ -617,3 +626,355 @@ def run_wal_fault_injection(
         if result.failed:
             report.failures.append(result)
     return report
+
+
+# --------------------------------------------------------------------------
+# Segment-store mutators and harnesses
+# --------------------------------------------------------------------------
+
+def _manifest_frame(data: bytes) -> Optional[dict]:
+    """The JSON document of a manifest image, or None if unframeable."""
+    from repro.storage.segments import MANIFEST_MAGIC
+
+    if len(data) < 9 or data[:4] != MANIFEST_MAGIC:
+        return None
+    (length,) = struct.unpack_from("<I", data, 5)
+    if 9 + length + 4 != len(data):
+        return None
+    try:
+        doc = json.loads(data[9 : 9 + length].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _reseal_manifest(doc: dict) -> bytes:
+    """Re-frame a (possibly lying) manifest document with a *valid* CRC."""
+    import zlib
+
+    from repro.storage.segments import MANIFEST_MAGIC, MANIFEST_VERSION
+
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return (
+        struct.pack("<4sBI", MANIFEST_MAGIC, MANIFEST_VERSION, len(payload))
+        + payload
+        + struct.pack("<I", zlib.crc32(payload))
+    )
+
+
+def manifest_field_mutations(data: bytes) -> Iterator[Mutation]:
+    """Manifests whose frame CRC is *valid* but whose contents lie.
+
+    The CRC guard cannot catch these -- they exercise the semantic
+    validation (unsafe names, duplicate entries, sequence invariants) and
+    the per-segment binding checks (a manifest claiming the wrong size or
+    checksum for a real file must quarantine it, not serve it).  Yields
+    nothing for images that do not frame as a manifest.
+    """
+    import copy
+
+    doc = _manifest_frame(data)
+    if doc is None:
+        return
+    segments = doc.get("segments") or []
+
+    def variant(label: str, **changes) -> Mutation:
+        lied = copy.deepcopy(doc)
+        lied.update(changes)
+        return Mutation(label, _reseal_manifest(lied))
+
+    def seg_variant(label: str, index: int, **changes) -> Mutation:
+        lied = copy.deepcopy(doc)
+        lied["segments"][index] = dict(lied["segments"][index], **changes)
+        return Mutation(label, _reseal_manifest(lied))
+
+    yield variant("manifest-lie-kind", kind="sausage")
+    yield variant("manifest-lie-negative-generation", generation=-1)
+    yield variant("manifest-lie-wal-generation",
+                  wal_generation=doc.get("wal_generation", 0) + 7)
+    if segments:
+        yield seg_variant("manifest-lie-segment-crc", 0,
+                          crc=segments[0]["crc"] ^ 0xDEADBEEF)
+        yield seg_variant("manifest-lie-segment-size", 0,
+                          size=segments[0]["size"] + 1)
+        yield seg_variant("manifest-lie-segment-missing", 0,
+                          name="seg-99999999.chrono")
+        yield seg_variant("manifest-lie-segment-escape", 0,
+                          name="../escaped.chrono")
+        yield seg_variant("manifest-lie-segment-seq", 0,
+                          seq=doc.get("next_seq", 0) + 5)
+        yield seg_variant("manifest-lie-segment-empty", 0, contacts=0)
+        yield seg_variant("manifest-lie-segment-timerange", 0,
+                          t_min=segments[0]["t_max"] + 1)
+        lied = copy.deepcopy(doc)
+        lied["segments"].append(copy.deepcopy(lied["segments"][0]))
+        yield Mutation("manifest-lie-duplicate-segment", _reseal_manifest(lied))
+
+
+def default_manifest_mutations(
+    data: bytes, *, stride_bits: int = 8, seed: int = 0
+) -> Iterator[Mutation]:
+    """The standard manifest campaign: frame damage plus semantic lies."""
+    yield from bit_flip_mutations(data, stride_bits=stride_bits)
+    yield from truncate_mutations(data)
+    yield from extend_mutations(data, tails=(1, 8, 64))
+    yield from random_region_mutations(data, seed=seed, count=32)
+    yield from manifest_field_mutations(data)
+
+
+def run_segment_store_fault_injection(
+    directory,
+    target: str,
+    mutations: Iterable[Mutation],
+    *,
+    time_budget: float = 5.0,
+    limits: Optional[DecodeLimits] = None,
+) -> FaultInjectionReport:
+    """Mutate one file of a segment store and classify every open.
+
+    ``directory`` must hold a *healthy* store; ``target`` names the file
+    under mutation (the manifest or a segment).  The contract mirrors the
+    container campaigns, lifted to the store level: every mutated open
+    must either raise from ``FormatError`` (``detected``), serve the
+    baseline answers untouched (``identical``), or serve a *subset* of
+    the baseline with the damage explicitly reported via quarantine
+    entries or recovery events (``detected``).  Serving a contact the
+    baseline never held, or dropping data with a clean health report, is
+    a ``mismatch`` -- the silent wrong answer the store exists to prevent.
+
+    Opens run read-only so no repair side effects touch the fixture; the
+    target's original bytes are restored before returning.
+    """
+    from repro.storage.segments import SegmentStore
+
+    directory = pathlib.Path(directory)
+    target_path = directory / target
+
+    def answers(store) -> List[tuple]:
+        return sorted(
+            (c.u, c.v, c.time, c.duration) for c in store.graph.iter_contacts()
+        )
+
+    with SegmentStore.open(directory, read_only=True, limits=limits) as store:
+        if not store.health().ok:
+            raise ValueError(f"{directory}: baseline store must be healthy")
+        baseline = answers(store)
+    base_counts = collections.Counter(baseline)
+
+    original = target_path.read_bytes()
+    report = FaultInjectionReport()
+    try:
+        for mutation in mutations:
+            target_path.write_bytes(mutation.data)
+            start = time.perf_counter()
+            detail = ""
+            try:
+                store = SegmentStore.open(
+                    directory, read_only=True, limits=limits
+                )
+            except FormatError as exc:
+                outcome = "detected"
+                detail = type(exc).__name__
+            except Exception as exc:  # noqa: BLE001 - the contract under test
+                outcome = "escaped"
+                detail = repr(exc)
+            else:
+                health = store.health()
+                served = answers(store)
+                store.close()
+                reported = bool(health.quarantined or health.events)
+                fabricated = collections.Counter(served) - base_counts
+                if fabricated:
+                    outcome = "mismatch"
+                    detail = (
+                        f"served {sum(fabricated.values())} contact(s) the "
+                        "baseline never held"
+                    )
+                elif served == baseline:
+                    outcome = "identical" if not reported else "detected"
+                    if reported:
+                        detail = "full answers, damage reported"
+                elif reported:
+                    outcome = "detected"
+                    detail = (
+                        f"degraded to {len(served)}/{len(baseline)} "
+                        "contacts, reported"
+                    )
+                else:
+                    outcome = "mismatch"
+                    detail = (
+                        f"silent loss: {len(served)}/{len(baseline)} "
+                        "contacts with a clean health report"
+                    )
+            elapsed = time.perf_counter() - start
+            if elapsed > time_budget:
+                outcome = "overbudget"
+                detail = f"{elapsed:.2f}s > {time_budget:.2f}s budget"
+            result = FaultResult(mutation.name, outcome, detail, elapsed)
+            report.total += 1
+            report.slowest = max(report.slowest, elapsed)
+            if outcome == "identical":
+                report.identical += 1
+            elif outcome == "detected":
+                report.detected += 1
+            if result.failed:
+                report.failures.append(result)
+    finally:
+        target_path.write_bytes(original)
+    return report
+
+
+def run_segment_crash_matrix(
+    workdir,
+    batches: Sequence[Sequence[tuple]],
+    *,
+    kind=None,
+    policy=None,
+    partial_bytes: int = 0,
+    queries_per_crash: int = 8,
+) -> FaultInjectionReport:
+    """Exhaustive crash matrix over the full segment-store lifecycle.
+
+    Drives ``create -> ingest (with inline seals) -> seal -> compact ->
+    close`` through :func:`crash_points`, killing the store at every
+    mutating filesystem operation, then reopens each wreck with the real
+    filesystem and asserts the recovery contract:
+
+    * recovery never quarantines anything (a pure crash only ever leaves
+      complete-but-unreferenced files or a torn WAL tail, both of which
+      recover losslessly);
+    * the recovered contacts equal exactly a *batch prefix* bounded below
+      by the last ingest that returned and above by the last one started
+      (the durability boundary is the WAL commit inside ingest);
+    * query answers over the recovered store are bit-identical to a fresh
+      reference graph compressed from that same prefix;
+    * the recovered store accepts further ingest.
+
+    Every crash point is one report entry: ``identical`` when the
+    contract holds, a failure naming the violated clause otherwise.
+    """
+    from repro.core import compress
+    from repro.graph.builders import graph_from_contacts
+    from repro.graph.model import Contact, GraphKind
+    from repro.storage.atomic import NO_RETRY
+    from repro.storage.segments import SegmentStore, StorePolicy
+
+    kind = kind or GraphKind.POINT
+    policy = policy or StorePolicy(
+        seal_contacts=6, max_segments=1, backpressure_contacts=4096
+    )
+    workdir = pathlib.Path(workdir)
+    store_dir = workdir / "crash-store"
+    rows = [
+        [
+            (r.u, r.v, r.time, r.duration) if isinstance(r, Contact) else tuple(r)
+            for r in batch
+        ]
+        for batch in batches
+    ]
+    prefixes: List[List[tuple]] = [[]]
+    for batch in rows:
+        prefixes.append(sorted(prefixes[-1] + list(batch)))
+    progress = {"started": 0, "done": 0}
+
+    def action(fs: FaultyFilesystem) -> None:
+        shutil.rmtree(store_dir, ignore_errors=True)
+        progress["started"] = progress["done"] = 0
+        store = SegmentStore.create(
+            store_dir, kind, fs=fs, retry=NO_RETRY, policy=policy
+        )
+        for batch in rows:
+            progress["started"] += 1
+            store.ingest(batch)
+            progress["done"] += 1
+        store.seal()
+        store.compact_once()
+        store.close()
+
+    report = FaultInjectionReport()
+
+    def record(n: int, outcome: str, detail: str = "") -> None:
+        result = FaultResult(f"crash@{n}", outcome, detail)
+        report.total += 1
+        if outcome == "identical":
+            report.identical += 1
+        elif outcome == "detected":
+            report.detected += 1
+        if result.failed:
+            report.failures.append(result)
+
+    for n, _fs in crash_points(action, partial_bytes=partial_bytes):
+        lo, hi = progress["done"], progress["started"]
+        try:
+            store = SegmentStore.open(store_dir, policy=policy)
+        except FileNotFoundError:
+            # Crash before the very first manifest write: the store was
+            # never durably created, which is only honest if nothing had
+            # been durably ingested either.
+            if lo == 0:
+                record(n, "detected", "store creation never completed")
+            else:
+                record(n, "mismatch", "manifest vanished after durable ingest")
+            continue
+        except Exception as exc:  # noqa: BLE001 - recovery must not raise
+            record(n, "escaped", f"recovery raised {exc!r}")
+            continue
+        try:
+            health = store.health()
+            if health.quarantined:
+                record(
+                    n, "mismatch",
+                    "pure crash produced quarantine: "
+                    + "; ".join(q.reason for q in health.quarantined),
+                )
+                continue
+            recovered = sorted(
+                (c.u, c.v, c.time, c.duration)
+                for c in store.graph.iter_contacts()
+            )
+            match = next(
+                (k for k in range(lo, hi + 1) if recovered == prefixes[k]),
+                None,
+            )
+            if match is None:
+                record(
+                    n, "mismatch",
+                    f"recovered {len(recovered)} contacts: not a batch "
+                    f"prefix in [{lo}, {hi}]",
+                )
+                continue
+            flaw = _crash_queries_match(
+                store, prefixes[match], kind, compress, graph_from_contacts,
+                queries_per_crash,
+            )
+            if flaw is not None:
+                record(n, "mismatch", flaw)
+                continue
+            # Recovery must yield a live, writable store.
+            probe_d = 1 if kind is GraphKind.INTERVAL else 0
+            store.ingest([(0, 1, 1, probe_d)])
+            record(n, "identical", f"prefix {match}/{len(rows)}")
+        finally:
+            store.close()
+    return report
+
+
+def _crash_queries_match(
+    store, prefix_rows, kind, compress, graph_from_contacts, per_node: int
+) -> Optional[str]:
+    """Compare recovered query answers against a reference graph; None if ok."""
+    if not prefix_rows:
+        return None
+    n = store.graph.num_nodes
+    reference = compress(graph_from_contacts(kind, prefix_rows, num_nodes=n))
+    t_lo = min(r[2] for r in prefix_rows)
+    t_hi = max(r[2] + r[3] for r in prefix_rows)
+    third = (t_hi - t_lo) // 3
+    windows = [(t_lo, t_hi), (t_lo + third, t_hi - third), (t_hi + 1, t_hi + 2)]
+    for t1, t2 in windows:
+        if store.graph.snapshot(t1, t2) != reference.snapshot(t1, t2):
+            return f"snapshot({t1}, {t2}) diverged from the reference"
+        for u in range(min(n, per_node)):
+            if store.graph.neighbors(u, t1, t2) != reference.neighbors(u, t1, t2):
+                return f"neighbors({u}, {t1}, {t2}) diverged from the reference"
+    return None

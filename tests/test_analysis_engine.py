@@ -326,18 +326,43 @@ def test_cg004_accepts_reads_and_storage_layer(tmp_path):
             return raw
         """,
     )
-    # The storage layer itself implements the raw write and is exempt.
+    # Only atomic.py itself (the sanctioned implementation) is exempt.
     _write(
         tmp_path,
-        "repro/storage/impl.py",
+        "repro/storage/atomic.py",
         """
         def raw_write(path, payload):
             with open(path, "w") as fh:
                 fh.write(payload)
         """,
     )
+    # The testing harness plants corrupt bytes on purpose.
+    _write(
+        tmp_path,
+        "repro/testing/mutators.py",
+        """
+        def plant(path, payload):
+            path.write_bytes(payload)
+        """,
+    )
     findings, _ = run_rules([str(tmp_path)], [get_rule("CG004")])
     assert findings == []
+
+
+def test_cg004_flags_raw_writes_in_rest_of_storage_layer(tmp_path):
+    # The blanket storage exemption is gone: a segment store that wrote
+    # its manifest with a bare write would reintroduce torn manifests.
+    _write(
+        tmp_path,
+        "repro/storage/segments.py",
+        """
+        def publish_manifest(path, payload):
+            path.write_bytes(payload)
+        """,
+    )
+    findings, _ = run_rules([str(tmp_path)], [get_rule("CG004")])
+    assert len(findings) == 1
+    assert findings[0].rule == "CG004"
 
 
 # -- CG005 decode budget ----------------------------------------------------

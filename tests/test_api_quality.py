@@ -12,7 +12,8 @@ MODULES = [
     "repro", "repro.errors",
     "repro.testing", "repro.testing.faults", "repro.testing.races",
     "repro.storage", "repro.storage.atomic", "repro.storage.wal",
-    "repro.storage.recovery",
+    "repro.storage.recovery", "repro.storage.segments",
+    "repro.storage.compactor",
     "repro.bits", "repro.bits.bitio", "repro.bits.codes", "repro.bits.zigzag",
     "repro.bits.bitvector", "repro.bits.eliasfano", "repro.bits.pfordelta",
     "repro.graph", "repro.graph.model", "repro.graph.builders",

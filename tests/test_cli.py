@@ -346,3 +346,115 @@ class TestDurabilityCommands:
         err = capsys.readouterr().err
         assert "error:" in err
         assert len(err.strip().splitlines()) == 1
+
+
+class TestSegmentStoreCommands:
+    """``ingest --init`` / ``status`` / ``compact`` / ``recover`` on stores."""
+
+    @pytest.fixture()
+    def point_contacts(self, tmp_path):
+        path = tmp_path / "points.txt"
+        lines = ["# kind=point"]
+        lines += [f"{i % 5} {(i + 1) % 5} {i * 3}" for i in range(30)]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        return tmp_path / "flows.store"
+
+    def test_init_ingest_status_roundtrip(self, store_dir, point_contacts, capsys):
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts),
+                     "--seal", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "created segment store" in out
+        assert "ingested 30 contacts" in out
+        assert main(["status", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "segments:" in out and "compactor:" in out
+
+    def test_reingest_without_init_appends(self, store_dir, point_contacts, capsys):
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts),
+                     "--seal", "10"]) == 0
+        assert main(["ingest", str(store_dir), str(point_contacts)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 30 contacts" in out
+        assert main(["recover", str(store_dir)]) == 0
+        capsys.readouterr()
+        from repro.storage.segments import SegmentStore
+
+        with SegmentStore.open(store_dir, read_only=True) as store:
+            assert store.graph.num_contacts == 60
+
+    def test_compact_merges_and_reports_generation(
+        self, store_dir, point_contacts, capsys
+    ):
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts),
+                     "--seal", "5"]) == 0
+        capsys.readouterr()
+        assert main(["compact", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "merge(s)" in out and "generation" in out
+        assert main(["status", str(store_dir)]) == 0
+
+    def test_status_on_non_store_exits_2(self, tmp_path, capsys):
+        plain = tmp_path / "plain"
+        plain.mkdir()
+        assert main(["status", str(plain)]) == 2
+        err = capsys.readouterr().err
+        assert "not a segment store" in err
+
+    def test_status_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nope")]) == 2
+
+    def test_kind_mismatch_into_store_exits_2(
+        self, store_dir, point_contacts, tmp_path, capsys
+    ):
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts)]) == 0
+        interval = tmp_path / "interval.txt"
+        interval.write_text("# kind=interval\n0 1 5 2\n")
+        assert main(["ingest", str(store_dir), str(interval)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "interval" in err
+
+    def test_degraded_store_status_exits_1(self, store_dir, point_contacts, capsys):
+        import pathlib
+
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts),
+                     "--seal", "10"]) == 0
+        victim = sorted(pathlib.Path(store_dir).glob("seg-*.chrono"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["status", str(store_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "degraded" in out and "quarantined:" in out
+        # status is read-only: the damaged file is still in place.
+        assert victim.exists()
+        # recover --repair quarantines it aside and exits 1 (loss reported).
+        assert main(["recover", "--repair", str(store_dir)]) == 1
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_recover_reports_torn_tail_event(self, store_dir, point_contacts, capsys):
+        import pathlib
+
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts),
+                     "--seal", "10"]) == 0
+        wal = pathlib.Path(store_dir) / "wal.tail"
+        wal.write_bytes(wal.read_bytes() + b"\x55torn")
+        capsys.readouterr()
+        assert main(["recover", "--repair", str(store_dir)]) == 0
+        assert "torn" in capsys.readouterr().out
+
+    def test_corrupt_manifest_exits_2(self, store_dir, point_contacts, capsys):
+        import pathlib
+
+        assert main(["ingest", "--init", str(store_dir), str(point_contacts)]) == 0
+        manifest = pathlib.Path(store_dir) / "MANIFEST"
+        manifest.write_bytes(b"\x00" * 32)
+        capsys.readouterr()
+        assert main(["status", str(store_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert len(err.strip().splitlines()) == 1

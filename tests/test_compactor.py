@@ -1,0 +1,215 @@
+"""Background compactor: merging, watchdog states, degradation, races.
+
+The central claim: the compactor is an *optimisation thread*.  Starting
+it, stopping it, wedging it or killing it mid-flight changes how many
+segment files exist -- never which contacts a query sees.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import compress
+from repro.graph.builders import graph_from_contacts
+from repro.graph.model import GraphKind
+from repro.storage.atomic import RetryPolicy
+from repro.storage.compactor import Compactor
+from repro.storage.segments import (
+    BackpressureError,
+    SegmentStore,
+    StorePolicy,
+)
+
+POLICY = StorePolicy(seal_contacts=6, max_segments=2, backpressure_contacts=48)
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def _rows(m, t_span=300):
+    return [(i % 9, (i + 1) % 9, (i * 37) % t_span, 0) for i in range(m)]
+
+
+def _served(graph):
+    return sorted((c.u, c.v, c.time, c.duration) for c in graph.iter_contacts())
+
+
+class TestBackgroundMerging:
+    def test_compactor_merges_down_to_policy(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
+        rows = _rows(60)
+        with Compactor(store, interval=0.01) as compactor:
+            for start in range(0, len(rows), 5):
+                store.ingest(rows[start : start + 5])
+            assert _wait_until(lambda: not store.compaction_needed())
+            assert compactor.merges >= 1
+            assert compactor.state(POLICY.compactor_timeout) == "healthy"
+        assert store.graph.segment_count <= POLICY.max_segments
+        reference = compress(
+            graph_from_contacts(GraphKind.POINT, rows, num_nodes=store.graph.num_nodes)
+        )
+        assert _served(store.graph) == _served(reference)
+        assert store.health().ok
+        store.close()
+
+    def test_stopped_compactor_detaches(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
+        compactor = Compactor(store, interval=0.01)
+        compactor.start()
+        with pytest.raises(RuntimeError):
+            compactor.start()  # double-start is a programming error
+        compactor.stop()
+        assert store._compactor_state() == "none"
+        assert store.health().ok
+        store.close()
+
+    def test_compactor_restarts_after_stop(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
+        first = Compactor(store, interval=0.01)
+        first.start()
+        first.stop()
+        store.ingest(_rows(40))
+        with Compactor(store, interval=0.01):
+            assert _wait_until(lambda: not store.compaction_needed())
+        store.close()
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
+        with pytest.raises(ValueError):
+            Compactor(store, interval=0.0)
+        store.close()
+
+
+class TestWatchdog:
+    def test_wedged_compactor_degrades_then_recovers(self, tmp_path):
+        policy = StorePolicy(seal_contacts=4, max_segments=2, backpressure_contacts=12)
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=policy)
+        gate = threading.Event()
+        entered = threading.Event()
+
+        def block_cycle():
+            entered.set()
+            gate.wait(10.0)
+
+        clock_value = [0.0]
+        compactor = Compactor(
+            store, interval=0.01, clock=lambda: clock_value[0], on_cycle=block_cycle
+        )
+        compactor.start()
+        try:
+            assert entered.wait(5.0)
+            clock_value[0] = policy.compactor_timeout + 1.0  # heartbeat goes stale
+            assert compactor.state(policy.compactor_timeout) == "wedged"
+
+            # Ingest under a wedged compactor: commits to the tail without
+            # sealing, then backpressures at the cap instead of growing.
+            writer_error = []
+
+            def writer():
+                try:
+                    store.ingest([(0, 1, t, 0) for t in range(12)])
+                    store.ingest([(0, 1, 99, 0)])
+                except BackpressureError as exc:
+                    writer_error.append(exc)
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            thread.join(5.0)
+            assert writer_error, "wedged compactor must trigger backpressure"
+            assert store.health().degraded
+            assert store.tail_size == 12
+            assert store.graph.neighbors(0, 0, 100) == [1]  # reads still live
+        finally:
+            gate.set()
+            compactor.stop()
+
+        # Once the wedge clears, the store seals and accepts writes again.
+        assert store._compactor_state() == "none"
+        store.ingest([(2, 3, 7, 0)])
+        assert not store.health().degraded
+        assert store.graph.num_contacts == 13
+        store.close()
+
+    def test_dead_compactor_reports_failure_and_degrades(self, tmp_path):
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
+
+        def explode():
+            raise RuntimeError("synthetic compactor crash")
+
+        compactor = Compactor(store, interval=0.01, on_cycle=explode)
+        compactor.start()
+        assert _wait_until(
+            lambda: compactor.state(POLICY.compactor_timeout) == "dead"
+        )
+        assert isinstance(compactor.failure, RuntimeError)
+        health = store.health()
+        assert health.degraded and not health.ok
+        assert "dead" in health.summary()
+        compactor.stop()
+        store.close()
+
+
+class TestCrashEquivalence:
+    def test_killing_the_compactor_never_changes_answers(self, tmp_path):
+        """Stop the compactor at several mid-merge moments; answers hold."""
+        rows = _rows(70)
+        reference_nodes = max(max(u, v) for u, v, _, _ in rows) + 1
+        reference = compress(
+            graph_from_contacts(GraphKind.POINT, rows, num_nodes=reference_nodes)
+        )
+        expected = _served(reference)
+
+        for kill_after_cycles in (0, 1, 2, 3):
+            directory = tmp_path / f"kill-{kill_after_cycles}"
+            store = SegmentStore.create(directory, GraphKind.POINT, policy=POLICY)
+            for start in range(0, len(rows), 5):
+                store.ingest(rows[start : start + 5])
+            cycles = []
+
+            def count_cycle():
+                cycles.append(None)
+
+            compactor = Compactor(store, interval=0.001, on_cycle=count_cycle)
+            compactor.start()
+            _wait_until(lambda: len(cycles) > kill_after_cycles, timeout=2.0)
+            compactor.stop()
+            assert _served(store.graph) == expected
+            store.close()
+            reopened = SegmentStore.open(directory, policy=POLICY)
+            assert reopened.health().ok
+            assert _served(reopened.graph) == expected
+            reopened.close()
+
+    def test_compactor_retries_transient_errors(self, tmp_path):
+        import errno
+
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
+        rows = _rows(40)
+        for start in range(0, len(rows), 5):
+            store.ingest(rows[start : start + 5])
+        assert store.compaction_needed()
+        failures = [errno.EAGAIN]
+        real = store.compact_once
+
+        def flaky():
+            if failures:
+                raise OSError(failures.pop(), "synthetic EAGAIN")
+            return real()
+
+        store.compact_once = flaky
+        sleeps = []
+        retry = RetryPolicy(attempts=3, base_delay=0.01, sleep=sleeps.append)
+        compactor = Compactor(store, interval=0.01, retry=retry)
+        compactor.start()
+        assert _wait_until(lambda: compactor.merges >= 1)
+        compactor.stop()
+        assert sleeps == [0.01]
+        assert compactor.failure is None
+        store.close()

@@ -140,3 +140,59 @@ class TestHarnessClassification:
     def test_baseline_must_be_valid(self):
         with pytest.raises(FormatError):
             run_fault_injection(b"garbage", [], time_budget=5.0)
+
+
+class TestSalvageOffsets:
+    """Salvage errors localise the damage to a byte offset in the blob."""
+
+    def _salvage(self, blob):
+        from repro.core.serialize import salvage_bytes
+
+        return salvage_bytes(blob)
+
+    def test_corrupt_final_section_reports_its_byte_offset(self):
+        from repro.testing.faults import _v2_section_spans
+
+        blob = _container(GraphKind.POINT)
+        spans = _v2_section_spans(blob)
+        assert spans is not None
+        start, end = spans[-1]  # the timestamp-offsets section
+        corrupted = bytearray(blob)
+        corrupted[start + 9] ^= 0xFF  # first payload byte: CRC must fail
+        report = self._salvage(bytes(corrupted))
+        assert not report.ok
+        message = " ".join(report.errors)
+        assert "timestamp offsets" in message
+        assert f"at byte {start}" in message
+        # Damage confined to the last section: the structure prefix and a
+        # (possibly empty) run of nodes still decode.
+        assert report.graph is not None
+
+    def test_truncated_final_section_reports_offset_of_clip(self):
+        from repro.testing.faults import _v2_section_spans
+
+        blob = _container(GraphKind.POINT)
+        spans = _v2_section_spans(blob)
+        start, end = spans[-1]
+        report = self._salvage(blob[: end - 2])  # clip inside the final CRC
+        assert not report.ok
+        message = " ".join(report.errors)
+        assert "timestamp offsets" in message
+        assert f"at byte {start}" in message
+
+    def test_missing_final_section_header_reports_offset(self):
+        from repro.testing.faults import _v2_section_spans
+
+        blob = _container(GraphKind.POINT)
+        spans = _v2_section_spans(blob)
+        start, _end = spans[-1]
+        report = self._salvage(blob[: start + 3])  # tear inside the header
+        assert not report.ok
+        assert any(
+            "section header missing" in err and f"at byte {start}" in err
+            for err in report.errors
+        )
+
+    def test_intact_container_reports_no_offsets(self):
+        report = self._salvage(_container(GraphKind.POINT))
+        assert report.ok and report.errors == []

@@ -131,6 +131,107 @@ class TestFaults:
             RetryPolicy(attempts=0)
 
 
+class TestRetrySchedule:
+    """Backoff schedule: jitter spreads delays, max_elapsed caps them."""
+
+    def _always_eagain(self):
+        raise OSError(errno.EAGAIN, "synthetic EAGAIN")
+
+    def test_jitter_spreads_delay_around_the_base(self):
+        sleeps = []
+        # rand() == 1.0 would be out of range; 0.75 maps +/-jitter to +0.5j.
+        policy = RetryPolicy(
+            attempts=3, base_delay=0.01, jitter=0.5,
+            sleep=sleeps.append, rand=lambda: 0.75,
+        )
+        with pytest.raises(OSError):
+            policy.run(self._always_eagain)
+        # delay * (1 + 0.5 * (2*0.75 - 1)) = delay * 1.25, doubling after.
+        assert sleeps == pytest.approx([0.0125, 0.025])
+
+    def test_jitter_can_shorten_as_well_as_lengthen(self):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=2, base_delay=0.01, jitter=0.5,
+            sleep=sleeps.append, rand=lambda: 0.0,
+        )
+        with pytest.raises(OSError):
+            policy.run(self._always_eagain)
+        assert sleeps == pytest.approx([0.005])  # delay * (1 - jitter)
+
+    def test_zero_jitter_keeps_the_deterministic_schedule(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=4, base_delay=0.01, sleep=sleeps.append)
+        with pytest.raises(OSError):
+            policy.run(self._always_eagain)
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_max_elapsed_caps_total_backoff(self):
+        sleeps = []
+        # Schedule would be 0.01 + 0.02 + 0.04; the cap cuts the third pause.
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.01, max_elapsed=0.05, sleep=sleeps.append
+        )
+        with pytest.raises(OSError) as excinfo:
+            policy.run(self._always_eagain)
+        assert excinfo.value.errno == errno.EAGAIN
+        assert sleeps == [0.01, 0.02]
+        assert sum(sleeps) <= 0.05
+
+    def test_max_elapsed_counts_jittered_pauses(self):
+        sleeps = []
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.01, jitter=0.5, max_elapsed=0.012,
+            sleep=sleeps.append, rand=lambda: 1.0 - 1e-9,  # near max stretch
+        )
+        with pytest.raises(OSError):
+            policy.run(self._always_eagain)
+        # First pause ~0.015 already exceeds the cap: raise without sleeping.
+        assert sleeps == []
+
+    def test_non_transient_error_ignores_the_schedule(self):
+        sleeps = []
+        policy = RetryPolicy(attempts=5, jitter=0.5, sleep=sleeps.append)
+
+        def enospc():
+            raise OSError(errno.ENOSPC, "disk full")
+
+        with pytest.raises(OSError):
+            policy.run(enospc)
+        assert sleeps == []
+
+    def test_success_before_cap_returns_result(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(None)
+            if len(attempts) < 3:
+                raise OSError(errno.EAGAIN, "synthetic EAGAIN")
+            return "done"
+
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.01, max_elapsed=1.0, sleep=lambda _d: None
+        )
+        assert policy.run(flaky) == "done"
+        assert len(attempts) == 3
+
+    @pytest.mark.parametrize("jitter", [-0.1, 1.0, 2.0])
+    def test_invalid_jitter_rejected(self, jitter):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=jitter)
+
+    @pytest.mark.parametrize("max_elapsed", [0.0, -1.0])
+    def test_invalid_max_elapsed_rejected(self, max_elapsed):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed=max_elapsed)
+
+    def test_default_retry_is_jittered_and_capped(self):
+        from repro.storage.atomic import DEFAULT_RETRY
+
+        assert DEFAULT_RETRY.jitter == pytest.approx(0.25)
+        assert DEFAULT_RETRY.max_elapsed == pytest.approx(1.0)
+
+
 class TestTempHygiene:
     def test_unique_temp_names_across_writes(self, tmp_path):
         fs = FaultyFilesystem()

@@ -96,6 +96,43 @@ class TestWalMutators:
             cut = scan_wal_bytes(wal[:end])
             assert not cut.torn and not cut.errors
 
+    def test_tear_on_length_prefix_boundary_drops_only_that_record(self):
+        # The nastiest tear: the crash lands exactly after a record's
+        # 4-byte length prefix, so the prefix itself parses but promises
+        # bytes that never made it to disk.  Recovery must treat the
+        # whole record as torn -- valid_end snaps back to the record
+        # start and every earlier batch survives untouched.
+        _, wal = _pair()
+        full = scan_wal_bytes(wal)
+        header_size = len(full.header.to_bytes())
+        starts = [header_size] + full.record_ends[:-1]
+        assert starts
+        for index, start in enumerate(starts):
+            cut = scan_wal_bytes(wal[: start + 4])
+            assert cut.torn
+            assert cut.valid_end == start
+            assert cut.dropped_bytes == 4
+            assert len(cut.batches) == index
+            assert cut.batches == full.batches[:index]
+            assert cut.errors  # the drop is reported, not silent
+
+    def test_prefix_boundary_tear_recovers_and_repairs(self, tmp_path):
+        # End-to-end: the same tear repaired on disk via the recovery
+        # path leaves exactly the intact records behind.
+        from repro.storage.wal import repair_torn_tail, scan_wal
+
+        _, wal = _pair()
+        full = scan_wal_bytes(wal)
+        last_start = full.record_ends[-2]
+        path = tmp_path / "wal.log"
+        path.write_bytes(wal[: last_start + 4])
+        scan = scan_wal(path)
+        assert scan.torn and scan.valid_end == last_start
+        assert repair_torn_tail(path, scan) == 4
+        healed = scan_wal(path)
+        assert not healed.torn and not healed.errors
+        assert healed.batches == full.batches[:-1]
+
 
 class TestWalCampaign:
     @pytest.mark.parametrize("kind", [GraphKind.POINT, GraphKind.INTERVAL])
