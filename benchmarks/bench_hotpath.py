@@ -41,7 +41,8 @@ from typing import Callable, Dict, List
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bits.bitio import BitWriter  # noqa: E402
+from repro.bits import codes, kernels  # noqa: E402
+from repro.bits.bitio import BitReader, BitWriter  # noqa: E402
 from repro.core import compress  # noqa: E402
 from repro.datasets.synthetic import comm_net, powerlaw_graph  # noqa: E402
 from repro.storage.atomic import atomic_write_text  # noqa: E402
@@ -59,6 +60,12 @@ GATED_OPS_SUFFIXES = (
     "snapshot_full",
     "to_static_graph",
     "iter_contacts",
+    "bulk_timestamps_table",
+    "bulk_timestamps_numpy",
+    "bulk_residuals_table",
+    "bulk_residuals_numpy",
+    "bulk_pairs_table",
+    "bulk_pairs_numpy",
 )
 
 
@@ -149,6 +156,86 @@ def _bench_bitwriter_extend(quick: bool) -> Callable[[], object]:
     return op
 
 
+def _bench_bulk_decode(
+    results: Dict[str, Dict[str, float]], quick: bool, iters: int
+) -> None:
+    """Per-tier bulk decode of realistic gap streams (ISSUE 7 scenarios).
+
+    Streams mimic the two dominant whole-record runs: timestamp gaps
+    (zeta_2 naturals, power-law-distributed small gaps) and structure
+    residual gaps (zeta_3), plus the interval-graph (gap, duration)
+    interleaved pair run.  Each scenario is decoded once per tier first
+    and the answers asserted element-identical -- the tier ladder's
+    "identical answers, different speed" contract -- then timed under the
+    forced ``table`` and ``numpy`` tiers.  numpy scenarios are skipped
+    (not failed) when numpy is not installed; the gate ignores absent ops.
+    """
+    rng = random.Random(77)
+    n = 2048 if quick else 8192
+    ts_gaps = [min(int(rng.paretovariate(1.3)) - 1, 30) for _ in range(n)]
+    res_gaps = [min(int(rng.paretovariate(1.15)) - 1, 120) for _ in range(n)]
+    durations = [rng.randrange(0, 40) for _ in range(n)]
+
+    def zeta_stream(values, k):
+        writer = BitWriter()
+        for value in values:
+            codes.write_zeta_natural(writer, value, k)
+        return writer.to_bytes(), writer.bit_length
+
+    ts_data, ts_bits = zeta_stream(ts_gaps, 2)
+    res_data, res_bits = zeta_stream(res_gaps, 3)
+    pair_writer = BitWriter()
+    for gap, dur in zip(res_gaps, durations):
+        codes.write_zeta_natural(pair_writer, gap, 3)
+        codes.write_zeta_natural(pair_writer, dur, 2)
+    pair_data, pair_bits = pair_writer.to_bytes(), pair_writer.bit_length
+
+    scenarios = {
+        "bulk_timestamps": lambda: codes.read_many_zeta_natural(
+            BitReader(ts_data, ts_bits), n, 2
+        ),
+        "bulk_residuals": lambda: codes.read_many_zeta_natural(
+            BitReader(res_data, res_bits), n, 3
+        ),
+        "bulk_pairs": lambda: codes.read_many_zeta_natural_pairs(
+            BitReader(pair_data, pair_bits), n, 3, 2
+        ),
+    }
+    timed_tiers = ["table"] + (["numpy"] if kernels.numpy_available() else [])
+    previous = kernels.get_kernel()
+    try:
+        for name, op in scenarios.items():
+            reference = None
+            for tier in ["scalar"] + timed_tiers:
+                kernels.set_kernel(tier)
+                answer = op()
+                if reference is None:
+                    reference = answer
+                elif answer != reference:
+                    raise AssertionError(
+                        f"{name}: {tier} tier answers diverge from scalar"
+                    )
+            for tier in timed_tiers:
+                kernels.set_kernel(tier)
+                results[f"micro/{name}_{tier}"] = _time_op(op, iters, 1)
+    finally:
+        kernels.set_kernel(previous)
+
+
+def kernel_speedups(ops: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """numpy-vs-table ratio per bulk scenario present in ``ops``."""
+    speedups = {}
+    for op, stats in ops.items():
+        if not op.endswith("_table"):
+            continue
+        fast = ops.get(op[: -len("_table")] + "_numpy")
+        if fast and fast["min_us"] > 0:
+            speedups[op[len("micro/") :].rsplit("_", 1)[0]] = round(
+                stats["min_us"] / fast["min_us"], 2
+            )
+    return speedups
+
+
 def run_benchmarks(quick: bool) -> Dict[str, object]:
     rng = random.Random(42)
     iters = 5 if quick else 7
@@ -226,11 +313,14 @@ def run_benchmarks(quick: bool) -> Dict[str, object]:
     results["micro/bitwriter_extend"] = _time_op(
         _bench_bitwriter_extend(quick), iters, 1
     )
+    _bench_bulk_decode(results, quick, iters)
     return {
         "schema": SCHEMA,
         "quick": quick,
         "python": platform.python_version(),
         "calibration_us": _calibrate(),
+        "kernel_info": kernels.kernel_info(),
+        "kernel_speedup": kernel_speedups(results),
         "ops": results,
     }
 
@@ -327,6 +417,8 @@ def merge_with_baseline(
         "calibration_us_before": _baseline_calibration(
             baseline, bool(current["quick"])
         ),
+        "kernel_info": current.get("kernel_info"),
+        "kernel_speedup": current.get("kernel_speedup"),
         "before": before,
         "after": after,
         "speedup": speedup,
@@ -359,6 +451,10 @@ def main(argv: List[str] | None = None) -> int:
     current = run_benchmarks(args.quick)
     print(_fmt_table(current["ops"]))
     print(f"calibration: {current['calibration_us']:.1f}us")
+    if current["kernel_speedup"]:
+        print("bulk decode, numpy tier vs table tier:")
+        for name, ratio in sorted(current["kernel_speedup"].items()):
+            print(f"  {name:<24} {ratio:.2f}x")
 
     if args.check:
         if args.baseline is None or not args.baseline.exists():

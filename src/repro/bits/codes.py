@@ -16,8 +16,9 @@ without materialising them (e.g. reference selection and the Figure 7 sweep).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.bits import kernels
 from repro.bits.bitio import BitReader, BitWriter
 from repro.bits.zigzag import to_integer, to_natural
 from repro.errors import CodecDomainError
@@ -622,41 +623,168 @@ def decode_simple16(reader: BitReader, count: int) -> List[int]:
 # --------------------------------------------------------------------------
 # Bulk readers
 #
-# Decode whole runs of codes through the 16-bit tables with the reader
-# state held in locals; the per-record decoders (structure, timestamps)
-# are built on these.  Each returns exactly ``count`` values or raises the
-# same exceptions as its scalar counterpart mid-run.
+# Decode whole runs of codes with the reader state held in locals; the
+# per-record decoders (structure, timestamps) are built on these.  Each
+# returns exactly ``count`` values or raises the same exceptions as its
+# scalar counterpart mid-run.  The actual kernel is chosen per run by the
+# planner in :mod:`repro.bits.kernels`: numpy-vectorised decoding
+# (:mod:`repro.bits.vectorized`) for long runs when numpy is available,
+# the inlined 16-bit table loop otherwise, with a per-code scalar tier for
+# differential testing.  All tiers are byte-exact mirrors of one another.
 # --------------------------------------------------------------------------
+
+_VEC_CHECKED = False
+_VEC_MODULE: Optional[Any] = None
+
+
+def _vectorized_kernel() -> Optional[Any]:
+    """The numpy-tier module, imported lazily; ``None`` when unusable.
+
+    The planner only reports the numpy tier after probing numpy itself,
+    but the vectorized module is still imported defensively so a broken
+    numpy installation degrades to the table kernel instead of raising.
+    """
+    global _VEC_CHECKED, _VEC_MODULE
+    if not _VEC_CHECKED:
+        try:
+            from repro.bits import vectorized
+        except ImportError:
+            _VEC_MODULE = None
+        else:
+            _VEC_MODULE = vectorized
+        _VEC_CHECKED = True
+    return _VEC_MODULE
+
+
+def _check_count(count: int) -> None:
+    """Bulk reads own their domain check: a negative count is a caller bug."""
+    if count < 0:
+        raise CodecDomainError(f"negative bulk read count: {count}")
+
+
+def _decode_run(
+    reader: BitReader,
+    count: int,
+    vals: Sequence[int],
+    lens: Sequence[int],
+    slow: Callable[[BitReader], int],
+    delta: int = 0,
+) -> List[int]:
+    """Decode ``count`` codes of one family on the planned kernel tier.
+
+    ``delta`` is added to every decoded value (``-1`` for the ``*_natural``
+    wrappers) inside the kernel, where the numpy tier can apply it as one
+    array operation.
+    """
+    _check_count(count)
+    tier = kernels.plan(count)
+    if tier == kernels.TIER_NUMPY:
+        vec = _vectorized_kernel()
+        if vec is not None:
+
+            def fallback(r: BitReader, c: int) -> List[int]:
+                raw = _read_many_table(r, c, vals, lens, slow)
+                return [x + delta for x in raw] if delta else raw
+
+            result: List[int] = vec.decode_run(
+                reader, count, vals, lens, slow, delta, fallback
+            )
+            return result
+        tier = kernels.TIER_TABLE
+    if tier == kernels.TIER_SCALAR:
+        out: List[int] = []
+        for _ in range(count):
+            out.append(slow(reader) + delta)
+        return out
+    raw = _read_many_table(reader, count, vals, lens, slow)
+    if delta:
+        return [x + delta for x in raw]
+    return raw
+
+
+def _decode_run_pairs(
+    reader: BitReader,
+    count: int,
+    vals_a: Sequence[int],
+    lens_a: Sequence[int],
+    slow_a: Callable[[BitReader], int],
+    vals_b: Sequence[int],
+    lens_b: Sequence[int],
+    slow_b: Callable[[BitReader], int],
+    delta: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """Decode ``count`` interleaved (a, b) pairs on the planned kernel tier."""
+    _check_count(count)
+    tier = kernels.plan(count)
+    if tier == kernels.TIER_NUMPY:
+        vec = _vectorized_kernel()
+        if vec is not None:
+
+            def fallback(r: BitReader, c: int) -> Tuple[List[int], List[int]]:
+                raw_a, raw_b = _read_many_table_pairs(
+                    r, c, vals_a, lens_a, slow_a, vals_b, lens_b, slow_b
+                )
+                if delta:
+                    return (
+                        [x + delta for x in raw_a],
+                        [x + delta for x in raw_b],
+                    )
+                return raw_a, raw_b
+
+            pair: Tuple[List[int], List[int]] = vec.decode_run_pairs(
+                reader, count,
+                vals_a, lens_a, slow_a,
+                vals_b, lens_b, slow_b,
+                delta,
+                fallback,
+            )
+            return pair
+        tier = kernels.TIER_TABLE
+    if tier == kernels.TIER_SCALAR:
+        out_a: List[int] = []
+        out_b: List[int] = []
+        for _ in range(count):
+            out_a.append(slow_a(reader) + delta)
+            out_b.append(slow_b(reader) + delta)
+        return out_a, out_b
+    raw_a, raw_b = _read_many_table_pairs(
+        reader, count, vals_a, lens_a, slow_a, vals_b, lens_b, slow_b
+    )
+    if delta:
+        return [x + delta for x in raw_a], [x + delta for x in raw_b]
+    return raw_a, raw_b
+
 
 def read_many_unary(reader: BitReader, count: int) -> List[int]:
     """Read ``count`` unary codes (values >= 1)."""
     vals, lens = _unary_table()
-    return _read_many_table(reader, count, vals, lens, read_unary)
+    return _decode_run(reader, count, vals, lens, read_unary)
 
 
 def read_many_gamma(reader: BitReader, count: int) -> List[int]:
     """Read ``count`` Elias gamma codes (values >= 1)."""
     vals, lens = _gamma_table()
-    return _read_many_table(reader, count, vals, lens, read_gamma)
+    return _decode_run(reader, count, vals, lens, read_gamma)
 
 
 def read_many_gamma_natural(reader: BitReader, count: int) -> List[int]:
     """Read ``count`` gamma-coded naturals (values >= 0)."""
     vals, lens = _gamma_table()
-    return [x - 1 for x in _read_many_table(reader, count, vals, lens, read_gamma)]
+    return _decode_run(reader, count, vals, lens, read_gamma, delta=-1)
 
 
 def read_many_zeta(reader: BitReader, count: int, k: int) -> List[int]:
     """Read ``count`` zeta_k codes (values >= 1)."""
     vals, lens = _zeta_table(k)
-    return _read_many_table(
-        reader, count, vals, lens, lambda r: read_zeta(r, k)
-    )
+    return _decode_run(reader, count, vals, lens, lambda r: read_zeta(r, k))
 
 
 def read_many_zeta_natural(reader: BitReader, count: int, k: int) -> List[int]:
     """Read ``count`` zeta_k-coded naturals (values >= 0)."""
-    return [x - 1 for x in read_many_zeta(reader, count, k)]
+    vals, lens = _zeta_table(k)
+    return _decode_run(
+        reader, count, vals, lens, lambda r: read_zeta(r, k), delta=-1
+    )
 
 
 def read_many_zeta_natural_pairs(
@@ -669,12 +797,12 @@ def read_many_zeta_natural_pairs(
     """
     vals_a, lens_a = _zeta_table(k_a)
     vals_b, lens_b = _zeta_table(k_b)
-    raw_a, raw_b = _read_many_table_pairs(
+    return _decode_run_pairs(
         reader, count,
         vals_a, lens_a, lambda r: read_zeta(r, k_a),
         vals_b, lens_b, lambda r: read_zeta(r, k_b),
+        delta=-1,
     )
-    return [x - 1 for x in raw_a], [x - 1 for x in raw_b]
 
 
 def iter_code_lengths(values: Iterable[int], k: int) -> int:

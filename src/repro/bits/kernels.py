@@ -1,0 +1,191 @@
+"""Decode-kernel planner: picks a bulk-decode tier per run.
+
+The ``read_many_*`` bulk readers in :mod:`repro.bits.codes` can decode a
+homogeneous run of codes through three interchangeable kernel tiers:
+
+``numpy``
+    :mod:`repro.bits.vectorized` -- broadcast 16-bit table lookups over the
+    whole run as numpy array operations (pointer doubling over the
+    successor array), with a scalar escape for codes longer than the table
+    window.  Fastest for long runs; needs numpy.
+``table``
+    The inlined pure-Python 16-bit table loop of
+    :func:`repro.bits.codes._read_many_table` -- the PR-2 kernels.  Fastest
+    for short runs and the fallback when numpy is not installed.
+``scalar``
+    One scalar ``read_*`` call per code.  The reference tier: trivially
+    correct, used for differential testing and as the last-resort
+    fallback.
+
+All three tiers consume exactly the same bits and return exactly the same
+values on every stream -- byte-identity is enforced by the cross-tier
+property tests (``tests/test_vectorized_kernels.py``).  Selection therefore
+only ever changes speed, never answers.
+
+Selection order for a run of ``count`` codes:
+
+1. An explicit override -- :func:`set_kernel` or the ``REPRO_DECODE_KERNEL``
+   environment variable (read at import time) -- wins.  Forcing ``numpy``
+   on a machine without numpy degrades to ``table`` rather than failing:
+   the tiers are answer-identical, so degradation is safe.
+2. Otherwise ``numpy`` when numpy is importable and the run is at least
+   :data:`DEFAULT_NUMPY_MIN_RUN` codes (per-call array overhead beats the
+   per-code loop only past that length), else ``table``.
+
+numpy is an *optional* dependency (the ``fast`` extra in pyproject.toml);
+nothing in this module imports it eagerly and every consumer must work
+without it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.errors import CodecDomainError
+
+__all__ = [
+    "TIER_NUMPY",
+    "TIER_TABLE",
+    "TIER_SCALAR",
+    "TIERS",
+    "AUTO",
+    "DEFAULT_NUMPY_MIN_RUN",
+    "ENV_VAR",
+    "numpy_or_none",
+    "numpy_available",
+    "plan",
+    "set_kernel",
+    "get_kernel",
+    "kernel_info",
+]
+
+TIER_NUMPY = "numpy"
+TIER_TABLE = "table"
+TIER_SCALAR = "scalar"
+
+#: The tier ladder, fastest-for-long-runs first.
+TIERS = (TIER_NUMPY, TIER_TABLE, TIER_SCALAR)
+
+#: Override value meaning "let the planner decide per run".
+AUTO = "auto"
+
+#: Environment variable holding a process-wide tier override.
+ENV_VAR = "REPRO_DECODE_KERNEL"
+
+#: Below this run length the planner prefers the table kernel even when
+#: numpy is available: a vectorised decode costs a fixed ~25 array
+#: operations, which the per-code table loop undercuts on short runs
+#: (measured break-even is roughly 256 codes on small gap codes).
+DEFAULT_NUMPY_MIN_RUN = 256
+
+_numpy_checked = False
+_numpy: Optional[Any] = None
+
+_override: str = AUTO
+_numpy_min_run: int = DEFAULT_NUMPY_MIN_RUN
+
+
+def _probe_numpy() -> Optional[Any]:
+    """Import numpy once; remember the outcome for the process lifetime."""
+    global _numpy_checked, _numpy
+    if not _numpy_checked:
+        try:
+            import numpy
+        except ImportError:
+            _numpy = None
+        else:
+            _numpy = numpy
+        _numpy_checked = True
+    return _numpy
+
+
+def numpy_or_none() -> Optional[Any]:
+    """The numpy module when importable, else ``None`` (import guard)."""
+    return _probe_numpy()
+
+
+def numpy_available() -> bool:
+    """Whether the numpy tier can run in this process."""
+    return _probe_numpy() is not None
+
+
+def _validate(name: str) -> str:
+    value = name.strip().lower()
+    if value not in TIERS and value != AUTO:
+        raise CodecDomainError(
+            f"unknown decode kernel {name!r}; expected one of "
+            f"{(AUTO,) + TIERS}"
+        )
+    return value
+
+
+def set_kernel(
+    name: Optional[str] = None, *, numpy_min_run: Optional[int] = None
+) -> None:
+    """Set the process-wide tier override (``None``/"auto" lifts it).
+
+    ``numpy_min_run`` re-tunes the auto-mode crossover run length.  Both
+    settings apply to every subsequent bulk read in the process; tests
+    forcing a tier must restore the previous value (see the
+    ``decode_kernel`` fixture pattern in tests/test_vectorized_kernels.py).
+    """
+    global _override, _numpy_min_run
+    _override = AUTO if name is None else _validate(name)
+    if numpy_min_run is not None:
+        if numpy_min_run < 1:
+            raise CodecDomainError(
+                f"numpy_min_run must be >= 1, got {numpy_min_run}"
+            )
+        _numpy_min_run = numpy_min_run
+
+
+def get_kernel() -> str:
+    """The current override: one of :data:`TIERS` or :data:`AUTO`."""
+    return _override
+
+
+def plan(count: int) -> str:
+    """The tier a bulk read of ``count`` codes should run on.
+
+    Pure selection -- no validation of ``count`` (the ``read_many_*``
+    entry points own domain checks) and no side effects beyond the
+    memoised numpy probe.
+    """
+    override = _override
+    if override == TIER_NUMPY:
+        # Forced numpy degrades to the table kernel when numpy is missing:
+        # tiers are answer-identical, so degrading is safe and keeps a
+        # REPRO_DECODE_KERNEL=numpy deployment running on a bare machine.
+        return TIER_NUMPY if numpy_available() else TIER_TABLE
+    if override == TIER_TABLE or override == TIER_SCALAR:
+        return override
+    if count >= _numpy_min_run and numpy_available():
+        return TIER_NUMPY
+    return TIER_TABLE
+
+
+def kernel_info() -> Dict[str, object]:
+    """Introspection snapshot: override, numpy availability, crossover.
+
+    Surfaced by ``CompressedChronoGraph.decode_kernel_info`` and the
+    segmented store so operators can confirm which tier a deployment is
+    actually running.
+    """
+    return {
+        "override": _override,
+        "numpy_available": numpy_available(),
+        "numpy_min_run": _numpy_min_run,
+        "tiers": TIERS,
+        "env": os.environ.get(ENV_VAR),
+    }
+
+
+def _init_from_env() -> None:
+    """Adopt ``REPRO_DECODE_KERNEL`` at import; invalid values raise."""
+    value = os.environ.get(ENV_VAR)
+    if value is not None and value.strip():
+        set_kernel(value)
+
+
+_init_from_env()

@@ -1,0 +1,93 @@
+"""Guarded numpy unfolds for decoded gap runs (the post-decode hot loops).
+
+The bulk readers of :mod:`repro.bits.codes` hand the record decoders plain
+lists of naturals; turning those into timestamps or neighbor labels is a
+zigzag unfold plus a prefix sum -- a per-element Python loop that rivals
+the decode itself on long runs.  The helpers here vectorise that unfold
+with numpy when it is available *and provably exact*:
+
+- every input value must fit the guarded magnitude bound
+  (:data:`_MAX_ABS`) and the run must be shorter than :data:`_MAX_RUN`,
+  so the int64 prefix sum cannot overflow (``2**40 * 2**20 < 2**63``);
+- the base offset must stay below ``2**62`` for the same reason.
+
+Outside those bounds -- which only corrupt or adversarial streams exceed
+-- every helper returns ``None`` and the caller runs the exact
+big-int-safe Python loop, so answers are identical on every stream with
+or without numpy.  Like the decode tiers themselves, these helpers only
+change speed, never results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.bits import kernels
+
+__all__ = ["unfold_timestamps", "prefix_labels"]
+
+#: Below this run length the Python loop wins (mirrors the decode-kernel
+#: planner's crossover; per-call numpy overhead is the same story).
+MIN_RUN = 256
+
+#: Magnitude bound on the inputs of a vectorised prefix sum.
+_MAX_ABS = 1 << 40
+
+#: Length bound on a vectorised prefix sum.
+_MAX_RUN = 1 << 20
+
+
+def _as_bounded_i64(np_mod: Any, raw: Sequence[int]) -> Optional[Any]:
+    """``raw`` as an int64 array, or ``None`` when the guards fail."""
+    if len(raw) >= _MAX_RUN:
+        return None
+    try:
+        arr = np_mod.asarray(raw, dtype=np_mod.int64)
+    except (OverflowError, TypeError, ValueError):
+        # A corrupt stream can gamma-code values past int64; the Python
+        # loop handles big ints exactly.
+        return None
+    if arr.size and int(np_mod.abs(arr).max()) >= _MAX_ABS:
+        return None
+    return arr
+
+
+def unfold_timestamps(raw: Sequence[int], t_min: int) -> Optional[List[int]]:
+    """Timestamps from a decoded gap run, or ``None`` (use the Python loop).
+
+    ``raw[0]`` is the first timestamp's offset from ``t_min``; every later
+    element is an Eq. (1) zigzag-folded signed gap.
+    """
+    if len(raw) < MIN_RUN or abs(t_min) >= (1 << 62):
+        return None
+    np_mod = kernels.numpy_or_none()
+    if np_mod is None:
+        return None
+    g = _as_bounded_i64(np_mod, raw)
+    if g is None:
+        return None
+    signed = np_mod.where(g & 1, -((g + 1) >> 1), g >> 1)
+    signed[0] = g[0]  # the leading offset is stored unfolded
+    out: List[int] = (t_min + np_mod.cumsum(signed)).tolist()
+    return out
+
+
+def prefix_labels(raw: Sequence[int], base: int, first: int) -> Optional[List[int]]:
+    """Labels from a decoded gap run, or ``None`` (use the Python loop).
+
+    ``first`` is the already-unfolded signed offset of the leading label
+    from ``base``; every later element of ``raw`` is a natural gap stored
+    minus one (consecutive labels differ by at least 1).
+    """
+    if len(raw) < MIN_RUN or abs(base) + abs(first) >= (1 << 62):
+        return None
+    np_mod = kernels.numpy_or_none()
+    if np_mod is None:
+        return None
+    g = _as_bounded_i64(np_mod, raw)
+    if g is None:
+        return None
+    steps = g + 1
+    steps[0] = first
+    out: List[int] = (base + np_mod.cumsum(steps)).tolist()
+    return out

@@ -1,8 +1,9 @@
 """Tests for networkx/numpy interop and the interface-level snapshot."""
 
-import networkx as nx
-import numpy as np
 import pytest
+
+nx = pytest.importorskip("networkx", reason="interop tests need networkx")
+np = pytest.importorskip("numpy", reason="interop tests need numpy")
 
 from repro.baselines import get_compressor
 from repro.core import compress

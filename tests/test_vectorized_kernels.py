@@ -1,0 +1,401 @@
+"""Cross-tier equivalence and planner tests for the bulk decode kernels.
+
+The decode-kernel ladder (numpy / table / scalar, :mod:`repro.bits.kernels`)
+promises *byte exactness*: every tier consumes the same bits and returns the
+same values on every stream, including the exception raised and the cursor
+position reached on truncated streams.  These tests force each tier through
+the public ``read_many_*`` readers and compare element-by-element, then pin
+the planner's selection rules, the numpy-absent degradation, and the guarded
+post-decode unfolds of :mod:`repro.core.bulkops`.
+"""
+
+import builtins
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bits import codes, kernels
+from repro.bits.bitio import BitReader, BitWriter
+from repro.core import bulkops
+from repro.core.timestamps import decode_node_timestamps, encode_node_timestamps
+from repro.errors import CodecDomainError, EndOfStreamError
+
+numpy_missing = not kernels.numpy_available()
+
+# The decode_kernel fixture is idempotent across hypothesis examples (it
+# only restores process-wide planner settings after the test), so the
+# function-scoped-fixture health check is a false positive here.
+_PROPERTY_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture
+def decode_kernel():
+    """Force a tier for one test; always restores the prior settings."""
+    previous = kernels.get_kernel()
+    previous_min_run = kernels.kernel_info()["numpy_min_run"]
+
+    def force(name, **kwargs):
+        kernels.set_kernel(name, **kwargs)
+
+    yield force
+    kernels.set_kernel(previous, numpy_min_run=previous_min_run)
+
+
+def _encode(write, values):
+    w = BitWriter()
+    for v in values:
+        write(w, v)
+    return w.to_bytes(), w.bit_length
+
+
+def _families():
+    return {
+        "unary": (
+            codes.write_unary,
+            lambda r, n: codes.read_many_unary(r, n),
+            st.integers(1, 70),
+        ),
+        "gamma": (
+            codes.write_gamma,
+            lambda r, n: codes.read_many_gamma(r, n),
+            st.integers(1, 1 << 20),
+        ),
+        "gamma_natural": (
+            codes.write_gamma_natural,
+            lambda r, n: codes.read_many_gamma_natural(r, n),
+            st.integers(0, 1 << 20),
+        ),
+        "zeta2_natural": (
+            lambda w, v: codes.write_zeta_natural(w, v, 2),
+            lambda r, n: codes.read_many_zeta_natural(r, n, 2),
+            st.integers(0, 1 << 18),
+        ),
+        "zeta4": (
+            lambda w, v: codes.write_zeta(w, v, 4),
+            lambda r, n: codes.read_many_zeta(r, n, 4),
+            st.integers(1, 1 << 22),
+        ),
+    }
+
+
+def _all_tiers():
+    tiers = [kernels.TIER_SCALAR, kernels.TIER_TABLE]
+    if kernels.numpy_available():
+        tiers.append(kernels.TIER_NUMPY)
+    return tiers
+
+
+def _decode_per_tier(data, nbits, count, read, decode_kernel):
+    """(values, final position) per tier; exceptions surface to the test."""
+    out = {}
+    for tier in _all_tiers():
+        decode_kernel(tier, numpy_min_run=1)
+        reader = BitReader(data, nbits)
+        values = read(reader, count)
+        out[tier] = (values, reader.position)
+    return out
+
+
+class TestCrossTierEquivalence:
+    @pytest.mark.parametrize("family", sorted(_families()))
+    @given(data=st.data())
+    @_PROPERTY_SETTINGS
+    def test_property_tiers_identical(self, family, data, decode_kernel):
+        write, read, element = _families()[family]
+        values = data.draw(st.lists(element, min_size=0, max_size=300))
+        stream, nbits = _encode(write, values)
+        results = _decode_per_tier(stream, nbits, len(values), read, decode_kernel)
+        for tier, (decoded, pos) in results.items():
+            assert decoded == values, tier
+            assert pos == nbits, tier
+
+    @given(data=st.data())
+    @_PROPERTY_SETTINGS
+    def test_property_pairs_identical(self, data, decode_kernel):
+        gaps = data.draw(st.lists(st.integers(0, 1 << 16), max_size=200))
+        durs = [data.draw(st.integers(0, 1 << 12)) for _ in gaps]
+        w = BitWriter()
+        for g, d in zip(gaps, durs):
+            codes.write_zeta_natural(w, g, 3)
+            codes.write_zeta_natural(w, d, 2)
+        stream, nbits = w.to_bytes(), w.bit_length
+        for tier in _all_tiers():
+            decode_kernel(tier, numpy_min_run=1)
+            reader = BitReader(stream, nbits)
+            a, b = codes.read_many_zeta_natural_pairs(reader, len(gaps), 3, 2)
+            assert (a, b) == (gaps, durs), tier
+            assert reader.position == nbits, tier
+
+    @given(data=st.data())
+    @_PROPERTY_SETTINGS
+    def test_property_truncated_streams_identical(self, data, decode_kernel):
+        values = data.draw(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=80))
+        stream, nbits = _encode(
+            lambda w, v: codes.write_zeta_natural(w, v, 2), values
+        )
+        cut = data.draw(st.integers(0, nbits - 1))
+        outcomes = {}
+        for tier in _all_tiers():
+            decode_kernel(tier, numpy_min_run=1)
+            reader = BitReader(stream[: (cut + 7) // 8], cut)
+            try:
+                got = codes.read_many_zeta_natural(reader, len(values), 2)
+                outcomes[tier] = ("ok", got, reader.position)
+            except EndOfStreamError:
+                outcomes[tier] = ("eos", None, None)
+        assert len(set(map(repr, outcomes.values()))) == 1, outcomes
+
+    def test_zeta_zero_and_power_boundaries(self, decode_kernel):
+        # zeta_k boundaries: v = 2**(k*h) +/- 1 flips the shard size; zero
+        # (as a natural) exercises the minimum-length code.
+        values = [0]
+        for h in range(1, 8):
+            for off in (-1, 0, 1):
+                values.append(max(0, (1 << (3 * h)) + off))
+        stream, nbits = _encode(
+            lambda w, v: codes.write_zeta_natural(w, v, 3), values
+        )
+        results = _decode_per_tier(
+            stream, nbits, len(values),
+            lambda r, n: codes.read_many_zeta_natural(r, n, 3), decode_kernel,
+        )
+        for tier, (decoded, pos) in results.items():
+            assert decoded == values, tier
+            assert pos == nbits, tier
+
+    def test_max_length_gamma_codes(self, decode_kernel):
+        # gamma near the 64-bit decode limit: far past the 16-bit window,
+        # every one of these takes the scalar escape inside the numpy tier.
+        values = [(1 << 62) + 12345, 1, (1 << 40) - 1, 2, (1 << 62) + 7]
+        stream, nbits = _encode(codes.write_gamma, values)
+        results = _decode_per_tier(
+            stream, nbits, len(values),
+            lambda r, n: codes.read_many_gamma(r, n), decode_kernel,
+        )
+        for tier, (decoded, pos) in results.items():
+            assert decoded == values, tier
+            assert pos == nbits, tier
+
+    def test_word_straddling_codes(self, decode_kernel):
+        # Misalign the run so codes straddle the reader's 64-bit word and
+        # the vectorizer's byte windows at every phase.
+        for lead in range(1, 9):
+            w = BitWriter()
+            w.write_bits((1 << lead) - 1, lead)
+            # Mix in-window codes with 27-bit escapes at every alignment.
+            values = [3 + i % 5 if i % 2 else (1 << 13) + i for i in range(64)]
+            for v in values:
+                codes.write_gamma(w, v)
+            stream, nbits = w.to_bytes(), w.bit_length
+            for tier in _all_tiers():
+                decode_kernel(tier, numpy_min_run=1)
+                reader = BitReader(stream, nbits)
+                assert reader.read_bits(lead) == (1 << lead) - 1
+                assert codes.read_many_gamma(reader, len(values)) == values
+                assert reader.position == nbits
+
+    def test_counts_zero_and_one(self, decode_kernel):
+        stream, nbits = _encode(codes.write_gamma, [5])
+        for tier in _all_tiers():
+            decode_kernel(tier, numpy_min_run=1)
+            reader = BitReader(stream, nbits)
+            assert codes.read_many_gamma(reader, 0) == []
+            assert reader.position == 0
+            assert codes.read_many_gamma(reader, 1) == [5]
+            assert reader.position == nbits
+            reader = BitReader(stream, nbits)
+            assert codes.read_many_zeta_natural_pairs(reader, 0, 3, 2) == ([], [])
+            assert reader.position == 0
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda r: codes.read_many_unary(r, -1),
+            lambda r: codes.read_many_gamma(r, -1),
+            lambda r: codes.read_many_gamma_natural(r, -2),
+            lambda r: codes.read_many_zeta(r, -1, 3),
+            lambda r: codes.read_many_zeta_natural(r, -5, 2),
+            lambda r: codes.read_many_zeta_natural_pairs(r, -1, 3, 2),
+        ],
+    )
+    def test_negative_count_raises(self, call, decode_kernel):
+        for tier in _all_tiers():
+            decode_kernel(tier)
+            with pytest.raises(CodecDomainError):
+                call(BitReader(b"\xff\xff", 16))
+
+
+class TestEscapeHeavyStreams:
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_bailout_stays_exact(self, decode_kernel):
+        # >12.5% of these values exceed the 16-bit window (zeta3 of
+        # >= 4096 is 19+ bits), so the numpy tier bails to the table
+        # fallback mid-run; the answers must not change.
+        rng = random.Random(3)
+        values = [
+            rng.randrange(4096, 1 << 20) if rng.random() < 0.4 else rng.randrange(64)
+            for _ in range(2000)
+        ]
+        stream, nbits = _encode(lambda w, v: codes.write_zeta(w, v + 1, 3), values)
+        results = _decode_per_tier(
+            stream, nbits, len(values),
+            lambda r, n: codes.read_many_zeta_natural(r, n, 3), decode_kernel,
+        )
+        for tier, (decoded, pos) in results.items():
+            assert decoded == values, tier
+            assert pos == nbits, tier
+
+
+class TestPlanner:
+    def test_auto_prefers_table_below_min_run(self, decode_kernel):
+        decode_kernel(None, numpy_min_run=256)
+        assert kernels.plan(255) == kernels.TIER_TABLE
+
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_auto_prefers_numpy_at_min_run(self, decode_kernel):
+        decode_kernel(None, numpy_min_run=256)
+        assert kernels.plan(256) == kernels.TIER_NUMPY
+
+    def test_override_wins(self, decode_kernel):
+        decode_kernel(kernels.TIER_SCALAR)
+        assert kernels.plan(1 << 20) == kernels.TIER_SCALAR
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(CodecDomainError):
+            kernels.set_kernel("simd")
+
+    def test_invalid_min_run_rejected(self):
+        with pytest.raises(CodecDomainError):
+            kernels.set_kernel(None, numpy_min_run=0)
+
+    def test_kernel_info_shape(self):
+        info = kernels.kernel_info()
+        assert set(info) == {
+            "override", "numpy_available", "numpy_min_run", "tiers", "env",
+        }
+        assert info["tiers"] == kernels.TIERS
+
+    def test_env_override_adopted(self, monkeypatch, decode_kernel):
+        monkeypatch.setenv(kernels.ENV_VAR, "table")
+        kernels._init_from_env()
+        assert kernels.get_kernel() == kernels.TIER_TABLE
+
+    def test_env_override_invalid_raises(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "cuda")
+        with pytest.raises(CodecDomainError):
+            kernels._init_from_env()
+
+
+class TestNumpyAbsent:
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        """Make ``import numpy`` fail and reset the planner's memo."""
+        real_import = builtins.__import__
+
+        def blocked(name, *args, **kwargs):
+            if name == "numpy" or name.startswith("numpy."):
+                raise ImportError("numpy disabled for this test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", blocked)
+        monkeypatch.setattr(kernels, "_numpy_checked", False)
+        monkeypatch.setattr(kernels, "_numpy", None)
+        monkeypatch.setattr(codes, "_VEC_CHECKED", False)
+        monkeypatch.setattr(codes, "_VEC_MODULE", None)
+        yield
+        # The memos are restored by monkeypatch; nothing else leaks.
+
+    def test_probe_reports_unavailable(self, no_numpy):
+        assert not kernels.numpy_available()
+        assert kernels.numpy_or_none() is None
+
+    def test_auto_plans_table(self, no_numpy, decode_kernel):
+        decode_kernel(None)
+        assert kernels.plan(1 << 20) == kernels.TIER_TABLE
+
+    def test_forced_numpy_degrades_to_table(self, no_numpy, decode_kernel):
+        decode_kernel(kernels.TIER_NUMPY)
+        assert kernels.plan(1 << 20) == kernels.TIER_TABLE
+
+    def test_bulk_reads_fully_functional(self, no_numpy, decode_kernel):
+        decode_kernel(kernels.TIER_NUMPY, numpy_min_run=1)
+        values = list(range(0, 600))
+        stream, nbits = _encode(
+            lambda w, v: codes.write_zeta_natural(w, v, 2), values
+        )
+        reader = BitReader(stream, nbits)
+        assert codes.read_many_zeta_natural(reader, len(values), 2) == values
+        assert reader.position == nbits
+
+    def test_unfolds_fall_back(self, no_numpy):
+        assert bulkops.unfold_timestamps(list(range(300)), 0) is None
+        assert bulkops.prefix_labels(list(range(300)), 5, 2) is None
+
+
+class TestBulkOps:
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_unfold_matches_python_loop(self):
+        rng = random.Random(11)
+        timestamps = sorted(rng.randrange(0, 1 << 30) for _ in range(500))
+        w = BitWriter()
+        encode_node_timestamps(w, timestamps, None, timestamps[0], 2)
+        reader = BitReader(w.to_bytes(), w.bit_length)
+        decoded, durs = decode_node_timestamps(
+            reader, len(timestamps), False, timestamps[0], 2
+        )
+        assert decoded == timestamps
+        assert durs is None
+
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_short_runs_skip_numpy(self):
+        assert bulkops.unfold_timestamps([1, 2, 3], 0) is None
+
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_big_int_gaps_fall_back_exactly(self):
+        raw = [0] * 400
+        raw[200] = 1 << 70  # past int64: must refuse, not wrap
+        assert bulkops.unfold_timestamps(raw, 0) is None
+        assert bulkops.prefix_labels(raw, 0, 0) is None
+
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_magnitude_guard(self):
+        raw = [0] * 400
+        raw[7] = 1 << 41  # fits int64 but breaches the overflow-proof bound
+        assert bulkops.unfold_timestamps(raw, 0) is None
+
+    @pytest.mark.skipif(numpy_missing, reason="needs numpy")
+    def test_prefix_labels_matches_loop(self):
+        rng = random.Random(13)
+        raw = [rng.randrange(0, 50) for _ in range(400)]
+        first = -3
+        base = 17
+        got = bulkops.prefix_labels(raw, base, first)
+        label = base + first
+        expect = [label]
+        for gap in raw[1:]:
+            label += gap + 1
+            expect.append(label)
+        assert got == expect
+
+
+class TestKernelInfoSurfaces:
+    def test_compressed_graph_surface(self):
+        from repro.core import compress
+        from repro.graph.builders import graph_from_contacts
+        from repro.graph.model import GraphKind
+
+        g = graph_from_contacts(
+            GraphKind.POINT, [(0, 1, 3), (1, 2, 5)], num_nodes=3
+        )
+        info = compress(g).decode_kernel_info()
+        assert info == kernels.kernel_info()
+
+    def test_segmented_store_surface_exists(self):
+        from repro.storage.segments import SegmentedChronoGraph
+
+        assert callable(getattr(SegmentedChronoGraph, "decode_kernel_info"))
