@@ -675,8 +675,44 @@ def _decode_run(
     ``delta`` is added to every decoded value (``-1`` for the ``*_natural``
     wrappers) inside the kernel, where the numpy tier can apply it as one
     array operation.
+
+    When a query context is active on this thread (see the checkpoint
+    hook in :mod:`repro.bits.kernels`), the run is charged against the
+    context's decode-work budget and split into stride-sized chunks with
+    a checkpoint between each, so even a single huge run observes its
+    deadline within one stride of decode work.  Each chunk decodes whole
+    codes and leaves the reader cursor between codes, so chunked and
+    unchunked decodes are byte-identical; an interruption raises with the
+    cursor in a consistent (between-codes) position.
     """
     _check_count(count)
+    hook = kernels._checkpoint_hook
+    if hook is not None:
+        stride = hook(count)
+        if 0 < stride < count:
+            out: List[int] = []
+            done = 0
+            while True:
+                step = min(stride, count - done)
+                out.extend(
+                    _decode_run_plain(reader, step, vals, lens, slow, delta)
+                )
+                done += step
+                if done >= count:
+                    return out
+                hook(0)
+    return _decode_run_plain(reader, count, vals, lens, slow, delta)
+
+
+def _decode_run_plain(
+    reader: BitReader,
+    count: int,
+    vals: Sequence[int],
+    lens: Sequence[int],
+    slow: Callable[[BitReader], int],
+    delta: int = 0,
+) -> List[int]:
+    """The uninterruptible kernel dispatch behind :func:`_decode_run`."""
     tier = kernels.plan(count)
     if tier == kernels.TIER_NUMPY:
         vec = _vectorized_kernel()
@@ -713,8 +749,53 @@ def _decode_run_pairs(
     slow_b: Callable[[BitReader], int],
     delta: int = 0,
 ) -> Tuple[List[int], List[int]]:
-    """Decode ``count`` interleaved (a, b) pairs on the planned kernel tier."""
+    """Decode ``count`` interleaved (a, b) pairs on the planned kernel tier.
+
+    Chunks against an active query context exactly like
+    :func:`_decode_run` (pairs count as two work units each).
+    """
     _check_count(count)
+    hook = kernels._checkpoint_hook
+    if hook is not None:
+        stride = hook(2 * count)
+        # A pair is two codes; halve the stride so a chunk does roughly
+        # the same decode work as in the single-code readers.
+        stride //= 2
+        if 0 < stride < count:
+            out_a: List[int] = []
+            out_b: List[int] = []
+            done = 0
+            while True:
+                step = min(stride, count - done)
+                part_a, part_b = _decode_run_pairs_plain(
+                    reader, step,
+                    vals_a, lens_a, slow_a,
+                    vals_b, lens_b, slow_b,
+                    delta,
+                )
+                out_a.extend(part_a)
+                out_b.extend(part_b)
+                done += step
+                if done >= count:
+                    return out_a, out_b
+                hook(0)
+    return _decode_run_pairs_plain(
+        reader, count, vals_a, lens_a, slow_a, vals_b, lens_b, slow_b, delta
+    )
+
+
+def _decode_run_pairs_plain(
+    reader: BitReader,
+    count: int,
+    vals_a: Sequence[int],
+    lens_a: Sequence[int],
+    slow_a: Callable[[BitReader], int],
+    vals_b: Sequence[int],
+    lens_b: Sequence[int],
+    slow_b: Callable[[BitReader], int],
+    delta: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """The uninterruptible kernel dispatch behind :func:`_decode_run_pairs`."""
     tier = kernels.plan(count)
     if tier == kernels.TIER_NUMPY:
         vec = _vectorized_kernel()

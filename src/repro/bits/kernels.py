@@ -40,7 +40,7 @@ without it.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import CodecDomainError
 
@@ -57,7 +57,11 @@ __all__ = [
     "plan",
     "set_kernel",
     "get_kernel",
+    "refresh_from_env",
     "kernel_info",
+    "CheckpointHook",
+    "set_checkpoint_hook",
+    "get_checkpoint_hook",
 ]
 
 TIER_NUMPY = "numpy"
@@ -129,9 +133,18 @@ def set_kernel(
     settings apply to every subsequent bulk read in the process; tests
     forcing a tier must restore the previous value (see the
     ``decode_kernel`` fixture pattern in tests/test_vectorized_kernels.py).
+
+    ``set_kernel(None)`` does not merely lift the override -- it re-reads
+    ``REPRO_DECODE_KERNEL`` via :func:`refresh_from_env`, so "reset to
+    defaults" means the same thing it would at process start.  Passing the
+    literal string ``"auto"`` lifts the override without consulting the
+    environment.
     """
     global _override, _numpy_min_run
-    _override = AUTO if name is None else _validate(name)
+    if name is None:
+        refresh_from_env()
+    else:
+        _override = _validate(name)
     if numpy_min_run is not None:
         if numpy_min_run < 1:
             raise CodecDomainError(
@@ -142,6 +155,25 @@ def set_kernel(
 
 def get_kernel() -> str:
     """The current override: one of :data:`TIERS` or :data:`AUTO`."""
+    return _override
+
+
+def refresh_from_env() -> str:
+    """Re-read ``REPRO_DECODE_KERNEL`` and adopt it as the override.
+
+    The environment variable is normally adopted once at import, which a
+    long-lived process that mutates ``os.environ`` (or is told to reload
+    configuration) would never observe.  Calling this re-reads the
+    variable now: a set, non-empty value becomes the override (invalid
+    values raise :class:`repro.errors.CodecDomainError`); unset or blank
+    restores :data:`AUTO`.  Returns the resulting override.
+    """
+    global _override
+    value = os.environ.get(ENV_VAR)
+    if value is not None and value.strip():
+        _override = _validate(value)
+    else:
+        _override = AUTO
     return _override
 
 
@@ -181,11 +213,44 @@ def kernel_info() -> Dict[str, object]:
     }
 
 
+#: Ambient decode checkpoint installed by :mod:`repro.runtime.context`.
+#:
+#: Called by the bulk readers as ``hook(work)``: it charges ``work`` decode
+#: units against the active :class:`repro.runtime.context.QueryContext` (if
+#: any), raises the typed interruption errors when the deadline, cancel
+#: flag or work budget says stop, and returns the preferred chunk stride in
+#: codes (``> 0``) while a context is active -- or ``0`` when the calling
+#: thread has no active context, telling the reader to take its zero
+#: overhead path.  Living here (rather than in ``repro.runtime``) keeps
+#: :mod:`repro.bits` free of upward imports: the runtime layer registers
+#: itself while at least one query context is active on any thread, and
+#: removes itself when the last deactivates -- so when the hook is
+#: ``None`` the bulk readers know no thread anywhere is governed and skip
+#: even the thread-local poll.
+CheckpointHook = Callable[[int], int]
+
+_checkpoint_hook: Optional[CheckpointHook] = None
+
+
+def set_checkpoint_hook(hook: Optional[CheckpointHook]) -> None:
+    """Install (or with ``None``, remove) the ambient decode checkpoint.
+
+    Intended for :mod:`repro.runtime.context`, which registers its
+    thread-local poll while any query context is active; tests may swap
+    in their own hook to observe checkpoint cadence.
+    """
+    global _checkpoint_hook
+    _checkpoint_hook = hook
+
+
+def get_checkpoint_hook() -> Optional[CheckpointHook]:
+    """The installed ambient decode checkpoint, or ``None``."""
+    return _checkpoint_hook
+
+
 def _init_from_env() -> None:
     """Adopt ``REPRO_DECODE_KERNEL`` at import; invalid values raise."""
-    value = os.environ.get(ENV_VAR)
-    if value is not None and value.strip():
-        set_kernel(value)
+    refresh_from_env()
 
 
 _init_from_env()

@@ -57,6 +57,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bits import kernels
 from repro.bits.bitio import BitReader
 from repro.errors import CodecDomainError
 
@@ -409,7 +410,14 @@ def decode_run(
         done = count - need + decoded
         return done >= _BAIL_MIN_UNITS and (escaped + escapes) * 8 > done
 
+    hook = kernels._checkpoint_hook
     while need:
+        if hook is not None and need != count:
+            # Region boundary: publish the cursor (so an interruption
+            # leaves the reader between codes) and poll the active query
+            # context, if any.
+            _sync(reader, pos)
+            hook(0)
         if pos >= nbits:
             _sync(reader, pos)
             emit_scalar()  # raises EndOfStreamError
@@ -503,7 +511,14 @@ def decode_run_pairs(
         done = count - need + decoded
         return done >= _BAIL_MIN_UNITS and (escaped + escapes) * 8 > done
 
+    hook = kernels._checkpoint_hook
     while need:
+        if hook is not None and need != count:
+            # Region boundary: publish the cursor (so an interruption
+            # leaves the reader between codes) and poll the active query
+            # context, if any.
+            _sync(reader, pos)
+            hook(0)
         if pos >= nbits:
             _sync(reader, pos)
             emit_scalar()  # raises EndOfStreamError

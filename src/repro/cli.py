@@ -143,6 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a segment store's health report (read-only)",
     )
     p.add_argument("store", help="segment store directory")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report: health, per-segment "
+                        "breaker states, governor stats and the resolved "
+                        "decode kernel")
 
     p = sub.add_parser(
         "figures", help="export figure series (CSV) and tables (LaTeX)"
@@ -485,8 +489,14 @@ def _cmd_compact(args) -> int:
 
 
 def _cmd_status(args) -> int:
-    # Exit codes: 0 full service; 1 degraded (quarantine or a sick
-    # compactor); 2 not a store / unreadable manifest (mapped in main()).
+    # Exit codes: 0 full service; 1 degraded (quarantine, a sick
+    # compactor, or an open circuit breaker); 2 not a store / unreadable
+    # manifest (mapped in main()).  Identical semantics for --json.
+    import dataclasses as _dataclasses
+    import json as _json
+
+    from repro.bits import kernels
+    from repro.runtime.governor import default_governor
     from repro.storage.segments import SegmentStore, is_segment_store
 
     if not is_segment_store(args.store):
@@ -495,7 +505,16 @@ def _cmd_status(args) -> int:
         return 2
     with SegmentStore.open(args.store, read_only=True) as store:
         health = store.health()
-    print(health.summary())
+    if args.json:
+        doc = {
+            "health": _dataclasses.asdict(health),
+            "ok": health.ok,
+            "governor": default_governor().stats(),
+            "decode_kernel": kernels.kernel_info(),
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True, default=str))
+    else:
+        print(health.summary())
     return 0 if health.ok else 1
 
 

@@ -50,8 +50,24 @@ The query surface is safe to share across threads:
 
 :meth:`neighbors_many` and :meth:`snapshot_parallel` are the batch forms
 of :meth:`neighbors` and :meth:`snapshot`; both accept ``workers`` and fan
-out over a ``ThreadPoolExecutor`` while keeping the exact sequential
-semantics (output order and cache counters included).
+out over the bounded shared pool of a :class:`repro.runtime.governor.Governor`
+while keeping the exact sequential semantics (output order and cache
+counters included).
+
+Resource governance
+-------------------
+
+Every query entry point accepts an optional
+``ctx=`` :class:`repro.runtime.context.QueryContext` -- a wall-clock
+deadline, cooperative cancel flag and decode-work budget polled at cheap
+checkpoints down to the bulk-decode loops.  An expired envelope raises
+the typed :class:`repro.errors.QueryTimeout` /
+:class:`repro.errors.QueryCancelled` / :class:`repro.errors.QueryBudgetExceeded`
+branch; interruption always leaves reader cursors (query-local) and the
+caches (which only ingest completed decodes) consistent, so a retry with
+a larger envelope returns the complete answer.  A context carrying a
+governor is additionally subject to admission control
+(:class:`repro.errors.RejectedError` before any work happens).
 """
 
 from __future__ import annotations
@@ -60,7 +76,6 @@ import itertools
 import threading
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bits import codes, kernels
@@ -74,8 +89,11 @@ from repro.errors import (
     FormatError,
     GraphDomainError,
     LimitExceededError,
+    QueryInterrupted,
 )
 from repro.graph.model import Contact, GraphKind
+from repro.runtime.context import QueryContext, activate, query_scope
+from repro.runtime.governor import Governor, default_governor
 
 #: Exceptions a decoder may hit on a corrupt stream; every decode path
 #: converts them to :class:`repro.errors.CorruptStreamError` so callers can
@@ -744,7 +762,7 @@ class CompressedChronoGraph:
                 reader, u, self._resolve_distinct, self.config,
                 limit=self.num_contacts,
             )
-        except FormatError:
+        except (FormatError, QueryInterrupted):
             raise
         except _DECODE_FAILURES as exc:
             raise self._corrupt(u, "structure", exc) from exc
@@ -768,7 +786,7 @@ class CompressedChronoGraph:
             if dedup_count:
                 codes.read_many_gamma_natural(reader, 2 * dedup_count)
             r = codes.read_gamma_natural(reader)
-        except FormatError:
+        except (FormatError, QueryInterrupted):
             raise
         except _DECODE_FAILURES as exc:
             raise self._corrupt(u, "reference", exc) from exc
@@ -826,14 +844,20 @@ class CompressedChronoGraph:
                 self.config.timestamp_zeta_k,
                 self.config.duration_zeta_k,
             )
-        except FormatError:
+        except (FormatError, QueryInterrupted):
             raise
         except _DECODE_FAILURES as exc:
             raise self._corrupt(u, "timestamp", exc) from exc
 
-    def contacts_of(self, u: int) -> List[Contact]:
+    def contacts_of(
+        self, u: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[Contact]:
         """All contacts of ``u``, decoded, in (label, time) order."""
-        multiset, times, durations = self._decode_record(u)
+        if ctx is None:  # bare compare: this entry is on the perf gate
+            multiset, times, durations = self._decode_record(u)
+        else:
+            with query_scope(ctx):
+                multiset, times, durations = self._decode_record(u)
         if durations is None:
             return [Contact(u, v, t) for v, t in zip(multiset, times)]
         return [
@@ -859,7 +883,11 @@ class CompressedChronoGraph:
         return self._scan_records(state, 0, state.num_nodes)
 
     def _scan_records(
-        self, state: _OverlayState, lo: int, hi: int
+        self,
+        state: _OverlayState,
+        lo: int,
+        hi: int,
+        ctx: Optional[QueryContext] = None,
     ) -> Iterator[Tuple[int, NodeRecord]]:
         """Yield ``(u, record)`` for ``lo <= u < hi``, decoding each node once.
 
@@ -870,6 +898,11 @@ class CompressedChronoGraph:
         decode but still feed the rolling reference window.  The whole scan
         runs against the caller's captured ``state``; no lock is held
         across a yield.
+
+        ``ctx`` is polled once per node, and activated around each
+        stream decode so the bulk readers chunk against it too -- but
+        only around the decode, never across a yield, so the ambient
+        context can't leak into the consumer's frame.
         """
         if hi <= lo:
             return
@@ -894,6 +927,8 @@ class CompressedChronoGraph:
             return self._resolve_distinct(v)
 
         for u in range(lo, hi):
+            if ctx is not None:
+                ctx.checkpoint()
             base_distinct: Optional[List[int]] = None
             record = self._cache_get(u, state)
             if record is not None:
@@ -912,30 +947,31 @@ class CompressedChronoGraph:
                                 last = v
             else:
                 if u < base_n:
-                    try:
-                        sreader.seek(self._soffsets.access(u))
-                        dedup, singles = decode_node_structure(
-                            sreader, u, resolve, config, limit=limit
-                        )
-                    except FormatError:
-                        raise
-                    except _DECODE_FAILURES as exc:
-                        raise self._corrupt(u, "structure", exc) from exc
-                    multiset = multiset_from_parts(dedup, singles)
-                    try:
-                        treader.seek(self._toffsets.access(u))
-                        times, durations = decode_node_timestamps(
-                            treader,
-                            len(multiset),
-                            with_durations,
-                            self.t_min,
-                            config.timestamp_zeta_k,
-                            config.duration_zeta_k,
-                        )
-                    except FormatError:
-                        raise
-                    except _DECODE_FAILURES as exc:
-                        raise self._corrupt(u, "timestamp", exc) from exc
+                    with activate(ctx):
+                        try:
+                            sreader.seek(self._soffsets.access(u))
+                            dedup, singles = decode_node_structure(
+                                sreader, u, resolve, config, limit=limit
+                            )
+                        except (FormatError, QueryInterrupted):
+                            raise
+                        except _DECODE_FAILURES as exc:
+                            raise self._corrupt(u, "structure", exc) from exc
+                        multiset = multiset_from_parts(dedup, singles)
+                        try:
+                            treader.seek(self._toffsets.access(u))
+                            times, durations = decode_node_timestamps(
+                                treader,
+                                len(multiset),
+                                with_durations,
+                                self.t_min,
+                                config.timestamp_zeta_k,
+                                config.duration_zeta_k,
+                            )
+                        except (FormatError, QueryInterrupted):
+                            raise
+                        except _DECODE_FAILURES as exc:
+                            raise self._corrupt(u, "timestamp", exc) from exc
                 else:
                     multiset, times = [], []
                     durations = [] if with_durations else None
@@ -988,23 +1024,49 @@ class CompressedChronoGraph:
 
     # -- temporal queries (Section IV-F) --------------------------------------
 
-    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+    def neighbors(
+        self,
+        u: int,
+        t_start: int,
+        t_end: int,
+        *,
+        ctx: Optional[QueryContext] = None,
+    ) -> List[int]:
         """Sorted distinct neighbors of ``u`` active within [t_start, t_end].
 
         The window is closed on both ends; an inverted window
         (``t_end < t_start``) is empty.  See FORMAT.md, "Query window
-        semantics".
+        semantics".  ``ctx`` bounds the query (see :mod:`repro.runtime`).
         """
-        multiset, times, durations = self._decode_record(u)
-        return self._active_neighbors(multiset, times, durations, t_start, t_end)
+        if ctx is None:  # bare compare: this entry is on the perf gate
+            multiset, times, durations = self._decode_record(u)
+        else:
+            with query_scope(ctx):
+                multiset, times, durations = self._decode_record(u)
+        return self._active_neighbors(
+            multiset, times, durations, t_start, t_end
+        )
 
-    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+    def has_edge(
+        self,
+        u: int,
+        v: int,
+        t_start: int,
+        t_end: int,
+        *,
+        ctx: Optional[QueryContext] = None,
+    ) -> bool:
         """Algorithm 1: is ``v`` a neighbor of ``u`` during [t_start, t_end]?
 
         Binary-searches the label-sorted multiset for the ``v``-run;
-        timestamps come from the same cached record.
+        timestamps come from the same cached record.  ``ctx`` bounds the
+        query (see :mod:`repro.runtime`).
         """
-        multiset, times, durations = self._decode_record(u)
+        if ctx is None:  # bare compare: this entry is on the perf gate
+            multiset, times, durations = self._decode_record(u)
+        else:
+            with query_scope(ctx):
+                multiset, times, durations = self._decode_record(u)
         start = bisect_left(multiset, v)
         if start == len(multiset) or multiset[start] != v:
             return False
@@ -1017,15 +1079,23 @@ class CompressedChronoGraph:
                 return True
         return False
 
-    def edge_timestamps(self, u: int, v: int) -> List[int]:
+    def edge_timestamps(
+        self, u: int, v: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[int]:
         """All activation timestamps of the edge (u, v), ascending."""
-        multiset, times, _ = self._decode_record(u)
+        if ctx is None:
+            multiset, times, _ = self._decode_record(u)
+        else:
+            with query_scope(ctx):
+                multiset, times, _ = self._decode_record(u)
         start = bisect_left(multiset, v)
         if start == len(multiset) or multiset[start] != v:
             return []
         return times[start : bisect_right(multiset, v, start)]
 
-    def neighbors_before(self, u: int, t: int) -> List[int]:
+    def neighbors_before(
+        self, u: int, t: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[int]:
         """Neighbors active strictly before ``t`` (Section IV-F).
 
         For point and incremental graphs: a contact before ``t``.  For
@@ -1039,10 +1109,16 @@ class CompressedChronoGraph:
             lo = state.t_min
         if t <= lo:
             return []
-        multiset, times, durations = self._decode_record(u, state)
+        if ctx is None:
+            multiset, times, durations = self._decode_record(u, state)
+        else:
+            with query_scope(ctx):
+                multiset, times, durations = self._decode_record(u, state)
         return self._active_neighbors(multiset, times, durations, lo, t - 1)
 
-    def neighbors_after(self, u: int, t: int) -> List[int]:
+    def neighbors_after(
+        self, u: int, t: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[int]:
         """Neighbors active at or after ``t`` (Section IV-F), sorted distinct.
 
         Incremental edges never deactivate, so any edge is "after" every
@@ -1052,7 +1128,11 @@ class CompressedChronoGraph:
         deduplicating against the last emitted label already yields the
         sorted distinct output.
         """
-        multiset, times, durations = self._decode_record(u)
+        if ctx is None:
+            multiset, times, durations = self._decode_record(u)
+        else:
+            with query_scope(ctx):
+                multiset, times, durations = self._decode_record(u)
         out: List[int] = []
         kind = self.kind
         if kind is GraphKind.POINT:
@@ -1088,76 +1168,99 @@ class CompressedChronoGraph:
 
     # -- batch queries ---------------------------------------------------------
 
+    def _governor_for(self, ctx: Optional[QueryContext]) -> Governor:
+        """The governor whose shared pool a batch query fans out on."""
+        if ctx is not None and ctx.governor is not None:
+            return ctx.governor
+        return default_governor()
+
     def neighbors_many(
         self,
         queries: Sequence[Tuple[int, int, int]],
         *,
         workers: Optional[int] = None,
+        ctx: Optional[QueryContext] = None,
     ) -> List[List[int]]:
         """Batch :meth:`neighbors`: results align with the input order.
 
         ``queries`` is a sequence of ``(u, t_start, t_end)`` triples.  The
         batch is grouped by node so each distinct node is decoded (or
         cache-probed) exactly once per call -- the win over a naive serial
-        loop even single-threaded -- then node groups fan out across a
-        ``ThreadPoolExecutor`` when ``workers`` > 1.  The whole batch runs
-        against one overlay snapshot, so a concurrent
-        :meth:`apply_contacts` is either entirely visible or entirely
-        invisible to it.
+        loop even single-threaded -- then node groups fan out across the
+        governor's bounded shared pool when ``workers`` > 1 (the governor
+        comes from ``ctx`` or the process default; total decode
+        concurrency stays capped no matter how many batch calls are in
+        flight).  The whole batch runs against one overlay snapshot, so a
+        concurrent :meth:`apply_contacts` is either entirely visible or
+        entirely invisible to it.  ``ctx`` bounds the whole batch: one
+        envelope, polled by every worker.
         """
         state = self._state
         triples = [(int(u), t0, t1) for u, t0, t1 in queries]
         n = state.num_nodes
-        groups: Dict[int, List[Tuple[int, int, int]]] = {}
-        for i, (u, t0, t1) in enumerate(triples):
-            self._check_node(u, n)
-            groups.setdefault(u, []).append((i, t0, t1))
         out: List[Optional[List[int]]] = [None] * len(triples)
+        with query_scope(ctx):
+            groups: Dict[int, List[Tuple[int, int, int]]] = {}
+            for i, (u, t0, t1) in enumerate(triples):
+                self._check_node(u, n)
+                groups.setdefault(u, []).append((i, t0, t1))
 
-        def run(item: Tuple[int, List[Tuple[int, int, int]]]) -> None:
-            u, wants = item
-            multiset, times, durations = self._decode_record(u, state)
-            for i, t0, t1 in wants:
-                out[i] = self._active_neighbors(
-                    multiset, times, durations, t0, t1
+            def run(item: Tuple[int, List[Tuple[int, int, int]]]) -> None:
+                with activate(ctx):
+                    if ctx is not None:
+                        ctx.checkpoint()
+                    u, wants = item
+                    multiset, times, durations = self._decode_record(u, state)
+                    for i, t0, t1 in wants:
+                        out[i] = self._active_neighbors(
+                            multiset, times, durations, t0, t1
+                        )
+
+            items = list(groups.items())
+            if workers is not None and workers > 1 and len(items) > 1:
+                self._governor_for(ctx).run_parallel(
+                    run, items, workers=workers
                 )
-
-        items = list(groups.items())
-        if workers is not None and workers > 1 and len(items) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                for _ in pool.map(run, items):
-                    pass
-        else:
-            for item in items:
-                run(item)
+            else:
+                for item in items:
+                    run(item)
         return out  # type: ignore[return-value]
 
     def snapshot_parallel(
-        self, t_start: int, t_end: int, *, workers: Optional[int] = None
+        self,
+        t_start: int,
+        t_end: int,
+        *,
+        workers: Optional[int] = None,
+        ctx: Optional[QueryContext] = None,
     ) -> List[Tuple[int, int]]:
         """Parallel :meth:`snapshot`: identical output, ranges scanned concurrently.
 
         The node range is split into ``workers`` contiguous slices, each
         scanned by its own thread with its own :class:`BitReader` pair
         (reader-per-thread rule), against one shared overlay snapshot.
-        Slice outputs are concatenated in node order, so the result is
-        exactly ``snapshot(t_start, t_end)``.
+        The threads come from the governor's bounded shared pool (from
+        ``ctx`` or the process default), not a per-call executor.  Slice
+        outputs are concatenated in node order, so the result is exactly
+        ``snapshot(t_start, t_end)``.  ``ctx`` bounds the whole scan.
         """
         state = self._state
         n = state.num_nodes
         w = int(workers) if workers else 1
-        if w <= 1 or n < 2:
-            return self._snapshot_range(state, 0, n, t_start, t_end)
-        w = min(w, n)
-        bounds = [(n * i) // w for i in range(w + 1)]
+        with query_scope(ctx):
+            if w <= 1 or n < 2:
+                return self._snapshot_range(state, 0, n, t_start, t_end, ctx)
+            w = min(w, n)
+            bounds = [(n * i) // w for i in range(w + 1)]
 
-        def scan(i: int) -> List[Tuple[int, int]]:
-            return self._snapshot_range(
-                state, bounds[i], bounds[i + 1], t_start, t_end
+            def scan(i: int) -> List[Tuple[int, int]]:
+                return self._snapshot_range(
+                    state, bounds[i], bounds[i + 1], t_start, t_end, ctx
+                )
+
+            parts = self._governor_for(ctx).run_parallel(
+                scan, range(w), workers=w
             )
-
-        with ThreadPoolExecutor(max_workers=w) as pool:
-            parts = list(pool.map(scan, range(w)))
         edges: List[Tuple[int, int]] = []
         for part in parts:
             edges.extend(part)
@@ -1170,10 +1273,11 @@ class CompressedChronoGraph:
         hi: int,
         t_start: int,
         t_end: int,
+        ctx: Optional[QueryContext] = None,
     ) -> List[Tuple[int, int]]:
         edges: List[Tuple[int, int]] = []
         for u, (multiset, times, durations) in self._scan_records(
-            state, lo, hi
+            state, lo, hi, ctx
         ):
             for v in self._active_neighbors(
                 multiset, times, durations, t_start, t_end
@@ -1242,7 +1346,7 @@ class CompressedChronoGraph:
                                 dedup, singles = decode_node_structure(
                                     sreader, u, resolve, config, limit=limit
                                 )
-                            except FormatError:
+                            except (FormatError, QueryInterrupted):
                                 raise
                             except _DECODE_FAILURES as exc:
                                 raise self._corrupt(
@@ -1275,38 +1379,46 @@ class CompressedChronoGraph:
                 edges.append((u, v))
         return edges
 
-    def snapshot(self, t_start: int, t_end: int) -> List[Tuple[int, int]]:
+    def snapshot(
+        self, t_start: int, t_end: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[Tuple[int, int]]:
         """All distinct edges active within the closed interval, sorted."""
         state = self._state
-        return self._snapshot_range(state, 0, state.num_nodes, t_start, t_end)
+        with query_scope(ctx):
+            return self._snapshot_range(
+                state, 0, state.num_nodes, t_start, t_end, ctx
+            )
 
     def iter_window_neighbors(
-        self, t_start: int, t_end: int
+        self, t_start: int, t_end: int, *, ctx: Optional[QueryContext] = None
     ) -> Iterator[Tuple[int, List[int]]]:
         """Yield ``(u, active neighbors)`` for every node, one decode per node.
 
         The bulk form of :meth:`neighbors` used by full-graph consumers
         (the vertex-centric engine's undirected symmetrisation, exports);
-        the same closed ``[t_start, t_end]`` window applies.
+        the same closed ``[t_start, t_end]`` window applies.  ``ctx`` is
+        polled per node as the consumer iterates (never held across a
+        yield).
         """
         state = self._state
         for u, (multiset, times, durations) in self._scan_records(
-            state, 0, state.num_nodes
+            state, 0, state.num_nodes, ctx
         ):
             yield u, self._active_neighbors(
                 multiset, times, durations, t_start, t_end
             )
 
-    def iter_contacts(self):
+    def iter_contacts(self, *, ctx: Optional[QueryContext] = None):
         """Yield every contact in (u, v, time) storage order, lazily.
 
         Decodes one node at a time, so full-graph passes (exports, motif
         counters, bulk loads) never hold more than one node's contacts
-        beyond the output itself.
+        beyond the output itself.  ``ctx`` is polled per node as the
+        consumer iterates.
         """
         state = self._state
         for u, (multiset, times, durations) in self._scan_records(
-            state, 0, state.num_nodes
+            state, 0, state.num_nodes, ctx
         ):
             if durations is None:
                 for v, t in zip(multiset, times):

@@ -14,6 +14,8 @@ surfaced as assorted ``ValueError``/``EOFError``/``struct.error``.
 
 from __future__ import annotations
 
+from typing import Optional
+
 __all__ = [
     "FormatError",
     "TruncatedContainerError",
@@ -26,6 +28,11 @@ __all__ = [
     "DomainError",
     "CodecDomainError",
     "GraphDomainError",
+    "QueryInterrupted",
+    "QueryTimeout",
+    "QueryCancelled",
+    "QueryBudgetExceeded",
+    "RejectedError",
 ]
 
 
@@ -102,6 +109,95 @@ class GraphDomainError(DomainError):
     non-interval graph kinds, out-of-range node lookups and configuration
     values outside their documented bounds.
     """
+
+
+class QueryInterrupted(DomainError):
+    """A query was cut short by its own runtime envelope, not by bad data.
+
+    Root of the query-runtime branch of the taxonomy: the *caller's*
+    deadline, cancellation flag or decode-work budget stopped the query
+    before it completed.  The underlying graph and its caches are left
+    fully consistent -- retrying the same query with a larger envelope
+    returns the complete answer.
+
+    Subclasses :class:`DomainError` (and therefore :class:`ValueError`),
+    but decode paths that blanket-catch ``ValueError`` to funnel corrupt
+    streams into :class:`FormatError` re-raise this branch explicitly: an
+    interrupted query is never evidence of corruption.
+    """
+
+
+class QueryTimeout(QueryInterrupted):
+    """A query's wall-clock deadline expired before it finished.
+
+    ``budget`` is the deadline's total allowance in seconds and ``elapsed``
+    the time actually consumed when the expiry was observed (both ``None``
+    when unknown).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: Optional[float] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        """Store the structured timing fields alongside the message."""
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class QueryCancelled(QueryInterrupted):
+    """A query observed its context's cooperative cancellation flag."""
+
+
+class QueryBudgetExceeded(QueryInterrupted):
+    """A query exhausted its decode-work budget before completing.
+
+    ``budget`` is the allowance in decode-work units (roughly, codes
+    decoded) and ``spent`` the units consumed when the overrun was
+    observed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        budget: Optional[int] = None,
+        spent: Optional[int] = None,
+    ) -> None:
+        """Store the structured budget fields alongside the message."""
+        super().__init__(message)
+        self.budget = budget
+        self.spent = spent
+
+
+class RejectedError(DomainError):
+    """The admission controller shed this query instead of running it.
+
+    Raised *before* any work happens, so rejection is always safe to
+    retry.  ``retry_after`` is the governor's structured backoff hint in
+    seconds; ``reason`` is a short machine-readable tag (for example
+    ``"concurrency"`` or ``"tenant-tokens"``); ``in_flight``/``limit``
+    describe the load that triggered the shed when applicable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: Optional[float] = None,
+        reason: Optional[str] = None,
+        in_flight: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        """Store the structured load-shedding fields alongside the message."""
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+        self.in_flight = in_flight
+        self.limit = limit
 
 
 class GenerationMismatchError(FormatError):

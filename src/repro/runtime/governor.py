@@ -1,0 +1,342 @@
+"""Admission control: concurrency caps, tenant token budgets, shared pools.
+
+The :class:`Governor` is the load-shedding front door of the query plane.
+It enforces a concurrent-query cap and optional per-tenant token budgets
+-- rejecting excess work *before* it runs with a structured
+:class:`repro.errors.RejectedError` (retry-after hint included) -- and
+owns one bounded, shared :class:`~concurrent.futures.ThreadPoolExecutor`
+that the batch query paths (``neighbors_many``/``snapshot_parallel``)
+submit to instead of each spinning up an unbounded pool per call.
+
+A query opts in by carrying a governor on its
+:class:`repro.runtime.context.QueryContext`; admission is taken once per
+context at the outermost :func:`repro.runtime.context.query_scope`, so
+segmented queries fanning out over parts never double-count.  The batch
+paths always use the (default) governor's pool for their fan-out, even
+without a context, so a process can no longer accumulate one transient
+pool per in-flight batch call.
+
+Clocks are injectable throughout so token-bucket refill and retry-after
+hints are testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.errors import DomainError, RejectedError
+
+__all__ = [
+    "DEFAULT_MAX_CONCURRENT",
+    "DEFAULT_RETRY_AFTER",
+    "TokenBucket",
+    "Governor",
+    "default_governor",
+    "set_default_governor",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Default concurrent-query cap: generous enough that only genuine
+#: overload (or a deliberate test) trips it, small enough to bound a
+#: worker's memory and thread pressure.
+DEFAULT_MAX_CONCURRENT = 64
+
+#: Default retry-after hint, in seconds, for concurrency rejections
+#: (token rejections compute the exact refill time instead).
+DEFAULT_RETRY_AFTER = 0.05
+
+
+def _default_max_workers() -> int:
+    """Pool size bound mirroring the stdlib's ThreadPoolExecutor default."""
+    return min(32, 4 * (os.cpu_count() or 2))
+
+
+class TokenBucket:
+    """A refilling token bucket with an injectable clock.
+
+    Tokens accrue continuously at ``rate`` per second up to ``burst``.
+    :meth:`try_take` either grants immediately or reports how long until
+    the requested tokens would accrue -- it never blocks, matching the
+    governor's shed-don't-queue policy.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Create a bucket refilling at ``rate``/s, holding at most ``burst``."""
+        if rate <= 0:
+            raise DomainError(f"token rate must be > 0, got {rate}")
+        if burst <= 0:
+            raise DomainError(f"token burst must be > 0, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def try_take(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available, returning ``0.0``.
+
+        When not available, takes nothing and returns the seconds until
+        the shortfall would refill -- the governor's retry-after hint.
+        """
+        if tokens <= 0:
+            raise DomainError(f"tokens must be > 0, got {tokens}")
+        with self._lock:
+            self._refill_locked()
+            if tokens <= self._tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    def available(self) -> float:
+        """Current token balance (after refill), for stats output."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class Governor:
+    """Concurrency cap + tenant token budgets + one bounded shared pool.
+
+    ``max_concurrent`` bounds admitted queries in flight;
+    ``tenant_rate``/``tenant_burst`` (both or neither) switch on
+    per-tenant token budgets, with queries that carry no tenant sharing
+    one anonymous bucket; ``max_workers`` bounds the shared fan-out pool
+    used by :meth:`run_parallel`.  All rejection is immediate and carries
+    a structured retry-after -- the governor sheds, it never queues.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+        max_workers: Optional[int] = None,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Configure caps and budgets; the pool itself is created lazily."""
+        if max_concurrent < 1:
+            raise DomainError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if (tenant_rate is None) != (tenant_burst is None):
+            raise DomainError(
+                "tenant_rate and tenant_burst must be set together"
+            )
+        if max_workers is None:
+            max_workers = _default_max_workers()
+        if max_workers < 1:
+            raise DomainError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_concurrent = max_concurrent
+        self.max_workers = max_workers
+        self.retry_after = retry_after
+        self._tenant_rate = tenant_rate
+        self._tenant_burst = tenant_burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._rejected_by_reason: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._thread_prefix = f"repro-governor-{id(self):x}"
+
+    # -- admission -----------------------------------------------------
+
+    def _reject_locked(self, exc: RejectedError) -> None:
+        self._rejected += 1
+        reason = exc.reason or "unknown"
+        self._rejected_by_reason[reason] = (
+            self._rejected_by_reason.get(reason, 0) + 1
+        )
+        raise exc
+
+    @contextmanager
+    def admit(
+        self, *, tenant: Optional[str] = None, cost: float = 1.0
+    ) -> Iterator[None]:
+        """Hold one admission slot for the duration of the block.
+
+        Raises :class:`repro.errors.RejectedError` -- with ``reason``
+        ``"concurrency"`` (cap reached; ``retry_after`` is the configured
+        hint) or ``"tenant-tokens"`` (budget empty; ``retry_after`` is
+        the exact refill time) -- instead of queueing.  On success the
+        slot is released when the block exits, however it exits.
+        """
+        with self._lock:
+            if self._in_flight >= self.max_concurrent:
+                self._reject_locked(
+                    RejectedError(
+                        f"governor at capacity: {self._in_flight} queries "
+                        f"in flight (cap {self.max_concurrent})",
+                        retry_after=self.retry_after,
+                        reason="concurrency",
+                        in_flight=self._in_flight,
+                        limit=self.max_concurrent,
+                    )
+                )
+            if self._tenant_rate is not None:
+                key = tenant if tenant is not None else "(anonymous)"
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    assert self._tenant_burst is not None
+                    bucket = TokenBucket(
+                        self._tenant_rate,
+                        self._tenant_burst,
+                        clock=self._clock,
+                    )
+                    self._buckets[key] = bucket
+                wait = bucket.try_take(cost)
+                if wait > 0.0:
+                    self._reject_locked(
+                        RejectedError(
+                            f"tenant {key!r} out of query tokens; "
+                            f"retry in {wait:.3g}s",
+                            retry_after=wait,
+                            reason="tenant-tokens",
+                            in_flight=self._in_flight,
+                            limit=self.max_concurrent,
+                        )
+                    )
+            self._in_flight += 1
+            self._admitted += 1
+            if self._in_flight > self._peak_in_flight:
+                self._peak_in_flight = self._in_flight
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+    # -- the shared bounded pool --------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=self._thread_prefix,
+                )
+            return self._pool
+
+    def _in_pool_thread(self) -> bool:
+        return threading.current_thread().name.startswith(self._thread_prefix)
+
+    def run_parallel(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[_R]:
+        """Map ``fn`` over ``items`` on the shared bounded pool, in order.
+
+        Replaces the historical one-transient-``ThreadPoolExecutor``-per-
+        call fan-out: total decode concurrency is bounded by
+        ``max_workers`` no matter how many batch queries are in flight.
+        ``workers`` is a per-call hint capped by the pool size;
+        ``workers=1`` (or a single item) runs serially inline, and calls
+        arriving *from* one of the pool's own threads also run inline so
+        nested fan-out can never deadlock the pool against itself.
+        Exceptions from ``fn`` propagate to the caller.
+        """
+        todo = list(items)
+        if not todo:
+            return []
+        limit = (
+            self.max_workers
+            if workers is None
+            else max(1, min(workers, self.max_workers))
+        )
+        if limit <= 1 or len(todo) == 1 or self._in_pool_thread():
+            return [fn(item) for item in todo]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, todo))
+
+    def shutdown(self) -> None:
+        """Tear down the shared pool (a later call re-creates it lazily)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Machine-readable counters for ``status --json`` and tests.
+
+        Includes the caps, live/peak in-flight counts, admitted/rejected
+        totals (rejections broken down by reason) and per-tenant token
+        balances when budgets are enabled.
+        """
+        with self._lock:
+            tenants = {
+                key: round(bucket.available(), 3)
+                for key, bucket in self._buckets.items()
+            }
+            return {
+                "max_concurrent": self.max_concurrent,
+                "max_workers": self.max_workers,
+                "in_flight": self._in_flight,
+                "peak_in_flight": self._peak_in_flight,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "rejected_by_reason": dict(self._rejected_by_reason),
+                "pool_started": self._pool is not None,
+                "tenant_tokens": tenants,
+            }
+
+
+_default: Optional[Governor] = None
+_default_lock = threading.Lock()
+
+
+def default_governor() -> Governor:
+    """The process-wide governor, created lazily with default settings.
+
+    Used by the batch query paths when the query's context carries no
+    governor of its own (or there is no context at all), so their fan-out
+    is always bounded by one shared pool.
+    """
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = Governor()
+        return _default
+
+
+def set_default_governor(governor: Optional[Governor]) -> Optional[Governor]:
+    """Replace the process-wide governor; returns the previous one.
+
+    ``None`` resets to lazy default creation.  The caller owns shutting
+    down the replaced governor's pool if it started one.
+    """
+    global _default
+    with _default_lock:
+        previous, _default = _default, governor
+        return previous

@@ -53,10 +53,14 @@ from repro.errors import (
     FormatError,
     GenerationMismatchError,
     GraphDomainError,
+    QueryInterrupted,
+    RejectedError,
     TruncatedContainerError,
     UnsupportedVersionError,
 )
 from repro.graph.model import Contact, GraphKind
+from repro.runtime.breaker import BreakerBoard
+from repro.runtime.context import QueryContext, query_scope
 from repro.storage.atomic import (
     DEFAULT_RETRY,
     OS_FILESYSTEM,
@@ -100,6 +104,10 @@ _MAX_MANIFEST_BYTES = 1 << 26
 
 _KIND_NAMES = {k.value: k for k in GraphKind}
 
+#: Sentinel distinguishing "part skipped" from any real sub-query result
+#: (an empty list is a legitimate answer from a healthy part).
+_PART_SKIPPED = object()
+
 
 class BackpressureError(RuntimeError):
     """Raised when the hot tail is full and sealing is suspended.
@@ -108,7 +116,27 @@ class BackpressureError(RuntimeError):
     set is read-only, the tail keeps absorbing writes up to
     ``StorePolicy.backpressure_contacts``, and past that the store pushes
     back on the producer instead of growing without bound or crashing.
+
+    Carries structured fields so producers can react without parsing the
+    message: ``tail_size`` (committed contacts currently in the tail),
+    ``cap`` (the policy bound that was hit) and ``retry_after`` (suggested
+    seconds before retrying -- the compactor heartbeat timeout, since
+    nothing can drain the tail sooner than a compactor state change).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tail_size: Optional[int] = None,
+        cap: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        """Attach the tail size, the cap it hit and a retry-after hint."""
+        super().__init__(message)
+        self.tail_size = tail_size
+        self.cap = cap
+        self.retry_after = retry_after
 
 
 class StoreClosedError(RuntimeError):
@@ -409,6 +437,11 @@ class HealthReport:
     compactor: str  # "none" | "healthy" | "wedged" | "dead"
     degraded: bool
     events: List[str]
+    #: Per-segment circuit-breaker snapshots keyed by segment name
+    #: (see :meth:`repro.runtime.breaker.CircuitBreaker.snapshot`).
+    breakers: Dict[str, Dict[str, object]] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def ok(self) -> bool:
@@ -436,6 +469,15 @@ class HealthReport:
                 f"(salvage saw {q.salvaged_nodes} nodes / "
                 f"{q.salvaged_contacts} contacts)"
             )
+        for name in sorted(self.breakers):
+            snap = self.breakers[name]
+            if snap.get("state") == "closed" and not snap.get("trips"):
+                continue  # quiet breakers are noise in a one-line-per-fact report
+            lines.append(
+                f"  breaker: {name}: {snap.get('state')} "
+                f"(trips {snap.get('trips')}, "
+                f"retry after {snap.get('retry_after')}s)"
+            )
         for event in self.events:
             lines.append(f"  event: {event}")
         return "\n".join(lines)
@@ -455,6 +497,18 @@ class SegmentedChronoGraph:
     the tail graph mutates internally via its own thread-safe overlay, so
     a reader holding one view sees a consistent segment set plus a
     linearizable tail.
+
+    Resource governance: every query accepts an optional
+    ``ctx=`` :class:`repro.runtime.context.QueryContext` (deadline /
+    cancel / budget polls reach down into per-part decode loops), and when
+    the view carries a :class:`repro.runtime.breaker.BreakerBoard` each
+    *segment* part is guarded by a named circuit breaker -- a part that
+    repeatedly fails decode (or stalls past the deadline) trips open and
+    is skipped, annotated on the context as a reported subset when the
+    query consents via ``allow_partial`` and rejected otherwise.  The hot
+    tail is never breakered (it is in-memory and the store's only write
+    path), and :meth:`iter_contacts` deliberately bypasses the breakers:
+    seal and compaction read through it and must always see every contact.
     """
 
     def __init__(
@@ -462,10 +516,13 @@ class SegmentedChronoGraph:
         kind: GraphKind,
         segments: Tuple[Tuple[SegmentInfo, "object"], ...],
         tail: "object",
+        *,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         self.kind = kind
         self._segments = segments
         self._tail = tail
+        self._breakers = breakers
 
     # -- size ----------------------------------------------------------------
 
@@ -509,13 +566,23 @@ class SegmentedChronoGraph:
 
     def _parts(self, t_start: int, t_end: int) -> List["object"]:
         """Graphs to consult for a window: planned segments plus the tail."""
+        return [graph for _name, graph in self._named_parts(t_start, t_end)]
+
+    def _named_parts(
+        self, t_start: int, t_end: int
+    ) -> List[Tuple[Optional[str], "object"]]:
+        """(name, graph) pairs for a window; the unguarded tail is last.
+
+        The tail's name is ``None`` -- the marker :meth:`_query_part` uses
+        to exempt it from breaker consultation.
+        """
         kind = self.kind
-        parts: List[object] = [
-            graph
+        parts: List[Tuple[Optional[str], object]] = [
+            (info.name, graph)
             for info, graph in self._segments
             if info.overlaps(kind, t_start, t_end)
         ]
-        parts.append(self._tail)
+        parts.append((None, self._tail))
         return parts
 
     def _check_node(self, u: int) -> None:
@@ -523,61 +590,193 @@ class SegmentedChronoGraph:
         if not 0 <= u < n:
             raise GraphDomainError(f"node {u} outside [0, {n})")
 
+    # -- breaker-guarded part execution --------------------------------------
+
+    def _query_part(self, name, ctx, run):
+        """Run one part's sub-query under its circuit breaker, if any.
+
+        Returns the sub-query's result, or the module sentinel
+        ``_PART_SKIPPED`` when the part was skipped (breaker open, or the
+        part failed decode and the context consented to a partial
+        answer).  Outcomes feed the breaker: a clean return records
+        success; a :class:`FormatError` records failure (CRC/decode rot in
+        that part's bytes); a :class:`QueryInterrupted` *also* records
+        failure -- the deadline blew while inside this part, so the stall
+        is attributed to it -- but always propagates, because the query's
+        envelope is violated regardless of which part consumed it.
+        """
+        board = self._breakers
+        breaker = (
+            board.get(name) if board is not None and name is not None else None
+        )
+        if breaker is not None and not breaker.allow():
+            self._skip_part(
+                name, ctx, f"breaker {breaker.state}", breaker.retry_after(),
+                cause=None,
+            )
+            return _PART_SKIPPED
+        try:
+            result = run()
+        except QueryInterrupted as exc:
+            if breaker is not None:
+                breaker.record_failure(f"{type(exc).__name__}: {exc}")
+            raise
+        except FormatError as exc:
+            retry: Optional[float] = None
+            if breaker is not None:
+                breaker.record_failure(f"{type(exc).__name__}: {exc}")
+                retry = breaker.retry_after()
+            self._skip_part(
+                name, ctx, f"{type(exc).__name__}: {exc}", retry, cause=exc
+            )
+            return _PART_SKIPPED
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
+    def _skip_part(self, name, ctx, reason, retry_after, *, cause):
+        """Annotate a skipped part on ``ctx``, or refuse the partial answer.
+
+        A query only ever returns a subset with the caller's consent
+        (``ctx.allow_partial``), and then the subset is *reported* via
+        :meth:`QueryContext.note_skip`.  Without consent the original
+        failure propagates, or -- when the part was never tried because
+        its breaker is open -- a :class:`repro.errors.RejectedError` with
+        the breaker's retry-after hint.
+        """
+        if ctx is not None and ctx.allow_partial:
+            ctx.note_skip(name or "tail", reason, retry_after=retry_after)
+            return
+        if cause is not None:
+            raise cause
+        raise RejectedError(
+            f"segment {name} is isolated by its circuit breaker ({reason}); "
+            "pass a QueryContext with allow_partial=True to accept a "
+            "reported subset",
+            reason="segment-breaker",
+            retry_after=retry_after,
+        )
+
     # -- queries -------------------------------------------------------------
 
-    def neighbors(self, u: int, t_start: int, t_end: int) -> List[int]:
+    def neighbors(
+        self,
+        u: int,
+        t_start: int,
+        t_end: int,
+        *,
+        ctx: Optional[QueryContext] = None,
+    ) -> List[int]:
         """Distinct neighbors of ``u`` active in the closed window, sorted."""
         self._check_node(u)
         out: set = set()
-        for graph in self._parts(t_start, t_end):
-            if u < graph.num_nodes:
-                out.update(graph.neighbors(u, t_start, t_end))
+        with query_scope(ctx):
+            for name, graph in self._named_parts(t_start, t_end):
+                if u >= graph.num_nodes:
+                    continue
+                part = self._query_part(
+                    name,
+                    ctx,
+                    lambda g=graph: g.neighbors(u, t_start, t_end, ctx=ctx),
+                )
+                if part is not _PART_SKIPPED:
+                    out.update(part)
         return sorted(out)
 
     def neighbors_many(
-        self, queries: Sequence[Tuple[int, int, int]]
+        self,
+        queries: Sequence[Tuple[int, int, int]],
+        *,
+        ctx: Optional[QueryContext] = None,
     ) -> List[List[int]]:
         """Batch :meth:`neighbors`; one merged answer per (u, t1, t2) query."""
-        return [self.neighbors(u, t1, t2) for u, t1, t2 in queries]
+        with query_scope(ctx):
+            return [self.neighbors(u, t1, t2, ctx=ctx) for u, t1, t2 in queries]
 
-    def has_edge(self, u: int, v: int, t_start: int, t_end: int) -> bool:
+    def has_edge(
+        self,
+        u: int,
+        v: int,
+        t_start: int,
+        t_end: int,
+        *,
+        ctx: Optional[QueryContext] = None,
+    ) -> bool:
         """Whether edge (u, v) is active anywhere in the closed window."""
         self._check_node(u)
-        for graph in self._parts(t_start, t_end):
-            if u < graph.num_nodes and graph.has_edge(u, v, t_start, t_end):
-                return True
+        with query_scope(ctx):
+            for name, graph in self._named_parts(t_start, t_end):
+                if u >= graph.num_nodes:
+                    continue
+                part = self._query_part(
+                    name,
+                    ctx,
+                    lambda g=graph: g.has_edge(u, v, t_start, t_end, ctx=ctx),
+                )
+                if part is not _PART_SKIPPED and part:
+                    return True
         return False
 
-    def contacts_of(self, u: int) -> List[Contact]:
+    def contacts_of(
+        self, u: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[Contact]:
         """Every contact of ``u`` across all parts, (label, time)-sorted."""
         self._check_node(u)
         rows: List[Contact] = []
-        for _info, graph in self._segments:
-            if u < graph.num_nodes:
-                rows.extend(graph.contacts_of(u))
-        if u < self._tail.num_nodes:
-            rows.extend(self._tail.contacts_of(u))
+        with query_scope(ctx):
+            for info, graph in self._segments:
+                if u >= graph.num_nodes:
+                    continue
+                part = self._query_part(
+                    info.name, ctx, lambda g=graph: g.contacts_of(u, ctx=ctx)
+                )
+                if part is not _PART_SKIPPED:
+                    rows.extend(part)
+            if u < self._tail.num_nodes:
+                rows.extend(self._tail.contacts_of(u, ctx=ctx))
         rows.sort(key=lambda c: (c.v, c.time, c.duration))
         return rows
 
-    def edge_timestamps(self, u: int, v: int) -> List[int]:
+    def edge_timestamps(
+        self, u: int, v: int, *, ctx: Optional[QueryContext] = None
+    ) -> List[int]:
         """All activation timestamps of edge (u, v), ascending."""
         self._check_node(u)
         times: List[int] = []
-        for _info, graph in self._segments:
-            if u < graph.num_nodes:
-                times.extend(graph.edge_timestamps(u, v))
-        if u < self._tail.num_nodes:
-            times.extend(self._tail.edge_timestamps(u, v))
+        with query_scope(ctx):
+            for info, graph in self._segments:
+                if u >= graph.num_nodes:
+                    continue
+                part = self._query_part(
+                    info.name,
+                    ctx,
+                    lambda g=graph: g.edge_timestamps(u, v, ctx=ctx),
+                )
+                if part is not _PART_SKIPPED:
+                    times.extend(part)
+            if u < self._tail.num_nodes:
+                times.extend(self._tail.edge_timestamps(u, v, ctx=ctx))
         times.sort()
         return times
 
-    def snapshot(self, t_start: int, t_end: int) -> List[Tuple[int, int]]:
+    def snapshot(
+        self,
+        t_start: int,
+        t_end: int,
+        *,
+        ctx: Optional[QueryContext] = None,
+    ) -> List[Tuple[int, int]]:
         """All distinct edges active within the closed window, sorted."""
         per_node: Dict[int, set] = {}
-        for graph in self._parts(t_start, t_end):
-            for u, v in graph.snapshot(t_start, t_end):
-                per_node.setdefault(u, set()).add(v)
+        with query_scope(ctx):
+            for name, graph in self._named_parts(t_start, t_end):
+                part = self._query_part(
+                    name, ctx, lambda g=graph: g.snapshot(t_start, t_end, ctx=ctx)
+                )
+                if part is _PART_SKIPPED:
+                    continue
+                for u, v in part:
+                    per_node.setdefault(u, set()).add(v)
         edges: List[Tuple[int, int]] = []
         for u in sorted(per_node):
             for v in sorted(per_node[u]):
@@ -685,6 +884,7 @@ class SegmentStore:
         policy: StorePolicy,
         quarantined: Optional[List[QuarantineEntry]] = None,
         events: Optional[List[str]] = None,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         self.directory = directory
         self.policy = policy
@@ -697,6 +897,10 @@ class SegmentStore:
         self._tail_contacts = tail_contacts
         self._quarantined = list(quarantined or [])
         self._events = list(events or [])
+        # Breaker state belongs to the store, not the view: a tripped
+        # segment stays tripped across the view rebuilds that follow
+        # seals and compactions.
+        self._breakers = breakers if breakers is not None else BreakerBoard()
         self._next_seq = manifest.next_seq
         # Writer-writer serialisation only; readers use the published view
         # and never touch this guard, so durable writes under it cannot
@@ -735,7 +939,8 @@ class SegmentStore:
         )
         atomic_write_bytes(manifest_path, manifest.to_bytes(), fs=fs, retry=retry)
         wal = cls._create_tail_wal(directory, manifest, fs=fs, retry=retry)
-        view = SegmentedChronoGraph(kind, (), _empty_tail(kind))
+        board = BreakerBoard()
+        view = SegmentedChronoGraph(kind, (), _empty_tail(kind), breakers=board)
         return cls(
             directory,
             manifest,
@@ -746,6 +951,7 @@ class SegmentStore:
             retry=retry,
             limits=limits,
             policy=policy or StorePolicy(),
+            breakers=board,
         )
 
     @staticmethod
@@ -846,7 +1052,10 @@ class SegmentStore:
         tail = _empty_tail(manifest.kind)
         if tail_contacts:
             tail.apply_contacts(tail_contacts)
-        view = SegmentedChronoGraph(manifest.kind, tuple(loaded), tail)
+        board = BreakerBoard()
+        view = SegmentedChronoGraph(
+            manifest.kind, tuple(loaded), tail, breakers=board
+        )
         return cls(
             directory,
             manifest,
@@ -859,6 +1068,7 @@ class SegmentStore:
             policy=policy or StorePolicy(),
             quarantined=quarantined,
             events=events,
+            breakers=board,
         )
 
     @classmethod
@@ -1037,6 +1247,7 @@ class SegmentStore:
         view = self._view
         manifest = self._manifest
         compactor = self._compactor_state()
+        open_breakers = self._breakers.open_count()
         return HealthReport(
             path=str(self.directory),
             generation=manifest.generation,
@@ -1046,8 +1257,11 @@ class SegmentStore:
             tail_contacts=len(self._tail_contacts),
             quarantined=list(self._quarantined),
             compactor=compactor,
-            degraded=bool(self._quarantined) or compactor in ("dead", "wedged"),
+            degraded=bool(self._quarantined)
+            or compactor in ("dead", "wedged")
+            or open_breakers > 0,
             events=list(self._events),
+            breakers=self._breakers.states(),
         )
 
     def decode_kernel_info(self) -> Dict[str, object]:
@@ -1088,7 +1302,10 @@ class SegmentStore:
                     f"{self._compactor_state()} and the tail holds "
                     f"{len(self._tail_contacts)} contacts "
                     f"(cap {self.policy.backpressure_contacts}); "
-                    "ingestion is backpressured until compaction resumes"
+                    "ingestion is backpressured until compaction resumes",
+                    tail_size=len(self._tail_contacts),
+                    cap=self.policy.backpressure_contacts,
+                    retry_after=self.policy.compactor_timeout,
                 )
             self._wal.append(batch)
             committed = self._wal.commit()
@@ -1185,6 +1402,7 @@ class SegmentStore:
             new_manifest.kind,
             view._segments + ((info, graph),),
             _empty_tail(new_manifest.kind),
+            breakers=self._breakers,
         )
         return info
 
@@ -1291,7 +1509,10 @@ class SegmentStore:
                 else:
                     rebuilt.append((seg_info, seg_graph))
             self._view = SegmentedChronoGraph(
-                new_manifest.kind, tuple(rebuilt), old_view._tail
+                new_manifest.kind,
+                tuple(rebuilt),
+                old_view._tail,
+                breakers=self._breakers,
             )
         # 3. delayed delete: failures leave orphans the next open sweeps.
         for old in (a, b):

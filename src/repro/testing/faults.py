@@ -81,6 +81,11 @@ __all__ = [
     "default_manifest_mutations",
     "run_segment_store_fault_injection",
     "run_segment_crash_matrix",
+    "StepClock",
+    "SlowFilesystem",
+    "StallingGraph",
+    "ChaosReport",
+    "run_chaos_harness",
 ]
 
 
@@ -978,3 +983,399 @@ def _crash_queries_match(
             if store.graph.neighbors(u, t1, t2) != reference.neighbors(u, t1, t2):
                 return f"neighbors({u}, {t1}, {t2}) diverged from the reference"
     return None
+
+
+# --------------------------------------------------------------------------
+# Latency / stall injection and the chaos harness
+# --------------------------------------------------------------------------
+
+class StepClock:
+    """A manually advanced monotonic clock for deterministic stall tests.
+
+    Inject it as the ``clock`` of :class:`repro.runtime.context.Deadline`,
+    :class:`repro.runtime.context.QueryContext` and
+    :class:`repro.runtime.breaker.BreakerBoard`, then :meth:`advance` it
+    from a fault to model a 10-second stall without sleeping 10 seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        """Start the clock at ``start`` seconds."""
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        """The current time (monotonic-clock calling convention)."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (never backward)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        self._now += seconds
+
+
+class SlowFilesystem(Filesystem):
+    """A :class:`repro.storage.atomic.Filesystem` that injects latency.
+
+    Before each operation named in ``operations`` (default: every
+    mutating op plus ``open``), ``delay`` seconds are charged through the
+    injectable ``sleep`` -- pass a :class:`StepClock`-advancing lambda to
+    model pathological I/O latency without real waiting, or
+    ``time.sleep`` to exercise true wall-clock stalls.  ``stalls`` counts
+    injections so tests can assert the slow path was actually taken.
+    """
+
+    _ALL_OPS = frozenset(
+        {"open", "write", "fsync", "fsync_dir", "replace", "truncate", "remove"}
+    )
+
+    def __init__(
+        self,
+        *,
+        delay: float,
+        operations: Optional[Iterable[str]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Configure which operations stall, for how long, and how."""
+        self.delay = delay
+        self.operations = (
+            frozenset(operations) if operations is not None else self._ALL_OPS
+        )
+        unknown = self.operations - self._ALL_OPS
+        if unknown:
+            raise ValueError(f"unknown operations: {sorted(unknown)}")
+        self._sleep = sleep
+        self.stalls = 0
+
+    def _stall(self, name: str) -> None:
+        if name in self.operations and self.delay > 0:
+            self.stalls += 1
+            self._sleep(self.delay)
+
+    def open(self, path: str, flags: int, mode: int = 0o666) -> int:
+        self._stall("open")
+        return super().open(path, flags, mode)
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._stall("write")
+        return super().write(fd, data)
+
+    def fsync(self, fd: int) -> None:
+        self._stall("fsync")
+        super().fsync(fd)
+
+    def fsync_dir(self, path: str) -> None:
+        self._stall("fsync_dir")
+        super().fsync_dir(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._stall("replace")
+        super().replace(src, dst)
+
+    def truncate(self, fd: int, length: int) -> None:
+        self._stall("truncate")
+        super().truncate(fd, length)
+
+    def remove(self, path: str) -> None:
+        self._stall("remove")
+        super().remove(path)
+
+
+class StallingGraph:
+    """Proxy over one query part that stalls before every query method.
+
+    ``stall`` is any zero-argument callable -- typically one that
+    advances a :class:`StepClock` past the query deadline, modelling a
+    segment whose decode path has hit pathological latency.  Everything
+    else (sizes, ``iter_contacts``, attributes) passes straight through,
+    so a chaos view built around this proxy still supports reference
+    building and seal/compact reads.
+    """
+
+    _STALLED = frozenset(
+        {
+            "neighbors",
+            "neighbors_many",
+            "neighbors_before",
+            "neighbors_after",
+            "has_edge",
+            "contacts_of",
+            "edge_timestamps",
+            "snapshot",
+            "snapshot_parallel",
+            "iter_window_neighbors",
+        }
+    )
+
+    def __init__(self, inner, stall: Callable[[], None]) -> None:
+        """Wrap ``inner``, invoking ``stall()`` before each query."""
+        self._inner = inner
+        self._stall = stall
+        self.calls = 0
+
+    def __getattr__(self, name: str):
+        """Delegate to the inner graph, stalling the query surface."""
+        attr = getattr(self._inner, name)
+        if name in type(self)._STALLED and callable(attr):
+            def stalled(*args, _attr=attr, **kwargs):
+                self.calls += 1
+                self._stall()
+                return _attr(*args, **kwargs)
+
+            return stalled
+        return attr
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Aggregate outcome of a :func:`run_chaos_harness` campaign."""
+
+    total: int = 0
+    deadlines_held: int = 0
+    shed: int = 0
+    partial: int = 0
+    breaker_trips: int = 0
+    failures: List[FaultResult] = dataclasses.field(default_factory=list)
+    slowest: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every probe honoured the latency-isolation contract."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account of the campaign."""
+        lines = [
+            f"{self.total} probes: {self.deadlines_held} deadlines held, "
+            f"{self.shed} shed by breaker, {self.partial} partial answers, "
+            f"{self.breaker_trips} breaker trip(s), "
+            f"{len(self.failures)} failures "
+            f"(slowest {self.slowest * 1000:.1f} ms wall)"
+        ]
+        for failure in self.failures[:20]:
+            lines.append(
+                f"  - {failure.mutation}: {failure.outcome} {failure.detail}"
+            )
+        return "\n".join(lines)
+
+
+def run_chaos_harness(
+    store,
+    *,
+    stall_seconds: float = 10.0,
+    deadline: float = 0.1,
+    failure_threshold: int = 3,
+    probe_nodes: int = 8,
+    time_budget: float = 2.0,
+) -> ChaosReport:
+    """Prove deadlines hold and breakers isolate under an injected stall.
+
+    Builds a chaos view over ``store``'s current graph in which the
+    *first sealed segment* stalls for ``stall_seconds`` (on a
+    :class:`StepClock`, so no real time passes) before every query, then
+    drives the full isolation story and records each probe:
+
+    1. **Deadlines hold** -- windowed queries under a ``deadline``-second
+       budget raise :class:`repro.errors.QueryTimeout` (never hang, never
+       answer late); each probe's *wall* time must stay under
+       ``time_budget``, proving interruption is cooperative and prompt.
+    2. **The breaker trips** -- after ``failure_threshold`` attributed
+       failures the stalled segment's breaker is open, and the next
+       default query is shed with :class:`repro.errors.RejectedError`
+       (structured retry-after) without touching the stalled part.
+    3. **Partial answers are exact** -- queries consenting via
+       ``allow_partial`` return, annotate the skipped segment, and are
+       compared *byte-identical* to a monolithic graph compressed from
+       the healthy subset (healthy segments plus tail).
+    4. **Half-open re-trips** -- advancing the clock past the backoff
+       admits a single probe, which stalls again and re-opens the
+       breaker with a longer backoff.
+
+    The store itself is never mutated; the chaos view shares its segment
+    graphs read-only.
+    """
+    from repro.core import compress
+    from repro.errors import QueryTimeout, RejectedError
+    from repro.graph.builders import graph_from_contacts
+    from repro.runtime.breaker import BreakerBoard
+    from repro.runtime.context import QueryContext
+    from repro.storage.segments import SegmentedChronoGraph
+
+    view = store.graph
+    if not view._segments:
+        raise ValueError("chaos harness needs at least one sealed segment")
+
+    clock = StepClock()
+    board = BreakerBoard(failure_threshold=failure_threshold, clock=clock)
+    victim_info, victim_graph = view._segments[0]
+    wrapped = StallingGraph(victim_graph, lambda: clock.advance(stall_seconds))
+    chaos = SegmentedChronoGraph(
+        view.kind,
+        ((victim_info, wrapped),) + view._segments[1:],
+        view._tail,
+        breakers=board,
+    )
+
+    healthy_rows = [
+        (c.u, c.v, c.time, c.duration)
+        for _info, graph in view._segments[1:]
+        for c in graph.iter_contacts()
+    ]
+    healthy_rows.extend(
+        (c.u, c.v, c.time, c.duration) for c in view._tail.iter_contacts()
+    )
+    n = view.num_nodes
+    reference = compress(
+        graph_from_contacts(view.kind, healthy_rows, num_nodes=n)
+    )
+    all_rows = [
+        (c.u, c.v, c.time, c.duration) for c in view.iter_contacts()
+    ]
+    t_lo = min(r[2] for r in all_rows)
+    t_hi = max(r[2] + r[3] for r in all_rows)
+
+    report = ChaosReport()
+
+    def record(name: str, outcome: str, detail: str, elapsed: float) -> None:
+        if elapsed > time_budget:
+            outcome = "overbudget"
+            detail = f"{elapsed:.3f}s wall > {time_budget:.3f}s budget"
+        result = FaultResult(name, outcome, detail, elapsed)
+        report.total += 1
+        report.slowest = max(report.slowest, elapsed)
+        if outcome == "deadline-held":
+            report.deadlines_held += 1
+        elif outcome == "shed":
+            report.shed += 1
+        elif outcome == "partial":
+            report.partial += 1
+        if result.failed:
+            report.failures.append(result)
+
+    # 1. Deadline probes until the breaker trips.
+    for attempt in range(failure_threshold):
+        ctx = QueryContext(timeout=deadline, clock=clock)
+        start = time.perf_counter()
+        try:
+            chaos.snapshot(t_lo, t_hi, ctx=ctx)
+        except QueryTimeout as exc:
+            record(
+                f"deadline@{attempt}", "deadline-held",
+                f"budget {exc.budget}s", time.perf_counter() - start,
+            )
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            record(
+                f"deadline@{attempt}", "escaped", repr(exc),
+                time.perf_counter() - start,
+            )
+        else:
+            record(
+                f"deadline@{attempt}", "mismatch",
+                "stalled query answered instead of timing out",
+                time.perf_counter() - start,
+            )
+
+    breaker = board.peek(victim_info.name)
+    report.breaker_trips = breaker.snapshot()["trips"] if breaker else 0
+    if breaker is None or breaker.state != "open":
+        record(
+            "breaker-tripped", "mismatch",
+            f"breaker is {breaker.state if breaker else 'absent'} after "
+            f"{failure_threshold} attributed failures",
+            0.0,
+        )
+
+    # 2. Default (non-partial) query is shed, promptly and typed.
+    start = time.perf_counter()
+    try:
+        chaos.snapshot(t_lo, t_hi, ctx=QueryContext(timeout=deadline, clock=clock))
+    except RejectedError as exc:
+        record(
+            "shed", "shed",
+            f"reason={exc.reason} retry_after={exc.retry_after}",
+            time.perf_counter() - start,
+        )
+    except Exception as exc:  # noqa: BLE001 - the contract under test
+        record("shed", "escaped", repr(exc), time.perf_counter() - start)
+    else:
+        record(
+            "shed", "mismatch", "open breaker did not shed the query",
+            time.perf_counter() - start,
+        )
+
+    # 3. Partial answers: annotated, unthrottled, byte-identical to the
+    #    monolithic healthy-subset reference.
+    windows = [(t_lo, t_hi), (t_lo, (t_lo + t_hi) // 2)]
+    for t1, t2 in windows:
+        ctx = QueryContext(allow_partial=True, timeout=deadline, clock=clock)
+        start = time.perf_counter()
+        try:
+            got = chaos.snapshot(t1, t2, ctx=ctx)
+            want = reference.snapshot(t1, t2)
+            node_flaw = ""
+            for u in range(min(n, probe_nodes)):
+                cu = QueryContext(
+                    allow_partial=True, timeout=deadline, clock=clock
+                )
+                if chaos.neighbors(u, t1, t2, ctx=cu) != reference.neighbors(
+                    u, t1, t2
+                ):
+                    node_flaw = f"neighbors({u}) diverged"
+                    break
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            record(
+                f"partial@{t1}-{t2}", "escaped", repr(exc),
+                time.perf_counter() - start,
+            )
+            continue
+        elapsed = time.perf_counter() - start
+        skipped = [s.part for s in ctx.skipped]
+        if got != want:
+            record(
+                f"partial@{t1}-{t2}", "mismatch",
+                "partial snapshot diverged from healthy-subset reference",
+                elapsed,
+            )
+        elif node_flaw:
+            record(f"partial@{t1}-{t2}", "mismatch", node_flaw, elapsed)
+        elif victim_info.name not in skipped:
+            record(
+                f"partial@{t1}-{t2}", "mismatch",
+                f"skip not annotated (skipped={skipped})", elapsed,
+            )
+        else:
+            record(f"partial@{t1}-{t2}", "partial", "", elapsed)
+
+    # 4. Half-open probe: past the backoff one probe is admitted, stalls
+    #    again, and re-trips the breaker with a longer backoff.
+    if breaker is not None:
+        clock.advance(breaker.retry_after() + 0.001)
+        before = breaker.snapshot()["trips"]
+        start = time.perf_counter()
+        try:
+            chaos.snapshot(t_lo, t_hi, ctx=QueryContext(timeout=deadline, clock=clock))
+        except QueryTimeout:
+            after = breaker.snapshot()["trips"]
+            if breaker.state == "open" and after > before:
+                record(
+                    "half-open-retrip", "deadline-held",
+                    f"trips {before} -> {after}", time.perf_counter() - start,
+                )
+            else:
+                record(
+                    "half-open-retrip", "mismatch",
+                    f"state={breaker.state} trips={after}",
+                    time.perf_counter() - start,
+                )
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            record(
+                "half-open-retrip", "escaped", repr(exc),
+                time.perf_counter() - start,
+            )
+        else:
+            record(
+                "half-open-retrip", "mismatch",
+                "half-open probe answered despite the stall",
+                time.perf_counter() - start,
+            )
+        report.breaker_trips = breaker.snapshot()["trips"]
+    return report

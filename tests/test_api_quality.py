@@ -14,6 +14,8 @@ MODULES = [
     "repro.storage", "repro.storage.atomic", "repro.storage.wal",
     "repro.storage.recovery", "repro.storage.segments",
     "repro.storage.compactor",
+    "repro.runtime", "repro.runtime.context", "repro.runtime.governor",
+    "repro.runtime.breaker",
     "repro.bits", "repro.bits.bitio", "repro.bits.codes", "repro.bits.zigzag",
     "repro.bits.bitvector", "repro.bits.eliasfano", "repro.bits.pfordelta",
     "repro.bits.kernels", "repro.bits.vectorized",

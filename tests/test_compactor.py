@@ -137,6 +137,66 @@ class TestWatchdog:
         assert store.graph.num_contacts == 13
         store.close()
 
+    def test_wedged_compactor_recovers_when_heartbeat_resumes(self, tmp_path):
+        """A resumed heartbeat exits degraded mode without a restart.
+
+        The wedge clears while the compactor is still *attached*: the
+        watchdog flips back to ``healthy``, the store leaves read-only-tail
+        mode, and the next commit seals the oversized tail normally.
+        """
+        policy = StorePolicy(seal_contacts=4, max_segments=2, backpressure_contacts=12)
+        store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=policy)
+        gate = threading.Event()
+        entered = threading.Event()
+        wedge = [True]
+
+        def maybe_block():
+            entered.set()
+            if wedge[0]:
+                gate.wait(10.0)
+
+        clock_value = [0.0]
+        compactor = Compactor(
+            store, interval=0.01, clock=lambda: clock_value[0], on_cycle=maybe_block
+        )
+        compactor.start()
+        try:
+            assert entered.wait(5.0)
+            clock_value[0] = policy.compactor_timeout + 1.0  # heartbeat stale
+            assert compactor.state(policy.compactor_timeout) == "wedged"
+
+            # Degraded read-only-tail mode: the tail absorbs up to the cap,
+            # then pushes back with the structured backpressure fields.
+            store.ingest([(0, 1, t, 0) for t in range(12)])
+            assert store.health().degraded
+            with pytest.raises(BackpressureError) as info:
+                store.ingest([(0, 1, 99, 0)])
+            assert info.value.tail_size == 12
+            assert info.value.cap == policy.backpressure_contacts
+            assert info.value.retry_after == policy.compactor_timeout
+
+            # The wedge clears: the still-attached compactor heartbeats
+            # again and the store recovers to full service.
+            wedge[0] = False
+            gate.set()
+            assert _wait_until(
+                lambda: compactor.state(policy.compactor_timeout) == "healthy"
+            )
+            assert store._compactor_state() == "healthy"
+            assert not store.health().degraded
+
+            # Normal ingest re-enabled: the next commit seals the
+            # oversized tail instead of backpressuring.
+            store.ingest([(2, 3, 7, 0)])
+            assert store.tail_size < 12
+            assert store.graph.neighbors(0, 0, 100) == [1]
+            assert store.graph.neighbors(2, 0, 100) == [3]
+        finally:
+            gate.set()
+            compactor.stop()
+        assert store.health().ok
+        store.close()
+
     def test_dead_compactor_reports_failure_and_degrades(self, tmp_path):
         store = SegmentStore.create(tmp_path / "s", GraphKind.POINT, policy=POLICY)
 
