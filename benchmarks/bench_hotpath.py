@@ -222,6 +222,108 @@ def _bench_bulk_decode(
         kernels.set_kernel(previous)
 
 
+def measure_load_rss(quick: bool) -> Dict[str, object]:
+    """Peak-RSS cost of loading the largest bench corpus, heap vs mmap.
+
+    Each mode runs in a fresh subprocess so ``ru_maxrss`` is a clean
+    high-water mark: the child imports the library, records its baseline,
+    loads the container, and reports the delta.  The heap loader's delta
+    is roughly the container size (one materialised copy); the mapped
+    loader's is a handful of pages (header + offsets -- stream CRCs are
+    deferred, so their pages stay untouched until first query).  Returns
+    an empty dict on platforms without ``resource`` (non-POSIX).
+    """
+    import subprocess
+    import tempfile
+
+    if not Path("/proc/self/statm").exists():  # pragma: no cover - non-Linux
+        return {}
+
+    from repro.core.serialize import save_compressed
+
+    # The latency corpora compress to a few tens of KiB -- invisible at
+    # ru_maxrss granularity.  The RSS corpus is a dedicated, larger
+    # power-law graph sized so the heap loader's materialised copy
+    # dominates page/allocator noise by two orders of magnitude.
+    # Shape matters: decoded offset indexes scale with node count and are
+    # built eagerly in BOTH modes, so the corpus keeps nodes low and
+    # contacts high to make the stream bytes (the part mmap avoids
+    # materialising) dominate the load cost.
+    if quick:
+        corpus = powerlaw_graph(
+            num_nodes=2000, edges_per_node=160, time_steps=4000, seed=0
+        )
+    else:
+        corpus = powerlaw_graph(
+            num_nodes=8000, edges_per_node=300, time_steps=8000, seed=0
+        )
+    cg = compress(corpus)
+    # ``ru_maxrss`` is a lifetime high-water mark, and the interpreter's
+    # import transient dwarfs the load itself -- so the child samples
+    # *current* resident set from /proc/self/statm around the load.  The
+    # container was just written, so the child first evicts it from the
+    # page cache (a fresh process mapping an existing store is the
+    # scenario of interest; a warm write-path cache can hold the file in
+    # multi-MiB folios whose whole-folio RSS accounting would swamp the
+    # measurement).  The mapped mode additionally advises
+    # MADV_RANDOM/MADV_NOHUGEPAGE so page-ins reflect bytes the loader
+    # touches, not readahead or huge-page policy.
+    child = (
+        "import mmap as mmap_module, os, sys\n"
+        "sys.path.insert(0, sys.argv[3])\n"
+        "from repro.core.serialize import _map_readonly, load_compressed,"
+        " load_compressed_bytes\n"
+        "page_kib = os.sysconf('SC_PAGESIZE') // 1024\n"
+        "def rss_kib():\n"
+        "    with open('/proc/self/statm') as handle:\n"
+        "        return int(handle.read().split()[1]) * page_kib\n"
+        "fd = os.open(sys.argv[1], os.O_RDONLY)\n"
+        "os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)\n"
+        "os.close(fd)\n"
+        "if sys.argv[2] == 'mmap':\n"
+        "    buf = _map_readonly(sys.argv[1])\n"
+        "    for advice in ('MADV_RANDOM', 'MADV_NOHUGEPAGE'):\n"
+        "        if hasattr(buf, 'obj') and hasattr(mmap_module, advice):\n"
+        "            buf.obj.madvise(getattr(mmap_module, advice))\n"
+        "    before = rss_kib()\n"
+        "    graph = load_compressed_bytes(\n"
+        "        buf, source=sys.argv[1], lazy_crc=True\n"
+        "    )\n"
+        "else:\n"
+        "    before = rss_kib()\n"
+        "    graph = load_compressed(sys.argv[1])\n"
+        "after = rss_kib()\n"
+        "print(graph.num_contacts, before, after)\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "corpus.chrono"
+        container_bytes = save_compressed(cg, path)
+        deltas = {}
+        for mode in ("heap", "mmap"):
+            proc = subprocess.run(
+                [sys.executable, "-c", child, str(path), mode, str(REPO_ROOT / "src")],
+                capture_output=True, text=True, check=True,
+            )
+            contacts, before_kib, after_kib = (
+                int(v) for v in proc.stdout.split()
+            )
+            assert contacts == cg.num_contacts
+            deltas[mode] = {
+                "before_kib": before_kib,
+                "after_kib": after_kib,
+                "load_delta_kib": after_kib - before_kib,
+            }
+    heap_delta = max(1, deltas["heap"]["load_delta_kib"])
+    mmap_delta = max(1, deltas["mmap"]["load_delta_kib"])
+    return {
+        "corpus": "powerlaw",
+        "container_bytes": container_bytes,
+        "heap": deltas["heap"],
+        "mmap": deltas["mmap"],
+        "reduction": round(heap_delta / mmap_delta, 2),
+    }
+
+
 def kernel_speedups(ops: Dict[str, Dict[str, float]]) -> Dict[str, float]:
     """numpy-vs-table ratio per bulk scenario present in ``ops``."""
     speedups = {}
@@ -321,6 +423,7 @@ def run_benchmarks(quick: bool) -> Dict[str, object]:
         "calibration_us": _calibrate(),
         "kernel_info": kernels.kernel_info(),
         "kernel_speedup": kernel_speedups(results),
+        "load_rss": measure_load_rss(quick),
         "ops": results,
     }
 
@@ -419,6 +522,7 @@ def merge_with_baseline(
         ),
         "kernel_info": current.get("kernel_info"),
         "kernel_speedup": current.get("kernel_speedup"),
+        "load_rss": current.get("load_rss"),
         "before": before,
         "after": after,
         "speedup": speedup,
@@ -455,6 +559,15 @@ def main(argv: List[str] | None = None) -> int:
         print("bulk decode, numpy tier vs table tier:")
         for name, ratio in sorted(current["kernel_speedup"].items()):
             print(f"  {name:<24} {ratio:.2f}x")
+    rss = current.get("load_rss")
+    if rss:
+        print(
+            f"load peak RSS ({rss['corpus']}, "
+            f"{rss['container_bytes'] / 1024:.0f} KiB container): "
+            f"heap +{rss['heap']['load_delta_kib']} KiB, "
+            f"mmap +{rss['mmap']['load_delta_kib']} KiB "
+            f"({rss['reduction']:.1f}x reduction)"
+        )
 
     if args.check:
         if args.baseline is None or not args.baseline.exists():

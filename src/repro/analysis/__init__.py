@@ -9,8 +9,9 @@ Two unrelated-but-sibling concerns live here:
   repro.analysis``), which enforces invariants generic linters cannot
   see: snapshot discipline (CG001), lock discipline (CG002), the
   repro.errors exception taxonomy (CG003), atomic artifact writes
-  (CG004) and decode-budget pre-charging (CG005).  See
-  ``docs/analysis.md`` for the rule catalog.
+  (CG004), decode-budget pre-charging (CG005) and the zero-copy buffer
+  discipline of the decode plane (CG006).  See ``docs/analysis.md`` for
+  the rule catalog.
 """
 
 from repro.analysis.gapstats import (

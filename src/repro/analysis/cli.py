@@ -26,7 +26,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "Project-specific static analysis: snapshot discipline "
             "(CG001), lock discipline (CG002), exception taxonomy "
             "(CG003), atomic writes (CG004), decode-budget charging "
-            "(CG005)."
+            "(CG005), buffer-copy discipline (CG006)."
         ),
     )
     parser.add_argument(

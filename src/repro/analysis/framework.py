@@ -3,7 +3,8 @@
 The engine enforces project invariants that generic linters cannot see:
 snapshot discipline on the concurrent query plane (CG001), lock hygiene
 (CG002), the :mod:`repro.errors` exception taxonomy (CG003), atomic artifact
-writes (CG004) and decode-budget pre-charging (CG005).  Each rule is an
+writes (CG004), decode-budget pre-charging (CG005) and the zero-copy buffer
+discipline of the decode plane (CG006).  Each rule is an
 AST visitor registered with :func:`register`; the driver parses every file
 once and hands the tree to all selected rules.
 
@@ -142,6 +143,7 @@ def _load_builtin_rules() -> None:
     from repro.analysis import (  # noqa: F401
         rules_budget,
         rules_concurrency,
+        rules_copies,
         rules_storage,
         rules_taxonomy,
     )

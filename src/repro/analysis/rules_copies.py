@@ -1,0 +1,127 @@
+"""CG006: no full-buffer copies on the decode path.
+
+The zero-copy contract of the bits/core decode plane (see
+``repro.bits.bitio`` "Buffer contract") is that container bytes are
+sliced as memoryviews all the way from the mapped (or heap-loaded)
+container into the readers -- ``bytes(section)`` on a 100 MB stream
+silently re-materialises what mmap loading exists to avoid, and one such
+call undoes the memory win for every caller.  This rule flags the three
+ways full-buffer copies have crept back in historically:
+
+* ``bytes(x)`` / ``bytearray(x)`` where ``x`` is an expression (not a
+  literal size or byte string): copies the whole source buffer;
+* ``Path.read_bytes()``: slurps a file the loader should map or walk
+  incrementally.
+
+Scope is ``repro/bits`` and ``repro/core`` only -- the decode plane.
+``repro/storage`` (which owns durable artifacts and may materialise
+them) and ``repro/testing`` (which plants corrupt bytes on purpose) are
+deliberately out of scope.  Sanctioned copies -- a UTF-8 name about to be
+decoded, pickling a mapped graph across a process boundary, the encoder
+finalising a writer -- carry ``# repro: noqa[CG006]`` with the reason in
+a comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.framework import Finding, Rule, SourceFile, register
+
+__all__ = ["BufferCopyRule"]
+
+#: Path prefixes (under ``src/``) forming the zero-copy decode plane.
+_SCOPE_SEGMENTS = (("repro", "bits"), ("repro", "core"))
+
+
+def _in_scope(source: SourceFile) -> bool:
+    parts = source.parts
+    for scope in _SCOPE_SEGMENTS:
+        for i in range(len(parts) - len(scope)):
+            if tuple(parts[i:i + len(scope)]) == scope:
+                return True
+    return False
+
+
+#: Variable names that denote a size (``bytearray(length)`` zero-fills a
+#: fresh buffer, it does not copy one).  Kept deliberately short: an
+#: ambiguous name is flagged and the author decides (noqa or rename).
+_SIZE_NAMES = {"length", "size", "count", "n", "nbytes", "num_bytes"}
+
+
+def _is_copying_arg(arg: ast.expr) -> bool:
+    """Whether a ``bytes``/``bytearray`` argument copies an existing buffer.
+
+    Literal sizes (``bytearray(8)``), size-named variables
+    (``bytearray(length)``), byte literals (``bytes(b"..")``) and
+    generator-style constructions (``bytes(x & 0xFF for ...)``) build
+    fresh content; a plain name, attribute, subscript or call result is
+    an existing buffer being duplicated.
+    """
+    if isinstance(arg, ast.Constant):
+        return False
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.List, ast.Tuple)):
+        return False
+    if isinstance(arg, ast.Name) and arg.id in _SIZE_NAMES:
+        return False
+    return True
+
+
+@register
+class BufferCopyRule(Rule):
+    """CG006: decode-path code must slice views, never copy buffers."""
+
+    id = "CG006"
+    name = "buffer-copy"
+    summary = (
+        "repro/bits and repro/core must not materialise full-buffer "
+        "copies: no bytes(buf)/bytearray(buf) of existing buffers and no "
+        "Path.read_bytes() -- slice memoryviews (or map the file) "
+        "instead; sanctioned copies carry `# repro: noqa[CG006]`."
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        """Only the zero-copy decode plane is in scope."""
+        return _in_scope(source)
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Flag buffer-copying constructors and whole-file reads."""
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("bytes", "bytearray")
+                and len(node.args) == 1
+                and not node.keywords
+                and _is_copying_arg(node.args[0])
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"`{func.id}(...)` duplicates an existing buffer "
+                        "on the decode path; slice a memoryview instead "
+                        "(or mark a sanctioned copy with "
+                        "`# repro: noqa[CG006]`)",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "read_bytes"
+                and not node.args
+                and not node.keywords
+            ):
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        "`.read_bytes()` slurps the whole file onto the "
+                        "heap; map it (`_map_readonly`) or stream it "
+                        "incrementally",
+                    )
+                )
+        return findings

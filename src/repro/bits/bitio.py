@@ -12,6 +12,18 @@ the first bit written is the highest bit of the first byte.
 the hot decoders (``repro.bits.codes``) can ``peek_bits``/``skip`` on plain
 integer arithmetic instead of re-slicing the byte buffer per code word.
 
+Buffer contract (zero-copy rule)
+--------------------------------
+
+``BitReader`` reads from *any* read-only buffer -- ``bytes``, a
+``memoryview`` (including one over an ``mmap``-ed container file) or a
+``bytearray`` -- and never copies it: every access is a bounded slice fed
+to ``int.from_bytes``.  This is what lets ``load_compressed(mmap=True)``
+share one OS page cache between N worker processes: the reader walks the
+mapped pages directly.  Callers hand ``mmap`` objects in wrapped in a
+``memoryview`` (slicing a raw ``mmap`` copies; slicing its view does not).
+The buffer must not be mutated while any reader is live.
+
 Reading past the end of a stream raises :class:`repro.errors.EndOfStreamError`,
 which is both an :class:`EOFError` (the historical contract) and a
 :class:`repro.errors.FormatError` so corrupt-container decoding funnels into
@@ -32,7 +44,14 @@ with :meth:`BitWriter.extend` / :meth:`BitWriter.from_bits`.
 
 from __future__ import annotations
 
+from typing import Union
+
 from repro.errors import CodecDomainError, EndOfStreamError
+
+#: Read-only byte buffers the bit-level readers accept without copying.
+#: ``mmap.mmap`` is deliberately absent: raw mmap slicing *copies*, so
+#: mapped containers are passed in as ``memoryview(mm)`` instead.
+Buffer = Union[bytes, bytearray, memoryview]
 
 #: Widest value ``peek_bits``/the cached-word fast paths serve; one refill
 #: loads at least this many bits when that much stream remains (64 bits of
@@ -54,7 +73,7 @@ class BitWriter:
         self._nacc = 0         # number of valid bits in `_acc`
 
     @classmethod
-    def from_bits(cls, data: bytes, nbits: int) -> "BitWriter":
+    def from_bits(cls, data: Buffer, nbits: int) -> "BitWriter":
         """A writer whose first ``nbits`` bits are the given serialised stream.
 
         Reconstructs the exact accumulator state :meth:`to_bytes` flushed:
@@ -71,7 +90,9 @@ class BitWriter:
             )
         writer = cls()
         whole = nbits >> 3
-        writer._bytes = bytearray(data[:whole])
+        # Writers mutate their buffer, so adopting foreign bytes must
+        # copy them -- this is the encode path, not the decode path.
+        writer._bytes = bytearray(data[:whole])  # repro: noqa[CG006]
         tail = nbits & 7
         if tail:
             writer._acc = data[whole] >> (8 - tail)
@@ -139,10 +160,12 @@ class BitWriter:
 
     def to_bytes(self) -> bytes:
         """Return the stream padded with zero bits to a whole byte."""
-        out = bytearray(self._bytes)
+        # Encoder finalisation: the writer stays mutable afterwards, so
+        # the caller gets an immutable copy, not a view of live state.
+        out = bytearray(self._bytes)  # repro: noqa[CG006]
         if self._nacc:
             out.append((self._acc << (8 - self._nacc)) & 0xFF)
-        return bytes(out)
+        return bytes(out)  # repro: noqa[CG006]
 
 
 class BitReader:
@@ -157,7 +180,7 @@ class BitReader:
     that invariant so ``peek_bits``/``skip`` stay branch-light.
     """
 
-    def __init__(self, data: bytes, nbits: int | None = None) -> None:
+    def __init__(self, data: Buffer, nbits: int | None = None) -> None:
         self._data = data
         self._nbits = 8 * len(data) if nbits is None else nbits
         self._pos = 0

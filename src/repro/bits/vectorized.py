@@ -58,7 +58,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bits import kernels
-from repro.bits.bitio import BitReader
+from repro.bits.bitio import BitReader, Buffer
 from repro.errors import CodecDomainError
 
 __all__ = ["decode_run", "decode_run_pairs"]
@@ -190,7 +190,7 @@ def _sync(reader: BitReader, pos: int) -> None:
     reader._wbits = 0
 
 
-def _window16(data: bytes, nbits: int, start: int, region: int) -> Any:
+def _window16(data: Buffer, nbits: int, start: int, region: int) -> Any:
     """The 16-bit windows at bit positions ``[start, start + region)``.
 
     Bits at or past ``nbits`` read as zero, matching

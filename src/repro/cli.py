@@ -70,10 +70,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
 
     p = sub.add_parser("query", help="run a neighbor or edge query")
-    p.add_argument("input", help=".chrono file")
+    p.add_argument("input",
+                   help=".chrono file, segment store dir, or tcp://host:port "
+                        "of a running `repro serve`")
     p.add_argument("kind", choices=["neighbors", "edge", "timestamps"])
     p.add_argument("args", nargs="+", type=int,
                    help="neighbors: u t1 t2 | edge: u v t1 t2 | timestamps: u v")
+    p.add_argument("--tenant", default=None,
+                   help="tenant budget key (tcp:// targets only)")
+    p.add_argument("--timeout-ms", type=int, default=None,
+                   help="server-side deadline (tcp:// targets only)")
+    p.add_argument("--allow-partial", action="store_true",
+                   help="accept breaker-annotated subset answers "
+                        "(tcp:// targets only)")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a .chrono file or segment store over TCP "
+             "(multi-process, memory-mapped)",
+    )
+    p.add_argument("input", help=".chrono file or segment store directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port and prints it")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes sharing one mapped store")
+    p.add_argument("--max-concurrent", type=int, default=64,
+                   help="per-worker admission cap before shedding")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="per-tenant sustained queries/second")
+    p.add_argument("--tenant-burst", type=float, default=None,
+                   help="per-tenant burst budget")
+    p.add_argument("--max-timeout", type=float, default=30.0,
+                   help="ceiling on client-requested deadlines, seconds")
+    p.add_argument("--no-mmap", action="store_true",
+                   help="load the store into each worker's heap instead "
+                        "of memory-mapping it")
 
     p = sub.add_parser("sweep", help="Table IV row: every method on one dataset")
     p.add_argument("dataset", choices=dataset_names())
@@ -209,7 +241,81 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import GraphService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_concurrent=args.max_concurrent,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        max_timeout=args.max_timeout,
+        mmap=not args.no_mmap,
+    )
+    service = GraphService(args.input, config)
+    host, port = service.start()
+    mode = "heap" if args.no_mmap else "mmap"
+    print(
+        f"serving {args.input} on tcp://{host}:{port} "
+        f"({config.workers} worker(s), {mode})",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _query_remote(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    with ServiceClient.from_url(
+        args.input,
+        tenant=args.tenant,
+        timeout_ms=args.timeout_ms,
+        allow_partial=args.allow_partial,
+    ) as client:
+        try:
+            if args.kind == "neighbors":
+                if len(args.args) != 3:
+                    print("neighbors query needs: u t_start t_end", file=sys.stderr)
+                    return 2
+                result = client.neighbors(*args.args)
+                print(" ".join(map(str, result)) if result else "(none)")
+            elif args.kind == "edge":
+                if len(args.args) != 4:
+                    print("edge query needs: u v t_start t_end", file=sys.stderr)
+                    return 2
+                print("active" if client.has_edge(*args.args) else "inactive")
+            else:
+                if len(args.args) != 2:
+                    print("timestamps query needs: u v", file=sys.stderr)
+                    return 2
+                result = client.edge_timestamps(*args.args)
+                print(" ".join(map(str, result)) if result else "(none)")
+        except ServiceError as exc:
+            hint = (
+                f" (retry in {exc.retry_after:.3g}s)"
+                if exc.retry_after is not None else ""
+            )
+            print(f"error: {exc}{hint}", file=sys.stderr)
+            return 2
+        for skip in client.last_skipped:
+            print(
+                f"note: part {skip['part']} skipped: {skip['reason']}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_query(args) -> int:
+    if args.input.startswith("tcp://"):
+        return _query_remote(args)
     cg = load_compressed(args.input)
     if args.kind == "neighbors":
         if len(args.args) != 3:
@@ -542,6 +648,7 @@ _COMMANDS = {
     "compress": _cmd_compress,
     "inspect": _cmd_inspect,
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "gapstats": _cmd_gapstats,
     "stats": _cmd_stats,

@@ -76,10 +76,10 @@ import itertools
 import threading
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bits import codes, kernels
-from repro.bits.bitio import BitReader
+from repro.bits.bitio import BitReader, Buffer
 from repro.bits.eliasfano import EliasFano
 from repro.core.config import ChronoGraphConfig
 from repro.core.structure import decode_node_structure, multiset_from_parts
@@ -238,9 +238,9 @@ class CompressedChronoGraph:
         num_contacts: int,
         t_min: int,
         config: ChronoGraphConfig,
-        structure_bytes: bytes,
+        structure_bytes: Buffer,
         structure_bits: int,
-        timestamp_bytes: bytes,
+        timestamp_bytes: Buffer,
         timestamp_bits: int,
         structure_offsets: EliasFano,
         timestamp_offsets: EliasFano,
@@ -254,6 +254,11 @@ class CompressedChronoGraph:
         self._sbits = structure_bits
         self._tbytes = timestamp_bytes
         self._tbits = timestamp_bits
+        # Deferred per-stream CRC checks installed by mmap-mode loading
+        # (repro.core.serialize); run once at the first decode touching
+        # each stream, then dropped.  None everywhere else.
+        self._sverify: Optional[Callable[[], None]] = None
+        self._tverify: Optional[Callable[[], None]] = None
         self._soffsets = structure_offsets
         self._toffsets = timestamp_offsets
         self._cache_max_bytes: Optional[int] = DEFAULT_CACHE_BUDGET_BYTES
@@ -281,14 +286,42 @@ class CompressedChronoGraph:
         self._cache_evictions = 0
         self._cache_invalidations = 0
 
+    def _touch_structure(self) -> None:
+        """Run (once) the deferred structure-stream checksum, if any."""
+        check = self._sverify
+        if check is not None:
+            check()
+            self._sverify = None
+
+    def _touch_timestamps(self) -> None:
+        """Run (once) the deferred timestamp-stream checksum, if any."""
+        check = self._tverify
+        if check is not None:
+            check()
+            self._tverify = None
+
     def __getstate__(self):
         state = self.__dict__.copy()
         for key in _RUNTIME_KEYS:
             state.pop(key, None)
+        # A pickle crosses process or machine boundaries: settle any
+        # deferred checksum now and ship plain bytes -- memoryviews (e.g.
+        # over an mmap-ed container) cannot be pickled.
+        self._touch_structure()
+        self._touch_timestamps()
+        state["_sverify"] = None
+        state["_tverify"] = None
+        if not isinstance(self._sbytes, bytes):
+            state["_sbytes"] = bytes(self._sbytes)  # repro: noqa[CG006]
+        if not isinstance(self._tbytes, bytes):
+            state["_tbytes"] = bytes(self._tbytes)  # repro: noqa[CG006]
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Pickles written before lazy verification existed lack these.
+        self.__dict__.setdefault("_sverify", None)
+        self.__dict__.setdefault("_tverify", None)
         self._init_runtime()
 
     # -- derived counts --------------------------------------------------------
@@ -751,6 +784,7 @@ class CompressedChronoGraph:
         return CorruptStreamError(f"node {u}: {stage} decode failed: {exc}")
 
     def _structure_reader(self, u: int) -> BitReader:
+        self._touch_structure()
         reader = BitReader(self._sbytes, self._sbits)
         reader.seek(self._soffsets.access(u))
         return reader
@@ -834,6 +868,7 @@ class CompressedChronoGraph:
         self, u: int, count: int
     ) -> Tuple[List[int], Optional[List[int]]]:
         try:
+            self._touch_timestamps()
             reader = BitReader(self._tbytes, self._tbits)
             reader.seek(self._toffsets.access(u))
             return decode_node_timestamps(
@@ -910,6 +945,8 @@ class CompressedChronoGraph:
         window = config.window
         limit = state.num_contacts
         with_durations = self.kind is GraphKind.INTERVAL
+        self._touch_structure()
+        self._touch_timestamps()
         sreader = BitReader(self._sbytes, self._sbits)
         treader = BitReader(self._tbytes, self._tbits)
         overlay = state.overlay
@@ -1311,6 +1348,7 @@ class CompressedChronoGraph:
         dcache = self._distinct_cache
         overlay = state.overlay
         base_n = self._base_nodes
+        self._touch_structure()
         sreader = BitReader(self._sbytes, self._sbits)
         recent: Dict[int, List[int]] = {}
 

@@ -25,18 +25,35 @@ from the :class:`repro.errors.FormatError` hierarchy.  VERSION 1 containers
 ``load_compressed(path, salvage=True)`` switches to best-effort decoding:
 instead of raising, it returns a :class:`repro.core.validate.SalvageReport`
 describing the longest valid prefix of nodes that could be recovered.
+
+Buffer discipline
+-----------------
+
+The read path is zero-copy end to end: :class:`_Cursor` wraps whatever
+buffer it is given in a ``memoryview`` and every section it hands out is a
+*view* into that buffer, never a slice copy.  ``load_compressed`` therefore
+has two modes that differ only in who owns the underlying pages:
+
+* heap (default): the file is read once into a ``bytes`` blob and the
+  graph's streams are views into it;
+* ``mmap=True``: the file is memory-mapped read-only and the views walk the
+  mapped pages directly, so N processes opening the same container share
+  one copy in the OS page cache.  Stream-section CRCs are deferred to first
+  decode (:class:`_LazySectionCheck`) so merely opening a container faults
+  in only the header and offset pages.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import io
+import mmap
 import pathlib
 import struct
 import zlib
 from typing import BinaryIO, List, Optional, Tuple, Union
 
-from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.bitio import BitReader, BitWriter, Buffer
 from repro.bits.codes import read_vbyte, write_vbyte
 from repro.bits.eliasfano import EliasFano
 from repro.core.compressed import CompressedChronoGraph
@@ -119,10 +136,16 @@ DEFAULT_LIMITS = DecodeLimits()
 
 
 class _Cursor:
-    """Bounded reader over an in-memory container with typed failures."""
+    """Bounded reader over an in-memory container with typed failures.
 
-    def __init__(self, data: bytes, source: str) -> None:
-        self._data = data
+    The buffer is wrapped in a ``memoryview`` once, so every
+    :meth:`read_exact` returns a zero-copy view into the container --
+    multi-megabyte stream sections are never duplicated, whether the
+    container lives on the heap or in a memory-mapped file.
+    """
+
+    def __init__(self, data: Buffer, source: str) -> None:
+        self._data = data if isinstance(data, memoryview) else memoryview(data)
         self._pos = 0
         self.source = source
 
@@ -131,7 +154,7 @@ class _Cursor:
         """Bytes left between the cursor and the end of the container."""
         return len(self._data) - self._pos
 
-    def read_exact(self, n: int, what: str) -> bytes:
+    def read_exact(self, n: int, what: str) -> memoryview:
         """Read exactly ``n`` bytes or raise :class:`TruncatedContainerError`."""
         if n < 0 or n > self.remaining:
             raise TruncatedContainerError(
@@ -173,14 +196,20 @@ def _offsets_payload(offsets: List[int]) -> bytes:
     return struct.pack("<Q", len(offsets)) + data
 
 
-def _stream_payload(nbits: int, data: bytes) -> bytes:
-    return struct.pack("<Q", nbits) + data
+def _write_section(out: BinaryIO, tag: int, *parts: Buffer) -> None:
+    """Frame one section from payload ``parts`` without concatenating them.
 
-
-def _write_section(out: BinaryIO, tag: int, payload: bytes) -> None:
-    out.write(struct.pack("<BQ", tag, len(payload)))
-    out.write(payload)
-    out.write(struct.pack("<I", zlib.crc32(payload)))
+    The payload is written (and its CRC32 chained) part by part so a
+    stream body that is a ``memoryview`` -- e.g. a graph loaded with
+    ``mmap=True`` being re-serialised -- is streamed straight from its
+    source buffer.
+    """
+    out.write(struct.pack("<BQ", tag, sum(len(p) for p in parts)))
+    crc = 0
+    for part in parts:
+        out.write(part)
+        crc = zlib.crc32(part, crc)
+    out.write(struct.pack("<I", crc))
 
 
 def _header_payload(graph: CompressedChronoGraph) -> bytes:
@@ -213,6 +242,10 @@ def dumps_compressed(graph: CompressedChronoGraph) -> bytes:
             f"cannot serialise {graph._state.count} uncompacted overlay "
             "contact(s); compact the graph first"
         )
+    # A lazily-verified (mmap-loaded) graph must not be re-serialised
+    # before its deferred stream checksums have been confirmed.
+    graph._touch_structure()
+    graph._touch_timestamps()
     buffer = io.BytesIO()
     buffer.write(MAGIC)
     buffer.write(struct.pack("<BB", VERSION, 0))
@@ -221,10 +254,10 @@ def dumps_compressed(graph: CompressedChronoGraph) -> bytes:
     buffer.write(header)
     buffer.write(struct.pack("<I", zlib.crc32(header)))
     _write_section(
-        buffer, _SECTION_STRUCTURE, _stream_payload(graph._sbits, graph._sbytes)
+        buffer, _SECTION_STRUCTURE, struct.pack("<Q", graph._sbits), graph._sbytes
     )
     _write_section(
-        buffer, _SECTION_TIMESTAMPS, _stream_payload(graph._tbits, graph._tbytes)
+        buffer, _SECTION_TIMESTAMPS, struct.pack("<Q", graph._tbits), graph._tbytes
     )
     _write_section(
         buffer, _SECTION_SOFFSETS, _offsets_payload(list(graph._soffsets))
@@ -284,7 +317,7 @@ def _save_v1_bytes(graph: CompressedChronoGraph) -> bytes:
 # --------------------------------------------------------------------------
 
 def _decode_offset_deltas(
-    data: bytes, count: int, source: str, what: str
+    data: Buffer, count: int, source: str, what: str
 ) -> List[int]:
     """Decode ``count`` VByte deltas into absolute offsets."""
     if count > len(data):
@@ -371,7 +404,9 @@ def _parse_header_fields(
         raise CorruptStreamError(f"{source}: invalid config: {exc}") from exc
     (name_len,) = cur.unpack("<B", "name length")
     try:
-        name = cur.read_exact(name_len, "name").decode("utf-8")
+        # The one sanctioned copy on the load path: a <=255-byte name field
+        # (memoryview has no .decode).
+        name = bytes(cur.read_exact(name_len, "name")).decode("utf-8")  # repro: noqa[CG006]
     except UnicodeDecodeError as exc:
         raise CorruptStreamError(f"{source}: name is not valid UTF-8") from exc
     return kind, num_nodes, num_contacts, t_min, config, name
@@ -386,9 +421,9 @@ def _assemble_graph(
     config: ChronoGraphConfig,
     name: str,
     sbits: int,
-    sbytes: bytes,
+    sbytes: Buffer,
     tbits: int,
-    tbytes: bytes,
+    tbytes: Buffer,
     soffsets: List[int],
     toffsets: List[int],
     source: str,
@@ -444,8 +479,32 @@ def _assemble_graph(
 # Reading -- strict paths
 # --------------------------------------------------------------------------
 
+class _LazySectionCheck:
+    """Deferred CRC32 verification of one stream section.
+
+    ``load_compressed(mmap=True)`` defers stream-section checksums so that
+    merely opening a container faults in no stream pages.  The graph runs
+    the check on first decode of that stream (see
+    ``CompressedChronoGraph._touch_structure``), raising exactly the
+    :class:`ChecksumMismatchError` the eager path would have raised at
+    load time.  The check is idempotent and reads only immutable state, so
+    a benign race between two first readers is harmless.
+    """
+
+    __slots__ = ("_payload", "_crc", "_message")
+
+    def __init__(self, payload: Buffer, crc: int, message: str) -> None:
+        self._payload = payload
+        self._crc = crc
+        self._message = message
+
+    def __call__(self) -> None:
+        if zlib.crc32(self._payload) != self._crc:
+            raise ChecksumMismatchError(self._message)
+
+
 def _load_v2_body(
-    cur: _Cursor, limits: DecodeLimits, source: str
+    cur: _Cursor, limits: DecodeLimits, source: str, *, lazy_crc: bool = False
 ) -> CompressedChronoGraph:
     (flags,) = cur.unpack("<B", "flags")
     if flags != 0:
@@ -464,73 +523,103 @@ def _load_v2_body(
     _check_counts(num_nodes, num_contacts, len(cur._data), limits, source)
 
     payloads = {}
-    for expected_tag in _SECTION_ORDER:
-        what = _SECTION_NAMES[expected_tag]
-        (tag,) = cur.unpack("<B", "section tag")
-        if tag != expected_tag:
+    deferred: List[Tuple[int, _LazySectionCheck]] = []
+    try:
+        for expected_tag in _SECTION_ORDER:
+            what = _SECTION_NAMES[expected_tag]
+            (tag,) = cur.unpack("<B", "section tag")
+            if tag != expected_tag:
+                raise CorruptStreamError(
+                    f"{source}: expected {what} section (tag {expected_tag}), "
+                    f"found tag {tag}"
+                )
+            (payload_len,) = cur.unpack("<Q", f"{what} length")
+            if payload_len > limits.max_section_bytes:
+                raise LimitExceededError(
+                    f"{source}: {what}: {payload_len} bytes exceeds section "
+                    f"limit {limits.max_section_bytes}"
+                )
+            payload = cur.read_exact(payload_len, what)
+            (crc,) = cur.unpack("<I", f"{what} checksum")
+            check = _LazySectionCheck(
+                payload, crc, f"{source}: {what} checksum mismatch"
+            )
+            if lazy_crc and expected_tag in (
+                _SECTION_STRUCTURE, _SECTION_TIMESTAMPS
+            ):
+                # Offsets are fully decoded below (their pages are touched
+                # anyway), so only the two stream sections are worth
+                # deferring.
+                deferred.append((expected_tag, check))
+            else:
+                check()
+            payloads[expected_tag] = payload
+        if cur.remaining:
             raise CorruptStreamError(
-                f"{source}: expected {what} section (tag {expected_tag}), "
-                f"found tag {tag}"
+                f"{source}: {cur.remaining} trailing bytes after final section"
             )
-        (payload_len,) = cur.unpack("<Q", f"{what} length")
-        if payload_len > limits.max_section_bytes:
-            raise LimitExceededError(
-                f"{source}: {what}: {payload_len} bytes exceeds section "
-                f"limit {limits.max_section_bytes}"
+
+        streams = {}
+        for tag in (_SECTION_STRUCTURE, _SECTION_TIMESTAMPS):
+            what = _SECTION_NAMES[tag]
+            payload = payloads[tag]
+            if len(payload) < 8:
+                raise TruncatedContainerError(
+                    f"{source}: {what}: payload too short"
+                )
+            (nbits,) = struct.unpack("<Q", payload[:8])
+            data = payload[8:]
+            _check_stream_geometry(nbits, len(data), source, what)
+            streams[tag] = (nbits, data)
+
+        offset_lists = {}
+        for tag in (_SECTION_SOFFSETS, _SECTION_TOFFSETS):
+            what = _SECTION_NAMES[tag]
+            payload = payloads[tag]
+            if len(payload) < 8:
+                raise TruncatedContainerError(
+                    f"{source}: {what}: payload too short"
+                )
+            (count,) = struct.unpack("<Q", payload[:8])
+            if count != num_nodes:
+                raise CorruptStreamError(
+                    f"{source}: {what}: {count} entries for {num_nodes} nodes"
+                )
+            offset_lists[tag] = _decode_offset_deltas(
+                payload[8:], count, source, what
             )
-        payload = cur.read_exact(payload_len, what)
-        (crc,) = cur.unpack("<I", f"{what} checksum")
-        if zlib.crc32(payload) != crc:
-            raise ChecksumMismatchError(f"{source}: {what} checksum mismatch")
-        payloads[expected_tag] = payload
-    if cur.remaining:
-        raise CorruptStreamError(
-            f"{source}: {cur.remaining} trailing bytes after final section"
+
+        sbits, sbytes = streams[_SECTION_STRUCTURE]
+        tbits, tbytes = streams[_SECTION_TIMESTAMPS]
+        graph = _assemble_graph(
+            kind=kind,
+            num_nodes=num_nodes,
+            num_contacts=num_contacts,
+            t_min=t_min,
+            config=config,
+            name=name,
+            sbits=sbits,
+            sbytes=sbytes,
+            tbits=tbits,
+            tbytes=tbytes,
+            soffsets=offset_lists[_SECTION_SOFFSETS],
+            toffsets=offset_lists[_SECTION_TOFFSETS],
+            source=source,
         )
-
-    streams = {}
-    for tag in (_SECTION_STRUCTURE, _SECTION_TIMESTAMPS):
-        what = _SECTION_NAMES[tag]
-        payload = payloads[tag]
-        if len(payload) < 8:
-            raise TruncatedContainerError(f"{source}: {what}: payload too short")
-        (nbits,) = struct.unpack("<Q", payload[:8])
-        data = payload[8:]
-        _check_stream_geometry(nbits, len(data), source, what)
-        streams[tag] = (nbits, data)
-
-    offset_lists = {}
-    for tag in (_SECTION_SOFFSETS, _SECTION_TOFFSETS):
-        what = _SECTION_NAMES[tag]
-        payload = payloads[tag]
-        if len(payload) < 8:
-            raise TruncatedContainerError(f"{source}: {what}: payload too short")
-        (count,) = struct.unpack("<Q", payload[:8])
-        if count != num_nodes:
-            raise CorruptStreamError(
-                f"{source}: {what}: {count} entries for {num_nodes} nodes"
-            )
-        offset_lists[tag] = _decode_offset_deltas(
-            payload[8:], count, source, what
-        )
-
-    sbits, sbytes = streams[_SECTION_STRUCTURE]
-    tbits, tbytes = streams[_SECTION_TIMESTAMPS]
-    return _assemble_graph(
-        kind=kind,
-        num_nodes=num_nodes,
-        num_contacts=num_contacts,
-        t_min=t_min,
-        config=config,
-        name=name,
-        sbits=sbits,
-        sbytes=sbytes,
-        tbits=tbits,
-        tbytes=tbytes,
-        soffsets=offset_lists[_SECTION_SOFFSETS],
-        toffsets=offset_lists[_SECTION_TOFFSETS],
-        source=source,
-    )
+    except FormatError:
+        # A corrupted stream section can masquerade as a geometry or
+        # cross-check error before its checksum was ever read.  Verify the
+        # deferred CRCs now so a lazy load fails with the same exception
+        # class the eager path raises for the same mutation.
+        for _, check in deferred:
+            check()
+        raise
+    for tag, check in deferred:
+        if tag == _SECTION_STRUCTURE:
+            graph._sverify = check
+        else:
+            graph._tverify = check
+    return graph
 
 
 def _load_v1_body(
@@ -579,15 +668,26 @@ def _load_v1_body(
 
 
 def load_compressed_bytes(
-    data: bytes,
+    data: Buffer,
     *,
     limits: Optional[DecodeLimits] = None,
     source: str = "<bytes>",
+    lazy_crc: bool = False,
 ) -> CompressedChronoGraph:
     """Parse an in-memory container produced by :func:`dumps_compressed`.
 
     Verifies every checksum and applies all decode limits; raises a
     :class:`repro.errors.FormatError` subclass on any integrity violation.
+    The graph's streams are zero-copy views into ``data``, which must stay
+    immutable for the graph's lifetime.
+
+    With ``lazy_crc=True`` the two stream-section checksums are deferred to
+    the first decode touching each stream (header, framing and offset
+    checksums stay eager); the deferred check raises the same
+    :class:`repro.errors.ChecksumMismatchError` the eager path would.
+    Callers whose buffer integrity is already guaranteed elsewhere (e.g. a
+    segment blob bound to a manifest CRC) use this to skip a redundant
+    checksum pass.
     """
     limits = limits or DEFAULT_LIMITS
     cur = _Cursor(data, source)
@@ -595,10 +695,30 @@ def load_compressed_bytes(
         raise FormatError(f"{source}: not a ChronoGraph file (bad magic)")
     (version,) = cur.unpack("<B", "version")
     if version == 1:
+        # v1 carries no checksums at all; there is nothing to defer.
         return _load_v1_body(cur, limits, source)
     if version == VERSION:
-        return _load_v2_body(cur, limits, source)
+        return _load_v2_body(cur, limits, source, lazy_crc=lazy_crc)
     raise UnsupportedVersionError(f"{source}: unsupported version {version}")
+
+
+def _map_readonly(path: PathLike) -> Buffer:
+    """Map ``path`` read-only and return a zero-copy view of its bytes.
+
+    A slice of the returned ``memoryview`` keeps the underlying ``mmap``
+    alive (memoryviews hold their exporter), so callers simply let views
+    propagate; the mapping closes when the last view is garbage-collected.
+    Empty files cannot be mapped and unmappable filesystems do exist, so
+    both fall back to a plain heap read.
+    """
+    target = pathlib.Path(path)
+    with open(target, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Sanctioned heap fallback for unmappable inputs.
+            return target.read_bytes()  # repro: noqa[CG006]
+    return memoryview(mapped)
 
 
 def load_compressed(
@@ -606,6 +726,7 @@ def load_compressed(
     *,
     salvage: bool = False,
     limits: Optional[DecodeLimits] = None,
+    mmap: bool = False,
 ):
     """Read a compressed graph written by :func:`save_compressed`.
 
@@ -614,34 +735,69 @@ def load_compressed(
     :class:`CompressedChronoGraph` is returned; any integrity violation
     raises a :class:`repro.errors.FormatError` subclass.
 
+    With ``mmap=True`` the container is memory-mapped read-only instead of
+    read into the heap: the graph's streams walk the mapped pages directly,
+    so any number of processes opening the same file share a single copy in
+    the OS page cache.  Header, framing and offset checksums are verified
+    eagerly (those pages are touched anyway); the two stream-section CRCs
+    are verified lazily on the first decode that touches each stream.  Use
+    ``repro verify --deep`` for an eager end-to-end check.  The mapped file
+    must not be rewritten in place while the graph is live -- the saver's
+    atomic rename discipline guarantees this for containers it wrote.
+
     With ``salvage=True`` nothing raises short of an unreadable *path*:
     the longest valid prefix of nodes is decoded best-effort and a
     :class:`repro.core.validate.SalvageReport` is returned, whose ``graph``
     attribute holds the recovered prefix (or ``None`` when not even the
-    header survived).
+    header survived).  Salvage always maps the file and walks sections as
+    views, so inspecting a huge or truncated container does not require
+    materialising it in heap memory first.
     """
-    blob = pathlib.Path(path).read_bytes()
+    source = str(path)
     if salvage:
-        return salvage_bytes(blob, limits=limits, source=str(path))
-    return load_compressed_bytes(blob, limits=limits, source=str(path))
+        return salvage_bytes(_map_readonly(path), limits=limits, source=source)
+    if mmap:
+        return load_compressed_bytes(
+            _map_readonly(path), limits=limits, source=source, lazy_crc=True
+        )
+    # The explicit heap loader: materialising is the requested behaviour.
+    blob = pathlib.Path(path).read_bytes()  # repro: noqa[CG006]
+    return load_compressed_bytes(blob, limits=limits, source=source)
 
 
 # --------------------------------------------------------------------------
 # Salvage (best-effort) reading
 # --------------------------------------------------------------------------
 
+#: A section recovered by salvage: either the raw framed payload (v2 --
+#: u64 prefix still embedded) or an already-split ``(prefix, body)`` pair
+#: (v1, whose prefix fields are not adjacent to the body in the file).
+_SalvagePart = Union[Buffer, Tuple[int, Buffer]]
+
+
+def _split_part(part: _SalvagePart) -> Optional[Tuple[int, Buffer]]:
+    """Normalise a salvaged section to ``(prefix, body)`` views, or None."""
+    if isinstance(part, tuple):
+        return part
+    if len(part) < 8:
+        return None
+    (value,) = struct.unpack("<Q", part[:8])
+    return value, part[8:]
+
+
 def _salvage_offsets(
-    payload: bytes, want: int, nbits: int, errors: List[str], what: str
+    part: _SalvagePart, want: int, nbits: int, errors: List[str], what: str
 ) -> List[int]:
     """Decode as many in-range offsets as the payload yields, never raising."""
-    if len(payload) < 8:
+    split = _split_part(part)
+    if split is None:
         errors.append(f"{what}: payload too short for a count field")
         return []
-    (count,) = struct.unpack("<Q", payload[:8])
+    count, data = split
     if count != want:
         errors.append(f"{what}: {count} entries declared for {want} nodes")
-    count = min(count, want, len(payload) - 8)
-    reader = BitReader(payload[8:])
+    count = min(count, want, len(data))
+    reader = BitReader(data)
     offsets: List[int] = []
     value = 0
     for _ in range(count):
@@ -658,14 +814,14 @@ def _salvage_offsets(
 
 
 def _salvage_stream(
-    payload: bytes, errors: List[str], what: str
-) -> Tuple[int, bytes]:
+    part: _SalvagePart, errors: List[str], what: str
+) -> Tuple[int, Buffer]:
     """Recover (nbits, data) from a stream payload, clipping as needed."""
-    if len(payload) < 8:
+    split = _split_part(part)
+    if split is None:
         errors.append(f"{what}: payload too short for a length field")
         return 0, b""
-    (nbits,) = struct.unpack("<Q", payload[:8])
-    data = payload[8:]
+    nbits, data = split
     if nbits > 8 * len(data):
         errors.append(
             f"{what}: declared {nbits} bits exceed {len(data)} payload bytes"
@@ -675,7 +831,7 @@ def _salvage_stream(
 
 
 def salvage_bytes(
-    data: bytes,
+    data: Buffer,
     *,
     limits: Optional[DecodeLimits] = None,
     source: str = "<bytes>",
@@ -713,7 +869,7 @@ def salvage_bytes(
 
 
 def _salvage_parts(
-    data: bytes, limits: DecodeLimits, source: str, errors: List[str]
+    data: Buffer, limits: DecodeLimits, source: str, errors: List[str]
 ) -> Optional[CompressedChronoGraph]:
     """Lenient parse returning a best-effort graph, or None if unreadable."""
     if len(data) < 5 or data[:4] != MAGIC:
@@ -802,16 +958,12 @@ def _salvage_parts(
                         f"{what}: declared {nbytes} bytes, "
                         f"clipped to {take} ({at})"
                     )
-                payloads[tag] = struct.pack("<Q", nbits) + cur.read_exact(
-                    take, what
-                )
+                payloads[tag] = (nbits, cur.read_exact(take, what))
             for tag in (_SECTION_SOFFSETS, _SECTION_TOFFSETS):
                 what = _SECTION_NAMES[tag]
                 count, nbytes = cur.unpack("<QQ", f"{what} lengths")
                 take = min(nbytes, cur.remaining)
-                payloads[tag] = struct.pack("<Q", count) + cur.read_exact(
-                    take, what
-                )
+                payloads[tag] = (count, cur.read_exact(take, what))
         except FormatError as exc:
             errors.append(str(exc))
 

@@ -885,12 +885,16 @@ class SegmentStore:
         quarantined: Optional[List[QuarantineEntry]] = None,
         events: Optional[List[str]] = None,
         breakers: Optional[BreakerBoard] = None,
+        mmap_segments: bool = True,
     ) -> None:
         self.directory = directory
         self.policy = policy
         self._fs = fs
         self._retry = retry
         self._limits = limits
+        # Whether sealed segments are memory-mapped (shared page cache)
+        # rather than read into per-process heap bytes.
+        self._mmap_segments = mmap_segments
         self._manifest = manifest
         self._view = view
         self._wal = wal
@@ -983,6 +987,7 @@ class SegmentStore:
         limits=None,
         policy: Optional[StorePolicy] = None,
         read_only: bool = False,
+        mmap: bool = True,
     ) -> "SegmentStore":
         """Open with full crash recovery; raises ``FormatError`` only when
         the manifest itself is unreadable (segments and the tail degrade to
@@ -991,8 +996,18 @@ class SegmentStore:
         ``read_only`` skips every repair side effect (tail truncation,
         quarantine renames, orphan sweeps, WAL creation) so diagnostics can
         inspect a damaged store without changing a byte of it.
+
+        With ``mmap=True`` (the default) sealed segments are memory-mapped
+        read-only instead of read into the heap, so N processes opening the
+        same store share one copy of every segment in the OS page cache.
+        Integrity checking is unchanged -- the manifest binding and every
+        container checksum are still verified eagerly at open (the CRC scan
+        touches the mapped pages without copying them).  Segments are
+        immutable and replaced only by whole-file rename, so a concurrent
+        writer sealing or compacting never perturbs a mapped reader: the
+        reader's mapping pins the old inode until the view is rebuilt.
         """
-        from repro.core.serialize import load_compressed_bytes
+        from repro.core.serialize import _map_readonly, load_compressed_bytes
         from repro.core.validate import SalvageReport
 
         directory = pathlib.Path(path)
@@ -1008,7 +1023,7 @@ class SegmentStore:
             reason: Optional[str] = None
             blob = b""
             try:
-                blob = seg_path.read_bytes()
+                blob = _map_readonly(seg_path) if mmap else seg_path.read_bytes()
             except OSError as exc:
                 reason = f"unreadable: {exc}"
             if reason is None and (
@@ -1069,6 +1084,7 @@ class SegmentStore:
             quarantined=quarantined,
             events=events,
             breakers=board,
+            mmap_segments=mmap,
         )
 
     @classmethod
@@ -1392,10 +1408,16 @@ class SegmentStore:
             self.directory, new_manifest, fs=self._fs, retry=self._retry
         )
         self._tail_contacts = []
-        from repro.core.serialize import load_compressed_bytes
+        from repro.core.serialize import _map_readonly, load_compressed_bytes
 
+        # Map the file just written rather than adopting the in-heap encode
+        # buffer: the long-lived view then shares pages with every other
+        # process, and the reload doubles as a read-back verification.
+        seg_path = self.directory / name
         graph = load_compressed_bytes(
-            payload, limits=self._limits, source=str(self.directory / name)
+            _map_readonly(seg_path) if self._mmap_segments else payload,
+            limits=self._limits,
+            source=str(seg_path),
         )
         view = self._view
         self._view = SegmentedChronoGraph(
@@ -1459,10 +1481,13 @@ class SegmentStore:
         atomic_write_bytes(
             self.directory / name, payload, fs=self._fs, retry=self._retry
         )
-        from repro.core.serialize import load_compressed_bytes
+        from repro.core.serialize import _map_readonly, load_compressed_bytes
 
+        merged_path = self.directory / name
         merged_graph = load_compressed_bytes(
-            payload, limits=self._limits, source=str(self.directory / name)
+            _map_readonly(merged_path) if self._mmap_segments else payload,
+            limits=self._limits,
+            source=str(merged_path),
         )
         with self._commit_guard:
             if self._closed:

@@ -69,6 +69,7 @@ __all__ = [
     "random_region_mutations",
     "default_mutations",
     "run_fault_injection",
+    "run_mmap_fault_injection",
     "CrashPoint",
     "FaultyFilesystem",
     "crash_points",
@@ -301,6 +302,95 @@ def run_fault_injection(
             except Exception as exc:  # noqa: BLE001 - salvage must not raise
                 outcome = "escaped"
                 detail = f"salvage raised {exc!r}"
+        result = FaultResult(mutation.name, outcome, detail, elapsed)
+        report.total += 1
+        report.slowest = max(report.slowest, elapsed)
+        if outcome == "identical":
+            report.identical += 1
+        elif outcome == "detected":
+            report.detected += 1
+        if result.failed:
+            report.failures.append(result)
+    return report
+
+
+def run_mmap_fault_injection(
+    container: bytes,
+    mutations: Iterable[Mutation],
+    *,
+    time_budget: float = 5.0,
+    limits: Optional[DecodeLimits] = None,
+) -> FaultInjectionReport:
+    """Assert lazy-CRC (mmap-mode) loading has outcome parity with eager.
+
+    Every mutation is decoded twice: eagerly (the default
+    :func:`load_compressed_bytes` path) and lazily (``lazy_crc=True`` --
+    the ``load_compressed(mmap=True)`` path -- followed by a full decode
+    so every deferred stream checksum fires).  The contract extends the
+    eager one with *parity*:
+
+    * if the eager path raises a :class:`FormatError` subclass, the lazy
+      path must raise the **same subclass** (at load time or at first
+      stream touch -- never succeed silently);
+    * if the eager path decodes contacts, the lazy path must decode the
+      identical contacts.
+
+    Parity violations are recorded as ``mismatch`` failures with both
+    sides' outcomes in the detail.
+    """
+    baseline = _decode_fully(container, limits)
+    report = FaultInjectionReport()
+
+    def attempt(decode: Callable[[], list]) -> Tuple[str, object]:
+        try:
+            return "contacts", decode()
+        except FormatError as exc:
+            return "error", type(exc).__name__
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            return "escaped", repr(exc)
+
+    for mutation in mutations:
+        start = time.perf_counter()
+        detail = ""
+        eager_kind, eager_value = attempt(
+            lambda: _decode_fully(mutation.data, limits)
+        )
+        lazy_kind, lazy_value = attempt(
+            lambda: list(
+                load_compressed_bytes(
+                    memoryview(mutation.data), limits=limits, lazy_crc=True
+                ).iter_contacts()
+            )
+        )
+        if eager_kind == "escaped" or lazy_kind == "escaped":
+            outcome = "escaped"
+            detail = str(eager_value if eager_kind == "escaped" else lazy_value)
+        elif eager_kind != lazy_kind:
+            outcome = "mismatch"
+            detail = (
+                f"eager {eager_kind}:{eager_value if eager_kind == 'error' else ''} "
+                f"vs lazy {lazy_kind}:{lazy_value if lazy_kind == 'error' else ''}"
+            )
+        elif eager_kind == "error":
+            if eager_value == lazy_value:
+                outcome = "detected"
+                detail = str(eager_value)
+            else:
+                outcome = "mismatch"
+                detail = f"eager raised {eager_value}, lazy raised {lazy_value}"
+        else:
+            if eager_value != lazy_value:
+                outcome = "mismatch"
+                detail = "eager and lazy decoded different contacts"
+            elif eager_value == baseline:
+                outcome = "identical"
+            else:
+                outcome = "mismatch"
+                detail = f"{len(eager_value)} vs {len(baseline)} contacts"  # type: ignore[arg-type]
+        elapsed = time.perf_counter() - start
+        if elapsed > time_budget:
+            outcome = "overbudget"
+            detail = f"{elapsed:.2f}s > {time_budget:.2f}s budget"
         result = FaultResult(mutation.name, outcome, detail, elapsed)
         report.total += 1
         report.slowest = max(report.slowest, elapsed)

@@ -38,9 +38,9 @@ def _rules_of(findings):
 # -- rule registry ----------------------------------------------------------
 
 
-def test_all_five_rules_registered():
+def test_all_six_rules_registered():
     ids = [rule.id for rule in all_rules()]
-    assert ids == ["CG001", "CG002", "CG003", "CG004", "CG005"]
+    assert ids == ["CG001", "CG002", "CG003", "CG004", "CG005", "CG006"]
     for rule in all_rules():
         assert rule.name
         assert rule.summary
@@ -623,6 +623,81 @@ def test_cli_syntax_error_reported(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 1
     assert "syntax error" in out
+
+
+# -- CG006 buffer copies ----------------------------------------------------
+
+
+def test_cg006_flags_buffer_copies_and_file_slurps(tmp_path):
+    _write(
+        tmp_path,
+        "repro/core/copies.py",
+        """
+        import pathlib
+
+        def copies(payload):
+            body = bytes(payload)
+            scratch = bytearray(payload[8:])
+            return body, scratch
+
+        def slurps(path):
+            return pathlib.Path(path).read_bytes()
+        """,
+    )
+    findings, _ = run_rules([str(tmp_path)], [get_rule("CG006")])
+    assert len(findings) == 3
+    messages = " ".join(f.message for f in findings)
+    assert "duplicates an existing buffer" in messages
+    assert "slurps the whole file" in messages
+
+
+def test_cg006_accepts_views_sizes_and_fresh_content(tmp_path):
+    _write(
+        tmp_path,
+        "repro/core/views.py",
+        """
+        def sliced(payload):
+            view = memoryview(payload)
+            return view[8:]
+
+        def sized(length, n):
+            return bytearray(length), bytes(n)
+
+        def fresh(values):
+            return bytes(v & 0xFF for v in values)
+
+        def literal():
+            return bytes(b"abc"), bytearray(16)
+        """,
+    )
+    findings, _ = run_rules([str(tmp_path)], [get_rule("CG006")])
+    assert findings == []
+
+
+def test_cg006_scope_is_bits_and_core_only(tmp_path):
+    body = """
+        def materialise(payload, path):
+            import pathlib
+            return bytes(payload) + pathlib.Path(path).read_bytes()
+    """
+    _write(tmp_path, "repro/storage/blobs.py", body)
+    _write(tmp_path, "repro/testing/planted.py", body)
+    _write(tmp_path, "repro/service/frames.py", body)
+    findings, _ = run_rules([str(tmp_path)], [get_rule("CG006")])
+    assert findings == []
+
+
+def test_cg006_noqa_sanctions_a_copy(tmp_path):
+    _write(
+        tmp_path,
+        "repro/bits/sanctioned.py",
+        """
+        def name_of(view):
+            return bytes(view).decode("utf-8")  # repro: noqa[CG006]
+        """,
+    )
+    findings, _ = run_rules([str(tmp_path)], [get_rule("CG006")])
+    assert findings == []
 
 
 # -- the codebase itself is clean -------------------------------------------

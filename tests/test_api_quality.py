@@ -46,6 +46,7 @@ MODULES = [
     "repro.analysis.report", "repro.analysis.cli",
     "repro.analysis.rules_concurrency", "repro.analysis.rules_taxonomy",
     "repro.analysis.rules_storage", "repro.analysis.rules_budget",
+    "repro.analysis.rules_copies",
     "repro.algorithms", "repro.algorithms.pagerank",
     "repro.algorithms.communities", "repro.algorithms.reachability",
     "repro.algorithms.anomaly", "repro.algorithms.centrality",
@@ -55,6 +56,8 @@ MODULES = [
     "repro.vertexcentric.programs",
     "repro.bench", "repro.bench.harness", "repro.bench.report",
     "repro.bench.export", "repro.bench.latex",
+    "repro.service", "repro.service.protocol", "repro.service.server",
+    "repro.service.client",
     "repro.interop", "repro.cli",
 ]
 
