@@ -26,7 +26,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Project-specific static analysis: snapshot discipline "
             "(CG001), lock discipline (CG002), exception taxonomy "
             "(CG003), atomic writes (CG004), decode-budget charging "
-            "(CG005), buffer-copy discipline (CG006)."
+            "(CG005), buffer-copy discipline (CG006), checkpoint "
+            "coverage (CG007), resource lifecycle (CG008), stale "
+            "suppressions (CG009)."
         ),
     )
     parser.add_argument(
@@ -36,7 +38,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyse (default: src benchmarks)",
     )
     parser.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--format",
+        choices=("human", "json", "github"),
+        default=None,
+        help=(
+            "output format: human (default), json (stable machine-readable "
+            "document), github (workflow-command annotations for Actions)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json (kept for compatibility)",
     )
     parser.add_argument(
         "--baseline",
@@ -126,6 +139,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         findings, accepted = baseline_mod.filter_findings(findings, entries)
 
-    render = report.render_json if args.json else report.render_human
+    fmt = args.format or ("json" if args.json else "human")
+    if args.format and args.json and args.format != "json":
+        print("error: --json conflicts with --format " + args.format, file=sys.stderr)
+        return 2
+    render = {
+        "human": report.render_human,
+        "json": report.render_json,
+        "github": report.render_github,
+    }[fmt]
     print(render(findings, errors, accepted, files_checked))
     return 1 if findings or errors else 0

@@ -7,7 +7,7 @@ from typing import List, Sequence
 
 from repro.analysis.framework import Finding, Rule
 
-__all__ = ["render_human", "render_json", "render_rule_list"]
+__all__ = ["render_human", "render_json", "render_github", "render_rule_list"]
 
 
 def render_human(
@@ -41,7 +41,12 @@ def render_json(
     accepted: int,
     files_checked: int,
 ) -> str:
-    """Machine-readable result document (``--json``)."""
+    """Machine-readable result document (``--format json`` / ``--json``).
+
+    Keys are sorted and findings arrive pre-sorted by (path, line, rule,
+    col) from the engine, so two runs over the same tree produce
+    byte-identical documents -- diffable in CI artifacts.
+    """
     return json.dumps(
         {
             "files_checked": files_checked,
@@ -59,7 +64,50 @@ def render_json(
             ],
         },
         indent=2,
+        sort_keys=True,
     )
+
+
+def _escape_workflow(value: str) -> str:
+    """Escape a value for a GitHub Actions workflow-command property."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def render_github(
+    findings: Sequence[Finding],
+    errors: Sequence[str],
+    accepted: int,
+    files_checked: int,
+) -> str:
+    """GitHub Actions annotations (``--format github``).
+
+    Each finding becomes an ``::error`` workflow command so the Checks UI
+    anchors it to the offending file and line; the human summary tail is
+    kept as a plain line for the raw log.
+    """
+    lines: List[str] = []
+    for err in errors:
+        lines.append(f"::error title=repro-analysis::{_escape_workflow(err)}")
+    for f in findings:
+        lines.append(
+            f"::error file={f.path},line={f.line},col={f.col},"
+            f"title={f.rule}::{_escape_workflow(f.message)}"
+        )
+    tail = (
+        f"{len(findings)} finding(s) in {files_checked} file(s)"
+        if findings
+        else f"clean: {files_checked} file(s)"
+    )
+    if accepted:
+        tail += f", {accepted} baselined"
+    if errors:
+        tail += f", {len(errors)} file error(s)"
+    lines.append(tail)
+    return "\n".join(lines)
 
 
 def render_rule_list(rules: Sequence[Rule]) -> str:

@@ -10,16 +10,35 @@ Both rules encode the concurrency contract of
   mutate lock is held, and lock acquisition order must be acyclic (CG002).
   The distinct-list lock is exempt from the first clause by design: it is a
   reentrant lock whose purpose is to serialise decode-driven cache warming.
+
+CG002 is a whole-program rule: its call summaries -- which locks a
+function acquires, which banned decode/encode/filesystem calls it can
+reach -- are computed as a fixpoint over the cross-module call graph
+(:mod:`repro.analysis.callgraph`), so a service handler that holds a lock
+while calling through the segment store into the codec layer is flagged
+even though the three frames live in three modules.  Lock-order edges are
+likewise collected project-wide and cycle-checked once, over the union
+graph.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.framework import Finding, Rule, SourceFile, register
+from repro.analysis.framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    register,
+)
 
-__all__ = ["SnapshotDisciplineRule", "LockDisciplineRule"]
+__all__ = [
+    "SnapshotDisciplineRule",
+    "LockDisciplineRule",
+    "collect_lock_model",
+]
 
 #: The snapshot attribute CG001 protects.
 _SNAPSHOT_ATTR = "_state"
@@ -273,7 +292,7 @@ def _is_banned(name: str) -> bool:
 
 
 class _FunctionSummary:
-    """Per-function facts propagated through intra-module calls."""
+    """Per-function facts propagated through the cross-module call graph."""
 
     __slots__ = ("acquires", "bans")
 
@@ -283,107 +302,132 @@ class _FunctionSummary:
         self.bans: Set[str] = set()
 
 
+class _LockModel:
+    """The whole-program lock model CG002 computes in its project phase.
+
+    ``summaries`` maps function qualnames to their fixpoint facts;
+    ``order_edges`` maps observed ``(held, acquired)`` pairs to the first
+    source location that exhibits them.  The runtime sanitizer
+    (:mod:`repro.testing.sanitizer`) cross-checks its observed acquisition
+    orders against :attr:`order_edges`.
+    """
+
+    def __init__(self) -> None:
+        self.summaries: Dict[str, _FunctionSummary] = {}
+        self.order_edges: Dict[Tuple[str, str], Tuple[SourceFile, ast.AST]] = {}
+
+    @property
+    def edges(self) -> Set[Tuple[str, str]]:
+        """The static acquisition-order edge set (held -> acquired)."""
+        return set(self.order_edges)
+
+
 @register
 class LockDisciplineRule(Rule):
     """CG002: no decode/encode/filesystem work under shard or mutate locks,
-    and no cyclic lock-acquisition order."""
+    and no cyclic lock-acquisition order -- checked across modules."""
 
     id = "CG002"
     name = "lock-discipline"
     summary = (
         "No decode, encode or filesystem call may run while holding a "
         "shard or mutate lock (the reentrant distinct-list lock is exempt "
-        "by design), and the lock acquisition order must be acyclic."
+        "by design), and the lock acquisition order must be acyclic; call "
+        "summaries flow through the cross-module call graph."
     )
 
-    def check(self, source: SourceFile) -> List[Finding]:
-        """Walk every function with a held-lock set; then cycle-check."""
-        summaries = self._summaries(source.tree)
-        findings: List[Finding] = []
-        order_edges: Dict[Tuple[str, str], ast.AST] = {}
-        for func, qualname in self._functions(source.tree):
-            self._walk_block(
-                source,
-                func.body,
-                frozenset(),
-                summaries,
-                findings,
-                order_edges,
-            )
-        findings.extend(self._order_cycles(source, order_edges))
+    def finish(self, project: Project) -> List[Finding]:
+        """Fixpoint the summaries, walk every function, then cycle-check."""
+        findings, _model = self._analyse(project)
         return findings
 
-    # -- intra-module call graph ------------------------------------------
+    def _analyse(
+        self, project: Project
+    ) -> Tuple[List[Finding], _LockModel]:
+        from repro.analysis.callgraph import CallGraph, FunctionInfo
 
-    def _functions(
-        self, tree: ast.Module
-    ) -> List[Tuple[ast.FunctionDef, str]]:
-        out: List[Tuple[ast.FunctionDef, str]] = []
-        for stmt in tree.body:
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                out.append((stmt, stmt.name))  # type: ignore[arg-type]
-            elif isinstance(stmt, ast.ClassDef):
-                for func in _function_defs(stmt.body):
-                    out.append((func, f"{stmt.name}.{func.name}"))
-        return out
+        graph: CallGraph = project.callgraph
+        model = _LockModel()
+        model.summaries = self._fixpoint(graph)
+        findings: List[Finding] = []
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            self._walk_block(
+                info,
+                list(info.node.body),  # type: ignore[attr-defined]
+                frozenset(),
+                graph,
+                model,
+                findings,
+            )
+        findings.extend(self._order_cycles(model))
+        return findings, model
 
-    def _summaries(self, tree: ast.Module) -> Dict[str, _FunctionSummary]:
+    # -- cross-module call summaries --------------------------------------
+
+    def _fixpoint(self, graph) -> Dict[str, _FunctionSummary]:
         """Fixpoint of (locks acquired, banned calls reachable) per function.
 
-        Keys are bare function names: intra-module calls are resolved by
-        name (``self.f()`` and ``f()`` both map to ``f``), which matches
-        how the codebase is written and keeps the analysis conservative.
+        Direct facts are gathered once per function; propagation then
+        unions callee summaries along resolved call edges until stable.
+        Resolution over-approximates (see :mod:`repro.analysis.callgraph`),
+        which can only add scrutiny, never hide a banned call.
         """
-        funcs = {func.name: func for func, _ in self._functions(tree)}
-        summaries = {name: _FunctionSummary() for name in funcs}
+        summaries: Dict[str, _FunctionSummary] = {}
+        adjacency: Dict[str, Tuple[str, ...]] = {}
+        for qualname, info in graph.functions.items():
+            summary = _FunctionSummary()
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        lock = _lock_name(item.context_expr)
+                        if lock:
+                            summary.acquires.add(lock)
+                elif isinstance(node, ast.Call):
+                    name = _call_name(node)
+                    if name is None:
+                        continue
+                    if name == "acquire" and isinstance(
+                        node.func, ast.Attribute
+                    ):
+                        lock = _lock_name(node.func.value)
+                        if lock:
+                            summary.acquires.add(lock)
+                    elif _is_banned(name):
+                        summary.bans.add(name)
+            summaries[qualname] = summary
+            # Exact edges only: a ubiquitous method name (`extend`, `get`)
+            # on a plain container must not drag in every project method
+            # of that name and charge its bans to the caller.
+            adjacency[qualname] = tuple(
+                callee.qualname
+                for callee in graph.callees(info, fallback=False)
+            )
         changed = True
         while changed:
             changed = False
-            for name, func in funcs.items():
-                summary = summaries[name]
+            for qualname, callees in adjacency.items():
+                summary = summaries[qualname]
                 before = (len(summary.acquires), len(summary.bans))
-                self._summarise(func, summaries, summary)
+                for callee in callees:
+                    other = summaries.get(callee)
+                    if other is not None:
+                        summary.acquires |= other.acquires
+                        summary.bans |= other.bans
                 if (len(summary.acquires), len(summary.bans)) != before:
                     changed = True
         return summaries
-
-    def _summarise(
-        self,
-        func: ast.FunctionDef,
-        summaries: Dict[str, _FunctionSummary],
-        summary: _FunctionSummary,
-    ) -> None:
-        for node in ast.walk(func):
-            if isinstance(node, ast.With):
-                for item in node.items:
-                    lock = _lock_name(item.context_expr)
-                    if lock:
-                        summary.acquires.add(lock)
-            elif isinstance(node, ast.Call):
-                name = _call_name(node)
-                if name is None:
-                    continue
-                if name == "acquire" and isinstance(node.func, ast.Attribute):
-                    lock = _lock_name(node.func.value)
-                    if lock:
-                        summary.acquires.add(lock)
-                elif _is_banned(name):
-                    summary.bans.add(name)
-                callee = summaries.get(name)
-                if callee is not None:
-                    summary.acquires |= callee.acquires
-                    summary.bans |= callee.bans
 
     # -- lock-held walk ----------------------------------------------------
 
     def _walk_block(
         self,
-        source: SourceFile,
+        info,
         body: List[ast.stmt],
         held: frozenset,
-        summaries: Dict[str, _FunctionSummary],
+        graph,
+        model: _LockModel,
         findings: List[Finding],
-        order_edges: Dict[Tuple[str, str], ast.AST],
     ) -> frozenset:
         """Walk statements propagating the running held-lock set.
 
@@ -394,10 +438,10 @@ class LockDisciplineRule(Rule):
         for stmt in body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 # Separate frame: a nested def does not run under our locks
-                # at definition time.  Its body is walked lock-free.
+                # at definition time.  Its body is walked lock-free (its
+                # call sites resolve through the enclosing function).
                 self._walk_block(
-                    source, stmt.body, frozenset(), summaries, findings,
-                    order_edges,
+                    info, stmt.body, frozenset(), graph, model, findings
                 )
                 continue
             if isinstance(stmt, ast.With):
@@ -406,12 +450,11 @@ class LockDisciplineRule(Rule):
                     lock = _lock_name(item.context_expr)
                     if lock:
                         self._note_acquire(
-                            source, lock, entered, stmt, findings, order_edges
+                            info, lock, entered, stmt, model
                         )
                         entered = entered | {lock}
                 self._walk_block(
-                    source, stmt.body, entered, summaries, findings,
-                    order_edges,
+                    info, stmt.body, entered, graph, model, findings
                 )
                 continue
             if isinstance(stmt, (ast.If, ast.While)):
@@ -423,11 +466,11 @@ class LockDisciplineRule(Rule):
             else:
                 roots = [stmt]  # simple statement: scan the whole subtree
             held = self._scan_exprs(
-                source, roots, held, summaries, findings, order_edges
+                info, roots, held, graph, model, findings
             )
             for inner in self._inner_blocks(stmt):
                 held = self._walk_block(
-                    source, inner, held, summaries, findings, order_edges
+                    info, inner, held, graph, model, findings
                 )
         return held
 
@@ -443,12 +486,12 @@ class LockDisciplineRule(Rule):
 
     def _scan_exprs(
         self,
-        source: SourceFile,
+        info,
         roots: List[ast.AST],
         held: frozenset,
-        summaries: Dict[str, _FunctionSummary],
+        graph,
+        model: _LockModel,
         findings: List[Finding],
-        order_edges: Dict[Tuple[str, str], ast.AST],
     ) -> frozenset:
         for node in [n for root in roots for n in ast.walk(root)]:
             if not isinstance(node, ast.Call):
@@ -459,9 +502,7 @@ class LockDisciplineRule(Rule):
             if name == "acquire" and isinstance(node.func, ast.Attribute):
                 lock = _lock_name(node.func.value)
                 if lock:
-                    self._note_acquire(
-                        source, lock, held, node, findings, order_edges
-                    )
+                    self._note_acquire(info, lock, held, node, model)
                     held = held | {lock}
                 continue
             if name == "release" and isinstance(node.func, ast.Attribute):
@@ -469,7 +510,8 @@ class LockDisciplineRule(Rule):
                 if lock:
                     held = held - {lock}
                 continue
-            banned_here = self._effective_bans(name, summaries)
+            callees = graph.resolve(node, info, fallback=False)
+            banned_here = self._effective_bans(name, callees, model)
             if banned_here:
                 for lock in sorted(held):
                     if "distinct" in lock:
@@ -481,55 +523,53 @@ class LockDisciplineRule(Rule):
                     )
                     findings.append(
                         self.finding(
-                            source,
+                            info.source,
                             node,
                             f"{detail} runs decode/encode/filesystem work "
                             f"while holding `{lock}`; move it outside the "
                             "critical section",
                         )
                     )
-            callee = summaries.get(name)
-            if callee is not None:
-                for lock in callee.acquires:
-                    self._note_acquire(
-                        source, lock, held, node, findings, order_edges
-                    )
+            for callee in callees:
+                summary = model.summaries.get(callee.qualname)
+                if summary is not None:
+                    for lock in summary.acquires:
+                        self._note_acquire(info, lock, held, node, model)
         return held
 
     def _effective_bans(
-        self, name: str, summaries: Dict[str, _FunctionSummary]
+        self, name: str, callees: Sequence, model: _LockModel
     ) -> Set[str]:
         if _is_banned(name):
             return {name}
-        callee = summaries.get(name)
-        if callee is not None:
-            return callee.bans
-        return set()
+        bans: Set[str] = set()
+        for callee in callees:
+            summary = model.summaries.get(callee.qualname)
+            if summary is not None:
+                bans |= summary.bans
+        return bans
 
     def _note_acquire(
         self,
-        source: SourceFile,
+        info,
         lock: str,
         held: frozenset,
         node: ast.AST,
-        findings: List[Finding],
-        order_edges: Dict[Tuple[str, str], ast.AST],
+        model: _LockModel,
     ) -> None:
         for prior in held:
             if prior != lock:
-                order_edges.setdefault((prior, lock), node)
+                model.order_edges.setdefault(
+                    (prior, lock), (info.source, node)
+                )
 
-    def _order_cycles(
-        self,
-        source: SourceFile,
-        order_edges: Dict[Tuple[str, str], ast.AST],
-    ) -> List[Finding]:
+    def _order_cycles(self, model: _LockModel) -> List[Finding]:
         graph: Dict[str, Set[str]] = {}
-        for a, b in order_edges:
+        for a, b in model.order_edges:
             graph.setdefault(a, set()).add(b)
         findings: List[Finding] = []
         seen_cycles: Set[frozenset] = set()
-        for start in graph:
+        for start in sorted(graph):
             path: List[str] = []
             on_path: Set[str] = set()
 
@@ -542,7 +582,7 @@ class LockDisciplineRule(Rule):
                         key = frozenset(cycle)
                         if key not in seen_cycles:
                             seen_cycles.add(key)
-                            node = order_edges[(v, w)]
+                            source, node = model.order_edges[(v, w)]
                             findings.append(
                                 self.finding(
                                     source,
@@ -559,3 +599,19 @@ class LockDisciplineRule(Rule):
 
             dfs(start)
         return findings
+
+
+def collect_lock_model(paths: Sequence[str]) -> "_LockModel":
+    """Build CG002's static lock model for ``paths`` (sanitizer cross-check).
+
+    Returns the :class:`_LockModel` whose ``edges`` property is the static
+    acquisition-order graph the runtime sanitizer validates observed
+    orders against.
+    """
+    from repro.analysis.framework import load_sources
+
+    sources, _errors = load_sources(paths)
+    project = Project(sources, ["CG002"])
+    rule = LockDisciplineRule()
+    _findings, model = rule._analyse(project)
+    return model

@@ -1,0 +1,306 @@
+"""CG008: resource handles must be released on every path.
+
+The long-lived processes this codebase runs as -- the service supervisor,
+the background compactor, segment stores holding mmap windows -- leak
+file descriptors, mapped pages and threads if a handle created on one
+path is only released on the happy path.  This rule is a small
+path-sensitive type-state check per function over the handle-producing
+factories (``open``, ``mmap``, ``socket``, ``Thread``, thread-pool
+executors):
+
+* a factory entered directly through ``with`` is managed -- OK;
+* a handle stored on an object (``self._thread = Thread(...)``),
+  returned, yielded, or handed to another call *escapes* -- its
+  lifecycle is owned elsewhere and is out of scope here;
+* a handle bound to a local must be released (``close``/``join``/
+  ``shutdown``) via ``with`` or a ``try/finally`` that begins before any
+  statement that can raise -- a "risky" statement (anything containing a
+  call) between acquisition and protection is exactly the error path
+  that leaks;
+* ``Thread(..., daemon=True)`` (or an immediate ``t.daemon = True``) is
+  exempt: fire-and-forget workers are detached by design.
+
+The rule is scoped to production ``repro`` packages; test fixtures and
+the chaos/race harnesses in ``repro.testing`` open and drop handles on
+purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.framework import Finding, Rule, SourceFile, register
+
+__all__ = ["ResourceLifecycleRule"]
+
+#: factory call name -> required release method on the produced handle.
+_FACTORIES: Dict[str, str] = {
+    "open": "close",
+    "mmap": "close",
+    "socket": "close",
+    "socketpair": "close",
+    "Thread": "join",
+    "ThreadPoolExecutor": "shutdown",
+    "ProcessPoolExecutor": "shutdown",
+}
+
+#: Any of these anywhere in a finally block releases the named handle.
+_RELEASES = {"close", "join", "shutdown", "terminate"}
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _factory_call(node: ast.AST) -> Optional[ast.Call]:
+    """``node`` itself when it is a handle-producing factory call."""
+    if isinstance(node, ast.Call) and _call_name(node) in _FACTORIES:
+        return node
+    return None
+
+
+def _is_daemon(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "daemon" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _has_call(node: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Call) for sub in ast.walk(node))
+
+
+def _releases_name(block: List[ast.stmt], name: str) -> bool:
+    """Whether ``block`` contains ``name.close()`` / ``.join()`` / etc."""
+    for stmt in block:
+        for sub in ast.walk(stmt):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _RELEASES
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == name
+            ):
+                return True
+    return False
+
+
+def _uses_name_as_arg(call: ast.Call, name: str) -> bool:
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Name) and sub.id == name:
+                return True
+    return False
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    """CG008: close/join every handle on success and error paths alike."""
+
+    id = "CG008"
+    name = "resource-lifecycle"
+    summary = (
+        "mmap/file/socket/Thread/Executor handles must be managed by "
+        "`with` or a try/finally release that starts before any statement "
+        "that can raise; storing, returning or passing the handle on "
+        "transfers ownership instead."
+    )
+
+    def applies(self, source: SourceFile) -> bool:
+        """Production repro packages only (testing harness exempt)."""
+        parts = source.parts
+        return "repro" in parts and "testing" not in parts
+
+    def check(self, source: SourceFile) -> List[Finding]:
+        """Audit every function body block for unmanaged factory calls."""
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_block(source, node.body, findings)
+        return findings
+
+    def _check_block(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        findings: List[Finding],
+    ) -> None:
+        """One statement list: find factory bindings, then audit their tail."""
+        for index, stmt in enumerate(body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are walked by check() itself
+            if isinstance(stmt, ast.With):
+                self._audit_with(source, stmt, findings)
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._audit_assign(source, body, index, stmt, findings)
+            elif isinstance(stmt, ast.Expr):
+                self._audit_bare_expr(source, stmt, findings)
+
+    def _audit_with(
+        self, source: SourceFile, stmt: ast.With, findings: List[Finding]
+    ) -> None:
+        # `with open(...) as f:` manages the handle; nothing to check on
+        # the item itself.  The body is a fresh block.
+        self._check_block(source, stmt.body, findings)
+
+    def _audit_bare_expr(
+        self, source: SourceFile, stmt: ast.Expr, findings: List[Finding]
+    ) -> None:
+        """`Thread(...).start()` style: the handle is dropped on the floor."""
+        for sub in ast.walk(stmt.value):
+            call = _factory_call(sub)
+            if call is None:
+                continue
+            if _call_name(call) == "Thread" and _is_daemon(call):
+                continue
+            # A factory used as an argument to another call escapes
+            # (e.g. stack.enter_context(open(...))).
+            if isinstance(stmt.value, ast.Call) and sub is not stmt.value:
+                if _uses_name_as_arg_node(stmt.value, sub):
+                    continue
+            findings.append(
+                self.finding(
+                    source,
+                    call,
+                    f"`{_call_name(call)}(...)` handle is dropped without "
+                    f"a `{_FACTORIES[_call_name(call)]}`; bind it and "
+                    "release it, or manage it with `with`",
+                )
+            )
+
+    def _audit_assign(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        index: int,
+        stmt: ast.Assign,
+        findings: List[Finding],
+    ) -> None:
+        call = _factory_call(stmt.value)
+        if call is None:
+            return
+        if _call_name(call) == "Thread" and _is_daemon(call):
+            return
+        if len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            return  # stored on an object or container: ownership escapes
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        verdict = self._tail_verdict(body[index + 1:], name, call)
+        if verdict is not None:
+            findings.append(self.finding(source, call, verdict))
+
+    def _tail_verdict(
+        self, tail: List[ast.stmt], name: str, call: ast.Call
+    ) -> Optional[str]:
+        """None when the handle is safely released/escaped; else a message."""
+        factory = _call_name(call)
+        release = _FACTORIES[factory]
+        risky_before = False
+        for stmt in tail:
+            # Protection: try/finally releasing the handle, or `with` on it.
+            if isinstance(stmt, ast.Try) and _releases_name(
+                stmt.finalbody, name
+            ):
+                if risky_before:
+                    return (
+                        f"`{name} = {factory}(...)` is released in a "
+                        "finally block, but a statement that can raise "
+                        "runs before the try is entered -- that error "
+                        "path leaks the handle"
+                    )
+                return None
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    expr = item.context_expr
+                    managed = (
+                        isinstance(expr, ast.Name) and expr.id == name
+                    ) or (
+                        isinstance(expr, ast.Call)
+                        and _uses_name_as_arg(expr, name)
+                    )
+                    if managed:
+                        if risky_before:
+                            return (
+                                f"`{name} = {factory}(...)` is managed by "
+                                "a later `with`, but a statement that can "
+                                "raise runs first -- that error path "
+                                "leaks the handle"
+                            )
+                        return None
+            # Escapes: returned, yielded, stored away, passed to a call.
+            if self._escapes(stmt, name):
+                return None
+            # Daemon flag set right after construction: detached by design.
+            if factory == "Thread" and self._sets_daemon(stmt, name):
+                return None
+            # Direct release with nothing risky in between: no error path
+            # exists between acquire and release, so finally is redundant.
+            if (
+                isinstance(stmt, ast.Expr)
+                and _releases_name([stmt], name)
+                and not risky_before
+            ):
+                return None
+            if _has_call(stmt) or isinstance(stmt, ast.Raise):
+                risky_before = True
+        return (
+            f"`{name} = {factory}(...)` may never be released; call "
+            f"`{name}.{release}()` under `with` or try/finally (error "
+            "paths included)"
+        )
+
+    def _escapes(self, stmt: ast.stmt, name: str) -> bool:
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(stmt.value)
+            )
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)) and sub.value:
+                if any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(sub.value)
+                ):
+                    return True
+            if isinstance(sub, ast.Call) and _uses_name_as_arg(sub, name):
+                return True
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        if any(
+                            isinstance(n, ast.Name) and n.id == name
+                            for n in ast.walk(sub.value)
+                        ):
+                            return True
+        return False
+
+    def _sets_daemon(self, stmt: ast.stmt, name: str) -> bool:
+        return (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Attribute)
+            and stmt.targets[0].attr == "daemon"
+            and isinstance(stmt.targets[0].value, ast.Name)
+            and stmt.targets[0].value.id == name
+            and isinstance(stmt.value, ast.Constant)
+            and bool(stmt.value.value)
+        )
+
+
+def _uses_name_as_arg_node(call: ast.Call, node: ast.AST) -> bool:
+    """Whether ``node`` appears inside ``call``'s argument list."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for sub in ast.walk(arg):
+            if sub is node:
+                return True
+    return False

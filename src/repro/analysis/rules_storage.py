@@ -37,6 +37,10 @@ _WRITE_FLAGS = {"O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC"}
 
 def _exempt(source: SourceFile) -> bool:
     parts = source.parts
+    # The test suite writes scratch files ad lib (tmp_path fixtures are
+    # not crash-durable artifacts); only production trees owe atomicity.
+    if "tests" in parts and "repro" not in parts:
+        return True
     for seg in _EXEMPT_SEGMENTS:
         try:
             i = parts.index(seg)

@@ -1,0 +1,103 @@
+"""CG009: the suppression inventory must stay honest.
+
+Every ``repro: noqa`` comment is a standing exception to an invariant;
+an exception that no longer excepts anything is debt that hides the next
+real finding on its line.  After both analysis phases have run, this rule
+audits every directive the scanner saw (:func:`repro.analysis.framework.
+scan_noqa` records them per file, including malformed ones) against the
+lines that actually silenced a finding this run (``Project.used_noqa``):
+
+* a **malformed** directive (``noqa[]``, ``noqa[bogus]``) suppresses
+  nothing by construction and is always reported;
+* a bracketed directive naming a rule id that is not registered at all is
+  reported (likely a typo that silences nothing);
+* a bracketed directive whose rules were all active this run but silenced
+  no finding is **stale** -- the code it excused has been fixed or moved;
+* a bare ``repro: noqa`` is only judged when the full rule set ran,
+  since any rule it might be suppressing must have had its chance.
+
+CG009 findings are anchored on the directive's own line and are exempt
+from noqa suppression (a stale suppression must not be able to suppress
+the report of its own staleness); see ``run_rules``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import (
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    register,
+)
+
+__all__ = ["StaleSuppressionRule"]
+
+
+@register
+class StaleSuppressionRule(Rule):
+    """CG009: malformed or no-longer-needed noqa directives are findings."""
+
+    id = "CG009"
+    name = "stale-suppression"
+    summary = (
+        "A `repro: noqa` directive that is malformed, names an unknown "
+        "rule, or no longer silences any finding is itself a finding; "
+        "remove or fix it."
+    )
+
+    def finish(self, project: Project) -> List[Finding]:
+        """Audit every scanned directive against the run's suppression use."""
+        registered = {rule.id for rule in all_rules()}
+        findings: List[Finding] = []
+        for source in project.sources:
+            used = project.used_noqa.get(source.display_path, set())
+            for line in sorted(source.directives):
+                directive = source.directives[line]
+
+                def emit(message: str, line: int = line) -> None:
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.display_path,
+                            line=line,
+                            col=0,
+                            message=message,
+                        )
+                    )
+
+                if directive.malformed is not None:
+                    emit(
+                        "malformed suppression: "
+                        f"{directive.malformed}; it suppresses nothing"
+                    )
+                    continue
+                if line in used:
+                    continue
+                if directive.rules is None:
+                    if project.all_rules_active:
+                        emit(
+                            "stale blanket suppression: no rule reports a "
+                            "finding on this line; remove the directive"
+                        )
+                    continue
+                unknown = sorted(
+                    rule_id
+                    for rule_id in directive.rules
+                    if rule_id not in registered
+                )
+                if unknown:
+                    emit(
+                        "suppression names unknown rule(s) "
+                        f"{', '.join(unknown)}; it suppresses nothing"
+                    )
+                    continue
+                if directive.rules <= project.active_rule_ids:
+                    emit(
+                        "stale suppression: no "
+                        f"{'/'.join(sorted(directive.rules))} finding on "
+                        "this line; remove the directive"
+                    )
+        return findings

@@ -86,11 +86,13 @@ def _gamma_table() -> Tuple[List[int], List[int]]:
     if _GAMMA_TABLE is None:
         vals = [0] * _TABLE_SIZE
         lens = [0] * _TABLE_SIZE
-        for lead in range((_TABLE_BITS - 1) // 2 + 1):
+        # Table build is bounded by _TABLE_BITS and memoised per process,
+        # so the one cold-path run needs no checkpoint.
+        for lead in range((_TABLE_BITS - 1) // 2 + 1):  # repro: noqa[CG007]
             n = 2 * lead + 1
             # The n-bit gamma codeword of x is x itself (unary exponent
             # prefix then the low bits), so the fill is direct.
-            for x in range(1 << lead, 1 << (lead + 1)):
+            for x in range(1 << lead, 1 << (lead + 1)):  # repro: noqa[CG007]
                 _fill(vals, lens, x, n, x)
         _GAMMA_TABLE = (vals, lens)
     return _GAMMA_TABLE
@@ -103,7 +105,9 @@ def _zeta_table(k: int) -> Tuple[List[int], List[int]]:
     vals = [0] * _TABLE_SIZE
     lens = [0] * _TABLE_SIZE
     h = 0
-    while True:
+    # Exits once the shortest h-level code overflows _TABLE_BITS, so the
+    # memoised build is bounded; no checkpoint needed on the cold path.
+    while True:  # repro: noqa[CG007]
         un = h + 1  # unary part: h zeros then a 1
         low = 1 << (h * k)
         z = (low << k) - low
@@ -116,10 +120,12 @@ def _zeta_table(k: int) -> Tuple[List[int], List[int]]:
             _fill(vals, lens, 1, un, low)
         else:
             if m > 0 and un + s - 1 <= _TABLE_BITS:
-                for d in range(m):  # short codes: s - 1 payload bits
+                # Short codes: s - 1 payload bits (table-bounded fill).
+                for d in range(m):  # repro: noqa[CG007]
                     _fill(vals, lens, (1 << (s - 1)) | d, un + s - 1, low + d)
             if un + s <= _TABLE_BITS:
-                for d in range(m, z):  # long codes: s payload bits of d + m
+                # Long codes: s payload bits of d + m (table-bounded fill).
+                for d in range(m, z):  # repro: noqa[CG007]
                     _fill(vals, lens, (1 << s) | (d + m), un + s, low + d)
         h += 1
     _ZETA_TABLES[k] = (vals, lens)

@@ -1109,7 +1109,9 @@ class CompressedChronoGraph:
             return False
         end = bisect_right(multiset, v, start)
         kind = self.kind
-        for i in range(start, end):
+        # One edge's contact run: bounded by the decoded record, whose
+        # size was already charged at decode time.
+        for i in range(start, end):  # repro: noqa[CG007]
             duration = durations[i] if durations is not None else 0
             c = Contact(u, v, times[i], duration)
             if c.is_active(t_start, t_end, kind):

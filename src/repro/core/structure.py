@@ -314,7 +314,8 @@ def decode_node_structure(
         charge(count - 2)
         dedup.append((label, count))
         prev = label
-        for i in range(1, dedup_count):
+        # Trip count was charged against the decode-limit budget above.
+        for i in range(1, dedup_count):  # repro: noqa[CG007]
             label = prev + raw[2 * i] + 1
             count = raw[2 * i + 1] + 2
             charge(count - 2)
@@ -350,7 +351,8 @@ def decode_node_structure(
         charge(length - min_length)
         intervals.extend(range(left, left + length))
         prev_end = left + length - 1
-        for i in range(1, interval_count):
+        # Trip count was charged against the decode-limit budget above.
+        for i in range(1, interval_count):  # repro: noqa[CG007]
             left = prev_end + raw[2 * i] + 2
             length = raw[2 * i + 1] + min_length
             charge(length - min_length)

@@ -58,6 +58,7 @@ __all__ = [
     "activate",
     "resolve_context",
     "query_scope",
+    "checkpoint_ambient",
 ]
 
 #: Default decode chunk stride, in codes, between ambient checkpoints.
@@ -413,6 +414,21 @@ def _active_scope(ctx: QueryContext) -> Iterator[QueryContext]:
     with _admission(ctx):
         with activate(ctx):
             yield ctx
+
+
+def checkpoint_ambient(work: int = 0) -> None:
+    """Poll this thread's ambient context, if any (no-op un-governed).
+
+    The explicit poll for pure-Python query loops that never route
+    through a bulk reader (and therefore never hit the decode checkpoint
+    hook): walk frontiers, cache scans, segment iteration.  Costs one
+    thread-local read when no context is active, so hot loops may call it
+    unconditionally.  CG007 (checkpoint coverage) accepts this call as a
+    poll.
+    """
+    ctx = getattr(_active, "ctx", None)
+    if ctx is not None:
+        ctx.checkpoint(work)
 
 
 def _decode_checkpoint(work: int) -> int:

@@ -409,3 +409,20 @@ def run_race_smoke(
         duration_s=duration,
         violations=violations,
     )
+
+
+def run_sanitized_race_smoke(**kwargs: object) -> Tuple[RaceReport, "object"]:
+    """Run :func:`run_race_smoke` under the reprosan lock sanitizer.
+
+    Installs :func:`repro.testing.sanitizer.sanitized` around the whole
+    smoke run (so every lock the compressed graph creates is wrapped),
+    then returns ``(race_report, sanitizer_report)``.  A fully healthy
+    run has ``race_report.ok`` and ``sanitizer_report.ok`` both true --
+    no invariant violations, no lock-order inversions and no blocking
+    decode/filesystem work inside a governed critical section.
+    """
+    from repro.testing.sanitizer import sanitized
+
+    with sanitized() as san:
+        report = run_race_smoke(**kwargs)  # type: ignore[arg-type]
+    return report, san.report()

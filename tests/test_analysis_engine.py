@@ -38,9 +38,12 @@ def _rules_of(findings):
 # -- rule registry ----------------------------------------------------------
 
 
-def test_all_six_rules_registered():
+def test_all_nine_rules_registered():
     ids = [rule.id for rule in all_rules()]
-    assert ids == ["CG001", "CG002", "CG003", "CG004", "CG005", "CG006"]
+    assert ids == [
+        "CG001", "CG002", "CG003", "CG004", "CG005", "CG006",
+        "CG007", "CG008", "CG009",
+    ]
     for rule in all_rules():
         assert rule.name
         assert rule.summary
@@ -507,7 +510,9 @@ def test_noqa_other_rule_does_not_suppress(tmp_path):
         """,
     )
     findings, _ = run_rules([str(tmp_path)])
-    assert _rules_of(findings) == ["CG003"]
+    # The CG003 finding survives, and CG009 reports the mismatched
+    # directive as stale (it suppresses nothing on that line).
+    assert _rules_of(findings) == ["CG003", "CG009"]
 
 
 def test_parse_noqa_formats():
@@ -710,6 +715,38 @@ def test_src_and_benchmarks_are_clean():
     )
     assert errors == []
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_tests_tree_is_clean():
+    """tests/ is analysed too; fixture violations carry targeted noqa."""
+    findings, errors = run_rules([str(REPO_ROOT / "tests")])
+    assert errors == []
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_findings_are_deterministically_sorted(tmp_path):
+    """Same tree, two runs: identical order, sorted by (path, line, rule)."""
+    for name in ("zulu", "alpha"):
+        _write(
+            tmp_path,
+            f"repro/bits/{name}.py",
+            """
+            def decode(x):
+                if x < 0:
+                    raise ValueError("negative")
+                if x > 9:
+                    raise EOFError("short")
+                return x
+            """,
+        )
+    first, _ = run_rules([str(tmp_path)])
+    second, _ = run_rules([str(tmp_path)])
+    assert first, "fixture produced no findings"
+    assert [(f.path, f.line, f.rule, f.col) for f in first] == [
+        (f.path, f.line, f.rule, f.col) for f in second
+    ]
+    keys = [(f.path, f.line, f.rule, f.col) for f in first]
+    assert keys == sorted(keys)
 
 
 def test_committed_baseline_is_empty():

@@ -11,6 +11,7 @@ import repro
 MODULES = [
     "repro", "repro.errors",
     "repro.testing", "repro.testing.faults", "repro.testing.races",
+    "repro.testing.sanitizer",
     "repro.storage", "repro.storage.atomic", "repro.storage.wal",
     "repro.storage.recovery", "repro.storage.segments",
     "repro.storage.compactor",
@@ -46,7 +47,9 @@ MODULES = [
     "repro.analysis.report", "repro.analysis.cli",
     "repro.analysis.rules_concurrency", "repro.analysis.rules_taxonomy",
     "repro.analysis.rules_storage", "repro.analysis.rules_budget",
-    "repro.analysis.rules_copies",
+    "repro.analysis.rules_copies", "repro.analysis.rules_coverage",
+    "repro.analysis.rules_lifecycle", "repro.analysis.rules_suppression",
+    "repro.analysis.callgraph",
     "repro.algorithms", "repro.algorithms.pagerank",
     "repro.algorithms.communities", "repro.algorithms.reachability",
     "repro.algorithms.anomaly", "repro.algorithms.centrality",

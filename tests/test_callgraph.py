@@ -1,0 +1,200 @@
+"""Tests for the project-wide symbol table and call graph.
+
+Fixtures are tmp trees shaped like the real package so ``module_name``
+anchors correctly; resolution is checked across modules, through
+imports (absolute, relative and aliased), ``self``/``cls`` dispatch,
+class-qualified calls, and the exact-vs-fallback split the rules rely on.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.framework import Project, load_sources
+from repro.analysis.callgraph import CallGraph, module_name
+
+
+def _graph(tmp_path: Path, files: dict) -> CallGraph:
+    for rel, body in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+    sources, errors = load_sources([str(tmp_path)])
+    assert errors == []
+    return CallGraph(sources)
+
+
+def _callee_names(graph, qualname, fallback=True):
+    info = graph.functions[qualname]
+    return sorted(c.qualname for c in graph.callees(info, fallback))
+
+
+def test_module_name_anchors_at_repro():
+    assert module_name("src/repro/bits/codes.py") == "repro.bits.codes"
+    assert module_name("src/repro/core/__init__.py") == "repro.core"
+    assert module_name("tests/test_x.py") == "tests.test_x"
+
+
+def test_module_local_and_imported_resolution(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "repro/alpha.py": """
+                from repro.beta import helper
+
+                def local():
+                    pass
+
+                def caller():
+                    local()
+                    helper()
+            """,
+            "repro/beta.py": """
+                def helper():
+                    pass
+            """,
+        },
+    )
+    assert _callee_names(graph, "repro.alpha.caller") == [
+        "repro.alpha.local",
+        "repro.beta.helper",
+    ]
+
+
+def test_relative_import_and_module_attr(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "repro/pkg/__init__.py": "",
+            "repro/pkg/a.py": """
+                from . import b
+                from .c import deep as renamed
+
+                def caller():
+                    b.worker()
+                    renamed()
+            """,
+            "repro/pkg/b.py": """
+                def worker():
+                    pass
+            """,
+            "repro/pkg/c.py": """
+                def deep():
+                    pass
+            """,
+        },
+    )
+    assert _callee_names(graph, "repro.pkg.a.caller") == [
+        "repro.pkg.b.worker",
+        "repro.pkg.c.deep",
+    ]
+
+
+def test_self_and_class_qualified_methods(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "repro/cls.py": """
+                class Widget:
+                    def helper(self):
+                        pass
+
+                    def run(self):
+                        self.helper()
+
+                def outside():
+                    Widget.helper(None)
+            """,
+        },
+    )
+    assert _callee_names(graph, "repro.cls.Widget.run") == [
+        "repro.cls.Widget.helper"
+    ]
+    assert _callee_names(graph, "repro.cls.outside") == [
+        "repro.cls.Widget.helper"
+    ]
+
+
+def test_fallback_split_on_ambiguous_method_name(tmp_path):
+    """obj.extend() on an unknown object: fallback resolves project-wide,
+    exact resolution refuses to guess."""
+    graph = _graph(
+        tmp_path,
+        {
+            "repro/amb.py": """
+                class Store:
+                    def extend(self, rows):
+                        pass
+
+                def caller(bucket):
+                    bucket.extend([1])
+            """,
+        },
+    )
+    assert _callee_names(graph, "repro.amb.caller", fallback=True) == [
+        "repro.amb.Store.extend"
+    ]
+    assert _callee_names(graph, "repro.amb.caller", fallback=False) == []
+
+
+def test_reachable_crosses_modules(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "repro/service/server.py": """
+                from repro.storage.segments import read_segment
+
+                def handle():
+                    read_segment()
+            """,
+            "repro/storage/segments.py": """
+                from repro.bits.codes import decode_run
+
+                def read_segment():
+                    decode_run()
+            """,
+            "repro/bits/codes.py": """
+                def decode_run():
+                    pass
+            """,
+        },
+    )
+    root = graph.functions["repro.service.server.handle"]
+    names = sorted(graph.reachable([root], fallback=False))
+    assert names == [
+        "repro.bits.codes.decode_run",
+        "repro.service.server.handle",
+        "repro.storage.segments.read_segment",
+    ]
+
+
+def test_methods_of_collects_all_classes(tmp_path):
+    graph = _graph(
+        tmp_path,
+        {
+            "repro/x.py": """
+                class G:
+                    def a(self):
+                        pass
+            """,
+            "repro/y.py": """
+                class G:
+                    def b(self):
+                        pass
+            """,
+        },
+    )
+    assert sorted(m.qualname for m in graph.methods_of("G")) == [
+        "repro.x.G.a",
+        "repro.y.G.b",
+    ]
+
+
+def test_project_callgraph_property_is_cached(tmp_path):
+    (tmp_path / "repro").mkdir(parents=True)
+    (tmp_path / "repro" / "m.py").write_text("def f():\n    pass\n")
+    sources, _ = load_sources([str(tmp_path)])
+    project = Project(sources, ["CG002"])
+    assert project.callgraph is project.callgraph
+    assert "repro.m.f" in project.callgraph.functions
